@@ -1,0 +1,94 @@
+// Ablation — the spoof-detection activation threshold (§IV.C).
+//
+// "Because spoof detection requires additional computation overhead, it
+// is advisable to enable the DNS guard's spoof detection mechanism only
+// when the input request rate exceeds a threshold."
+//
+// This bench quantifies that design choice: with threshold-gating, a
+// guarded server in peacetime pays neither the extra round trip of the
+// cookie dance (latency column) nor the per-request cookie CPU (guard
+// CPU column); once a flood pushes the input rate past the threshold,
+// detection engages automatically and the ANS is shielded. An always-on
+// guard protects equally well but taxes peacetime latency.
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace dnsguard;
+using namespace dnsguard::bench;
+using workload::DriveMode;
+using workload::TablePrinter;
+
+namespace {
+
+struct Sample {
+  double latency_ms;
+  double guard_cpu;
+  std::uint64_t ans_queries;
+  std::uint64_t attack_through;
+};
+
+Sample run(double threshold, double attack_rate) {
+  Testbed bed;
+  bed.make_ans(AnsKind::Simulator);
+  bed.make_guard(guard::Scheme::NsName, threshold);
+  // A modest paced requester (latency is the observable, so keep the
+  // system far from saturation).
+  bed.add_driver(DriveMode::NsNameMiss, 4, net::Ipv4Address(10, 0, 1, 1),
+                 milliseconds(100), milliseconds(2));
+  if (attack_rate > 0) bed.add_attacker(attack_rate);
+  SimDuration window = bed.measure(milliseconds(500), seconds(2));
+
+  Sample s;
+  s.latency_ms = bed.drivers[0]->latencies().mean();
+  s.guard_cpu = bed.guard->utilization(window);
+  s.ans_queries = bed.sim_ans->ans_stats().udp_queries;
+  // Attack requests that made it to the ANS = ANS queries beyond what the
+  // legitimate driver accounts for.
+  std::uint64_t legit = bed.guard->guard_stats().forwarded_inactive +
+                        bed.guard->guard_stats().forwarded_to_ans;
+  (void)legit;
+  s.attack_through =
+      s.ans_queries > bed.drivers[0]->driver_stats().completed
+          ? s.ans_queries - bed.drivers[0]->driver_stats().completed
+          : 0;
+  return s;
+}
+
+}  // namespace
+
+int main() {
+  std::printf(
+      "ABLATION: spoof-detection activation threshold (paper %sIV.C)\n"
+      "Threshold 0 = always-on detection; 50K = detection engages only "
+      "under flood.\nLegit: 4 workers, ~1.6K req/s paced. NS-name scheme "
+      "(miss path: every request needs the 2-RTT dance when active).\n\n",
+      "\xc2\xa7");
+  TablePrinter table({"config", "attack(K/s)", "latency(ms)", "guard_cpu",
+                      "attack->ANS"},
+                     16);
+  table.print_header();
+  struct Case {
+    const char* label;
+    double threshold;
+    double attack;
+  };
+  const Case cases[] = {
+      {"always-on", 0.0, 0.0},
+      {"threshold-50K", 50e3, 0.0},
+      {"always-on", 0.0, 100e3},
+      {"threshold-50K", 50e3, 100e3},
+  };
+  for (const Case& c : cases) {
+    Sample s = run(c.threshold, c.attack);
+    table.print_row({c.label, TablePrinter::num(c.attack / 1000, 0),
+                     TablePrinter::num(s.latency_ms, 2),
+                     TablePrinter::percent(s.guard_cpu),
+                     std::to_string(s.attack_through)});
+  }
+  std::printf(
+      "\nShape check: in peacetime the thresholded guard serves at 1 RTT\n"
+      "(~0.4 ms, pass-through) vs ~2 RTT always-on; under a 100K flood\n"
+      "both configurations block the attack from the ANS.\n");
+  return 0;
+}

@@ -1,0 +1,112 @@
+// Ablation — the two rate limiters of Fig. 4.
+//
+// (1) Rate-Limiter1 (reflector protection): a spoofed flood impersonating
+//     one victim triggers cookie responses toward that victim. Without
+//     RL1 the guard reflects the full attack rate; with RL1 the victim
+//     receives only the configured trickle. (The paper: "Rate-Limiter1
+//     tracks the top requesters and limits the rate of cookie response to
+//     them", preventing the ANS from being used as a traffic reflector.)
+//
+// (2) Rate-Limiter2 (verified-host throttling): a non-spoofed zombie that
+//     plays the cookie protocol honestly still cannot exceed its nominal
+//     per-host rate. ("Even when an attacker successfully obtains a
+//     host's cookie, not much damage can be done", §III.G.)
+#include <cstdio>
+
+#include "bench/bench_common.h"
+
+using namespace dnsguard;
+using namespace dnsguard::bench;
+using workload::DriveMode;
+using workload::TablePrinter;
+
+namespace {
+
+struct ReflectionResult {
+  std::uint64_t attack_sent;
+  std::uint64_t victim_packets;
+  std::uint64_t victim_bytes;
+};
+
+ReflectionResult run_reflection(bool limiter_on) {
+  Testbed bed;
+  bed.make_ans(AnsKind::Simulator);
+  bed.make_guard(guard::Scheme::NsName, 0.0,
+                 [limiter_on](guard::RemoteGuardNode::Config& gc) {
+                   if (limiter_on) {
+                     // The paper's deployment settings.
+                     gc.rl1 = ratelimit::CookieResponseLimiter::Config{};
+                   }
+                 });
+  attack::VictimNode victim(bed.sim, "victim", net::Ipv4Address(10, 99, 0, 1));
+  bed.sim.add_host_route(net::Ipv4Address(10, 99, 0, 1), &victim);
+  auto* attacker = bed.add_attacker(
+      50000, net::Ipv4Address(10, 9, 9, 9),
+      attack::SpoofedFloodNode::SpoofConfig{
+          .spoof_base = net::Ipv4Address(10, 99, 0, 1), .spoof_range = 1});
+  attacker->start();
+  bed.sim.run_for(seconds(1));
+  attacker->stop();
+  return ReflectionResult{attacker->flood_stats().sent,
+                          victim.packets_received(),
+                          victim.bytes_received()};
+}
+
+struct ZombieResult {
+  std::uint64_t zombie_completed;
+  std::uint64_t ans_queries;
+};
+
+ZombieResult run_zombie(bool limiter_on, double nominal_rate) {
+  Testbed bed;
+  bed.make_ans(AnsKind::Simulator);
+  bed.make_guard(guard::Scheme::ModifiedDns, 0.0,
+                 [&](guard::RemoteGuardNode::Config& gc) {
+                   if (limiter_on) {
+                     gc.rl2.per_host_rate = nominal_rate;
+                     gc.rl2.per_host_burst = nominal_rate / 4;
+                   }
+                 });
+  // The zombie holds a legitimate cookie and floods at full closed-loop
+  // speed with 64 outstanding requests.
+  bed.add_driver(DriveMode::ModifiedHit, 64);
+  SimDuration window = bed.measure(milliseconds(500), seconds(1));
+  (void)window;
+  return ZombieResult{bed.drivers[0]->driver_stats().completed,
+                      bed.sim_ans->ans_stats().udp_queries};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("ABLATION: Rate-Limiter1 and Rate-Limiter2 (Fig. 4)\n\n");
+
+  std::printf("(1) Reflector protection - 50K spoofed req/s impersonating "
+              "one victim for 1 s:\n\n");
+  TablePrinter t1({"rl1", "attack_sent", "reflected_pkts", "reflected_KB"},
+                  16);
+  t1.print_header();
+  for (bool on : {false, true}) {
+    ReflectionResult r = run_reflection(on);
+    t1.print_row({on ? "enabled" : "disabled",
+                  std::to_string(r.attack_sent),
+                  std::to_string(r.victim_packets),
+                  workload::TablePrinter::num(
+                      static_cast<double>(r.victim_bytes) / 1024.0, 1)});
+  }
+
+  std::printf("\n(2) Verified-zombie throttling - a cookie-holding flooder "
+              "at 64 outstanding requests, nominal rate 200/s:\n\n");
+  TablePrinter t2({"rl2", "zombie_req/s", "ans_queries/s"}, 16);
+  t2.print_header();
+  for (bool on : {false, true}) {
+    ZombieResult r = run_zombie(on, 200.0);
+    t2.print_row({on ? "enabled" : "disabled",
+                  std::to_string(r.zombie_completed),
+                  std::to_string(r.ans_queries)});
+  }
+  std::printf(
+      "\nShape check: RL1 cuts reflected traffic by orders of magnitude;\n"
+      "RL2 pins a verified flooder to its nominal rate.\n");
+  return 0;
+}

@@ -1,0 +1,166 @@
+// Shared testbed assembly for the paper-reproduction benchmarks.
+//
+// Mirrors the §IV.A testbed: a protected ANS (BIND-like or the fast "ANS
+// simulator"), the remote DNS guard in router mode, LRS-simulator load
+// drivers and attack generators, wired through the discrete-event network
+// with the testbed's 0.4 ms LAN RTT.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "attack/attackers.h"
+#include "guard/remote_guard.h"
+#include "server/authoritative_node.h"
+#include "server/zone.h"
+#include "sim/simulator.h"
+#include "workload/lrs_driver.h"
+#include "workload/metrics.h"
+
+namespace dnsguard::bench {
+
+inline constexpr net::Ipv4Address kAnsIp{10, 1, 1, 254};
+inline constexpr net::Ipv4Address kGuardIp{10, 1, 1, 253};
+inline constexpr net::Ipv4Address kSubnetBase{10, 1, 1, 0};
+inline constexpr net::Ipv4Address kComServerIp{10, 0, 0, 2};
+
+enum class AnsKind { Bind, Simulator };
+
+struct Testbed {
+  sim::Simulator sim;
+  std::unique_ptr<server::AuthoritativeServerNode> bind_ans;
+  std::unique_ptr<server::AnsSimulatorNode> sim_ans;
+  std::unique_ptr<guard::RemoteGuardNode> guard;
+  std::vector<std::unique_ptr<workload::LrsSimulatorNode>> drivers;
+  std::vector<std::unique_ptr<attack::SpoofedFloodNode>> attackers;
+
+  sim::Node* ans_node() {
+    return bind_ans ? static_cast<sim::Node*>(bind_ans.get())
+                    : static_cast<sim::Node*>(sim_ans.get());
+  }
+
+  /// Builds the ANS. The BIND flavour serves a root-style delegation zone
+  /// (answers are referrals with glue, like a root/TLD server) and a
+  /// leaf host set; the simulator flavour answers everything at 110K/s.
+  void make_ans(AnsKind kind,
+                std::optional<std::uint32_t> ttl_override = std::nullopt) {
+    if (kind == AnsKind::Bind) {
+      server::AuthoritativeServerNode::Config ac;
+      ac.address = kAnsIp;
+      ac.ttl_override = ttl_override;
+      bind_ans = std::make_unique<server::AuthoritativeServerNode>(
+          sim, "bind-ans", ac);
+      // Root-style zone: delegates com with glue (the NS-name dance's
+      // restored question "com." earns a referral + glue), and also
+      // hosts direct A records so PlainUdp / fabricated dances resolve.
+      server::Zone root(dns::DomainName{});
+      root.add_soa();
+      root.add_ns(".", "a.root-servers.net.");
+      root.add_a("a.root-servers.net.", kAnsIp);
+      root.add_ns("com.", "a.gtld-servers.net.");
+      root.add_a("a.gtld-servers.net.", kComServerIp);
+      root.add_a("www.foo.com.", net::Ipv4Address(192, 0, 2, 80));
+      bind_ans->add_zone(std::move(root));
+    } else {
+      sim_ans = std::make_unique<server::AnsSimulatorNode>(
+          sim, "ans-sim",
+          server::AnsSimulatorNode::Config{.address = kAnsIp});
+    }
+  }
+
+  /// Installs the guard in front of the ANS. Limiters default to
+  /// benchmark settings (never throttling the measured legitimate load);
+  /// `tweak` can override anything.
+  void make_guard(
+      guard::Scheme scheme, double activation_threshold = 0.0,
+      std::function<void(guard::RemoteGuardNode::Config&)> tweak = {},
+      int subnet_prefix_len = 24) {
+    guard::RemoteGuardNode::Config gc;
+    gc.guard_address = kGuardIp;
+    gc.ans_address = kAnsIp;
+    gc.protected_zone = dns::DomainName{};
+    gc.subnet_base = kSubnetBase;
+    gc.r_y = 250;
+    gc.scheme = scheme;
+    gc.activation_threshold_rps = activation_threshold;
+    gc.rl1.per_address_rate = 1e7;
+    gc.rl1.per_address_burst = 1e6;
+    gc.rl2.per_host_rate = 1e7;
+    gc.rl2.per_host_burst = 1e6;
+    // The load drivers pose as a single very fast client; the per-client
+    // connection throttle is exercised by its own ablation bench instead.
+    gc.proxy_conn_rate = 1e7;
+    gc.proxy_conn_burst = 1e6;
+    if (tweak) tweak(gc);
+    guard = std::make_unique<guard::RemoteGuardNode>(sim, "guard", gc,
+                                                     ans_node());
+    guard->install(subnet_prefix_len);
+  }
+
+  /// Without a guard: route the ANS address directly (protection off and
+  /// no firewall box in the path at all).
+  void route_ans_directly() { sim.add_host_route(kAnsIp, ans_node()); }
+
+  workload::LrsSimulatorNode* add_driver(
+      workload::DriveMode mode, int concurrency,
+      net::Ipv4Address address = net::Ipv4Address(10, 0, 1, 1),
+      SimDuration timeout = milliseconds(10), SimDuration think = {},
+      SimDuration per_packet_cost = {}) {
+    workload::LrsSimulatorNode::Config dc;
+    dc.address = address;
+    dc.target = {kAnsIp, net::kDnsPort};
+    dc.mode = mode;
+    dc.concurrency = concurrency;
+    dc.timeout = timeout;
+    dc.think_time = think;
+    dc.per_packet_cost = per_packet_cost;
+    auto node = std::make_unique<workload::LrsSimulatorNode>(
+        sim, "driver-" + address.to_string(), dc);
+    sim.add_host_route(address, node.get());
+    drivers.push_back(std::move(node));
+    return drivers.back().get();
+  }
+
+  attack::SpoofedFloodNode* add_attacker(
+      double rate, net::Ipv4Address address = net::Ipv4Address(10, 9, 9, 9),
+      attack::SpoofedFloodNode::SpoofConfig spoof = {}) {
+    auto node = std::make_unique<attack::SpoofedFloodNode>(
+        sim, "attacker",
+        attack::FloodNodeBase::Config{.own_address = address,
+                                      .target = {kAnsIp, net::kDnsPort},
+                                      .rate = rate,
+                                      .qname_base = "www.foo.com."},
+        spoof);
+    attackers.push_back(std::move(node));
+    return attackers.back().get();
+  }
+
+  Testbed() { sim.set_default_latency(microseconds(200)); }  // 0.4 ms RTT
+
+  /// Warm up, reset stats, measure for `window`. Returns the window.
+  SimDuration measure(SimDuration warmup, SimDuration window) {
+    for (auto& d : drivers) d->start();
+    for (auto& a : attackers) a->start();
+    sim.run_for(warmup);
+    for (auto& d : drivers) d->reset_driver_stats();
+    if (bind_ans) {
+      bind_ans->reset_ans_stats();
+      bind_ans->reset_stats();
+    }
+    if (sim_ans) {
+      sim_ans->reset_ans_stats();
+      sim_ans->reset_stats();
+    }
+    if (guard) {
+      guard->reset_guard_stats();
+      guard->reset_stats();
+    }
+    sim.run_for(window);
+    for (auto& a : attackers) a->stop();
+    for (auto& d : drivers) d->stop();
+    return window;
+  }
+};
+
+}  // namespace dnsguard::bench

@@ -1,0 +1,83 @@
+// Quickstart — protect an authoritative server with the DNS guard in
+// ~60 lines of user code.
+//
+// Builds the paper's Fig. 1 world: a root/com/foo.com hierarchy, an
+// unmodified recursive resolver (LRS), and a DNS guard deployed in front
+// of the root server using the transparent NS-name cookie scheme. Then
+// resolves a name end-to-end and prints what each component saw.
+//
+//   cmake --build build && ./build/examples/quickstart
+#include <cstdio>
+
+#include "guard/remote_guard.h"
+#include "server/authoritative_node.h"
+#include "server/resolver_node.h"
+#include "server/zone.h"
+#include "sim/simulator.h"
+
+using namespace dnsguard;
+using net::Ipv4Address;
+
+int main() {
+  sim::Simulator sim;
+  sim.set_default_latency(microseconds(200));  // 0.4 ms LAN RTT
+
+  // --- the DNS hierarchy of Fig. 1 -----------------------------------------
+  const Ipv4Address root_ip(10, 1, 1, 254), com_ip(10, 0, 0, 2),
+      foo_ip(10, 0, 0, 3), lrs_ip(10, 0, 1, 1);
+  auto zones = server::make_example_hierarchy(root_ip, com_ip, foo_ip);
+
+  server::AuthoritativeServerNode root(sim, "root", {.address = root_ip});
+  server::AuthoritativeServerNode com(sim, "com", {.address = com_ip});
+  server::AuthoritativeServerNode foo(sim, "foo", {.address = foo_ip});
+  root.add_zone(std::move(zones.root));
+  com.add_zone(std::move(zones.com));
+  foo.add_zone(std::move(zones.foo_com));
+  sim.add_host_route(com_ip, &com);
+  sim.add_host_route(foo_ip, &foo);
+
+  // --- an unmodified recursive resolver -------------------------------------
+  server::RecursiveResolverNode::Config rc;
+  rc.address = lrs_ip;
+  rc.root_hints = {root_ip};
+  server::RecursiveResolverNode lrs(sim, "lrs", rc);
+  sim.add_host_route(lrs_ip, &lrs);
+
+  // --- the DNS guard, in front of the root server ---------------------------
+  guard::RemoteGuardNode::Config gc;
+  gc.guard_address = Ipv4Address(10, 1, 1, 253);
+  gc.ans_address = root_ip;
+  gc.protected_zone = dns::DomainName{};       // it guards the root zone
+  gc.subnet_base = Ipv4Address(10, 1, 1, 0);   // its intercepted subnet
+  gc.scheme = guard::Scheme::NsName;           // transparent NS-name cookies
+  guard::RemoteGuardNode guard(sim, "guard", gc, &root);
+  guard.install();  // takes over routing for the root's address
+
+  // --- resolve a name through the guarded hierarchy -------------------------
+  std::printf("resolving www.foo.com through the guarded root...\n");
+  lrs.resolve(*dns::DomainName::parse("www.foo.com"), dns::RrType::A,
+              [](const server::RecursiveResolverNode::Result& r) {
+                std::printf("=> rcode=%d, %zu answer records, %.2f ms\n",
+                            static_cast<int>(r.rcode), r.answers.size(),
+                            r.elapsed.millis());
+                for (const auto& rr : r.answers) {
+                  std::printf("   %s\n", rr.to_string().c_str());
+                }
+              });
+  sim.run_for(seconds(5));
+
+  const auto& g = guard.guard_stats();
+  std::printf(
+      "\nwhat the guard did (invisible to both the LRS and the root):\n"
+      "  fabricated referrals (cookie handed out): %llu\n"
+      "  cookie checks passed:                     %llu\n"
+      "  spoofed requests dropped:                 %llu\n"
+      "  queries forwarded to the real root:       %llu\n",
+      static_cast<unsigned long long>(g.fabricated_referrals),
+      static_cast<unsigned long long>(g.cookie_checks),
+      static_cast<unsigned long long>(g.spoofs_dropped),
+      static_cast<unsigned long long>(g.forwarded_to_ans));
+  std::printf("root server answered %llu queries in total.\n",
+              static_cast<unsigned long long>(root.ans_stats().udp_queries));
+  return 0;
+}

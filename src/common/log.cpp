@@ -1,0 +1,39 @@
+#include "common/log.h"
+
+#include <cstdio>
+
+namespace dnsguard {
+namespace {
+
+LogLevel g_level = LogLevel::Warn;
+
+const char* level_name(LogLevel level) {
+  switch (level) {
+    case LogLevel::Trace: return "TRACE";
+    case LogLevel::Debug: return "DEBUG";
+    case LogLevel::Info: return "INFO";
+    case LogLevel::Warn: return "WARN";
+    case LogLevel::Error: return "ERROR";
+    case LogLevel::Off: return "OFF";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void set_log_level(LogLevel level) { g_level = level; }
+
+LogLevel log_level() { return g_level; }
+
+void log_at(LogLevel level, std::string_view tag, const char* fmt, ...) {
+  if (level < g_level) return;
+  std::fprintf(stderr, "[%s] %.*s: ", level_name(level),
+               static_cast<int>(tag.size()), tag.data());
+  va_list args;
+  va_start(args, fmt);
+  std::vfprintf(stderr, fmt, args);
+  va_end(args);
+  std::fputc('\n', stderr);
+}
+
+}  // namespace dnsguard

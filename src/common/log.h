@@ -1,0 +1,34 @@
+// Minimal leveled logger.
+//
+// The simulator is single-threaded, so the logger is deliberately simple:
+// a global level and printf-style formatting to stderr. Benchmarks run at
+// Level::Warn so log I/O never pollutes timing.
+#pragma once
+
+#include <cstdarg>
+#include <string_view>
+
+namespace dnsguard {
+
+enum class LogLevel { Trace, Debug, Info, Warn, Error, Off };
+
+/// Sets the global log threshold; messages below it are discarded.
+void set_log_level(LogLevel level);
+[[nodiscard]] LogLevel log_level();
+
+/// printf-style logging. `tag` identifies the subsystem ("guard", "sim"...).
+void log_at(LogLevel level, std::string_view tag, const char* fmt, ...)
+    __attribute__((format(printf, 3, 4)));
+
+#define DG_LOG_TRACE(tag, ...) \
+  ::dnsguard::log_at(::dnsguard::LogLevel::Trace, tag, __VA_ARGS__)
+#define DG_LOG_DEBUG(tag, ...) \
+  ::dnsguard::log_at(::dnsguard::LogLevel::Debug, tag, __VA_ARGS__)
+#define DG_LOG_INFO(tag, ...) \
+  ::dnsguard::log_at(::dnsguard::LogLevel::Info, tag, __VA_ARGS__)
+#define DG_LOG_WARN(tag, ...) \
+  ::dnsguard::log_at(::dnsguard::LogLevel::Warn, tag, __VA_ARGS__)
+#define DG_LOG_ERROR(tag, ...) \
+  ::dnsguard::log_at(::dnsguard::LogLevel::Error, tag, __VA_ARGS__)
+
+}  // namespace dnsguard

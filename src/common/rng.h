@@ -1,0 +1,49 @@
+// Deterministic pseudo-random number generator (xoshiro256**).
+//
+// Every stochastic component in the simulator (attack source-address
+// choice, jitter, workload arrival processes) draws from an explicitly
+// seeded Rng so experiments are reproducible run-to-run — a requirement
+// for regenerating the paper's tables bit-for-bit.
+#pragma once
+
+#include <cstdint>
+#include <limits>
+
+namespace dnsguard {
+
+/// xoshiro256** 1.0 (Blackman & Vigna, public domain algorithm),
+/// deterministically seeded via splitmix64.
+class Rng {
+ public:
+  explicit Rng(std::uint64_t seed = 0x9e3779b97f4a7c15ULL) { reseed(seed); }
+
+  void reseed(std::uint64_t seed);
+
+  /// Uniform 64-bit value.
+  std::uint64_t next();
+
+  /// Uniform in [0, bound) without modulo bias (Lemire's method).
+  std::uint64_t bounded(std::uint64_t bound);
+
+  /// Uniform in [lo, hi] inclusive.
+  std::uint64_t range(std::uint64_t lo, std::uint64_t hi) {
+    return lo + bounded(hi - lo + 1);
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform01() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Bernoulli draw.
+  bool chance(double p) { return uniform01() < p; }
+
+  /// Exponential variate with the given mean (inter-arrival times of
+  /// Poisson traffic).
+  double exponential(double mean);
+
+ private:
+  std::uint64_t s_[4]{};
+};
+
+}  // namespace dnsguard

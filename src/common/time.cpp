@@ -1,0 +1,21 @@
+#include "common/time.h"
+
+#include <cstdio>
+
+namespace dnsguard {
+
+std::string format_duration(SimDuration d) {
+  char buf[64];
+  if (d.ns >= 1000000000) {
+    std::snprintf(buf, sizeof buf, "%.3fs", d.seconds());
+  } else if (d.ns >= 1000000) {
+    std::snprintf(buf, sizeof buf, "%.3fms", d.millis());
+  } else if (d.ns >= 1000) {
+    std::snprintf(buf, sizeof buf, "%.3fus", static_cast<double>(d.ns) / 1e3);
+  } else {
+    std::snprintf(buf, sizeof buf, "%lldns", static_cast<long long>(d.ns));
+  }
+  return buf;
+}
+
+}  // namespace dnsguard

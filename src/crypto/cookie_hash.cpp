@@ -1,0 +1,91 @@
+#include "crypto/cookie_hash.h"
+
+#include "common/rng.h"
+
+namespace dnsguard::crypto {
+
+CookieKey derive_key(std::uint64_t seed) {
+  Rng rng(seed);
+  CookieKey key{};
+  for (std::size_t i = 0; i < key.size(); i += 8) {
+    std::uint64_t v = rng.next();
+    for (std::size_t j = 0; j < 8 && i + j < key.size(); ++j) {
+      key[i + j] = static_cast<std::uint8_t>(v >> (8 * j));
+    }
+  }
+  return key;
+}
+
+Cookie compute_cookie(const CookieKey& key, std::uint32_t ip) {
+  Md5 ctx;
+  ctx.update(BytesView(key.data(), key.size()));
+  std::uint8_t ip_be[4] = {
+      static_cast<std::uint8_t>(ip >> 24), static_cast<std::uint8_t>(ip >> 16),
+      static_cast<std::uint8_t>(ip >> 8), static_cast<std::uint8_t>(ip)};
+  ctx.update(BytesView(ip_be, 4));
+  return ctx.finish();
+}
+
+bool cookie_equal(const Cookie& a, const Cookie& b) {
+  return cookie_prefix_equal(a, b, kCookieSize);
+}
+
+bool cookie_prefix_equal(const Cookie& a, const Cookie& b, std::size_t n) {
+  unsigned diff = 0;
+  for (std::size_t i = 0; i < n && i < kCookieSize; ++i) diff |= a[i] ^ b[i];
+  return diff == 0;
+}
+
+std::uint32_t cookie_prefix32(const Cookie& c) {
+  return (static_cast<std::uint32_t>(c[0]) << 24) |
+         (static_cast<std::uint32_t>(c[1]) << 16) |
+         (static_cast<std::uint32_t>(c[2]) << 8) |
+         static_cast<std::uint32_t>(c[3]);
+}
+
+RotatingKeys::RotatingKeys(std::uint64_t seed)
+    : current_(derive_key(seed)), previous_(current_) {}
+
+void RotatingKeys::rotate(std::uint64_t new_seed) {
+  previous_ = current_;
+  current_ = derive_key(new_seed);
+  ++generation_;
+}
+
+Cookie RotatingKeys::mint_with(const CookieKey& key, std::uint32_t ip,
+                               std::uint32_t generation) const {
+  Cookie c = compute_cookie(key, ip);
+  // Overwrite the first bit with the generation parity (§III.E).
+  c[0] = static_cast<std::uint8_t>((c[0] & 0x7f) | ((generation & 1) << 7));
+  return c;
+}
+
+Cookie RotatingKeys::mint(std::uint32_t ip) const {
+  return mint_with(current_, ip, generation_);
+}
+
+bool RotatingKeys::verify(std::uint32_t ip, const Cookie& presented) const {
+  std::uint32_t presented_gen = presented[0] >> 7;
+  bool is_current = presented_gen == (generation_ & 1);
+  const CookieKey& key = is_current ? current_ : previous_;
+  std::uint32_t gen = is_current ? generation_ : generation_ - 1;
+  // generation_ == 0 has no valid previous generation.
+  if (!is_current && generation_ == 0) return false;
+  Cookie expected = mint_with(key, ip, gen);
+  return cookie_equal(expected, presented);
+}
+
+bool RotatingKeys::verify_prefix32(std::uint32_t ip,
+                                   std::uint32_t presented_prefix) const {
+  std::uint32_t presented_gen = presented_prefix >> 31;
+  bool is_current = presented_gen == (generation_ & 1);
+  if (!is_current && generation_ == 0) return false;
+  const CookieKey& key = is_current ? current_ : previous_;
+  std::uint32_t gen = is_current ? generation_ : generation_ - 1;
+  Cookie expected = mint_with(key, ip, gen);
+  // Constant-time compare of the 4-byte prefix.
+  std::uint32_t exp = cookie_prefix32(expected);
+  return ((exp ^ presented_prefix) == 0);
+}
+
+}  // namespace dnsguard::crypto

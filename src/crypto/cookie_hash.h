@@ -1,0 +1,83 @@
+// The paper's cookie construction (§III.E):
+//
+//   c = MD5(key || source_ip)
+//
+// where `key` is a 76-byte per-guard secret and source_ip the 4-byte
+// requester address, giving an 80-byte MD5 input and a 16-byte cookie.
+// Key distribution is unnecessary: only the guard verifies cookies.
+//
+// Key rotation (§III.E last paragraph) overloads the first cookie *bit*
+// as a generation indicator: cookies minted under generation g carry bit
+// g % 2, and the guard accepts the previous generation's key for cookies
+// whose bit doesn't match the current one, so rotation never invalidates
+// cookies younger than one rotation interval and each check still costs
+// exactly one MD5.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/bytes.h"
+#include "crypto/md5.h"
+
+namespace dnsguard::crypto {
+
+inline constexpr std::size_t kCookieKeySize = 76;
+inline constexpr std::size_t kCookieSize = 16;
+
+using CookieKey = std::array<std::uint8_t, kCookieKeySize>;
+using Cookie = std::array<std::uint8_t, kCookieSize>;
+
+/// Derives a fresh 76-byte key from a 64-bit seed (deterministic, for
+/// reproducible experiments; a deployment would read /dev/urandom).
+[[nodiscard]] CookieKey derive_key(std::uint64_t seed);
+
+/// c = MD5(key || ipv4_be). `ip` is the requester address in host order.
+[[nodiscard]] Cookie compute_cookie(const CookieKey& key, std::uint32_t ip);
+
+/// Constant-time equality over full 16-byte cookies.
+[[nodiscard]] bool cookie_equal(const Cookie& a, const Cookie& b);
+
+/// Constant-time equality over the first `n` bytes (truncated encodings,
+/// e.g. the 4-byte NS-name cookie).
+[[nodiscard]] bool cookie_prefix_equal(const Cookie& a, const Cookie& b,
+                                       std::size_t n);
+
+/// First 4 cookie bytes as a big-endian integer — the value the DNS-based
+/// scheme encodes in NS names and, modulo R_y, in fabricated IPs.
+[[nodiscard]] std::uint32_t cookie_prefix32(const Cookie& c);
+
+/// Rotating key schedule: holds the current and previous generation keys.
+class RotatingKeys {
+ public:
+  explicit RotatingKeys(std::uint64_t seed);
+
+  /// Advances to the next generation (called once per rotation interval,
+  /// e.g. weekly in the paper).
+  void rotate(std::uint64_t new_seed);
+
+  /// Mints a cookie for `ip` under the current key, with the first bit
+  /// overwritten by the current generation parity.
+  [[nodiscard]] Cookie mint(std::uint32_t ip) const;
+
+  /// Verifies a presented cookie: the embedded generation bit selects
+  /// current vs previous key; exactly one MD5 is computed.
+  [[nodiscard]] bool verify(std::uint32_t ip, const Cookie& presented) const;
+
+  /// Verifies only the first 4 bytes (for NS-name / IP encodings, which
+  /// truncate the cookie). The generation bit is part of those 4 bytes.
+  [[nodiscard]] bool verify_prefix32(std::uint32_t ip,
+                                     std::uint32_t presented_prefix) const;
+
+  [[nodiscard]] std::uint32_t generation() const { return generation_; }
+
+ private:
+  [[nodiscard]] Cookie mint_with(const CookieKey& key, std::uint32_t ip,
+                                 std::uint32_t generation) const;
+
+  CookieKey current_;
+  CookieKey previous_;
+  std::uint32_t generation_ = 0;
+};
+
+}  // namespace dnsguard::crypto

@@ -1,0 +1,154 @@
+#include "crypto/md5.h"
+
+#include <cstring>
+
+namespace dnsguard::crypto {
+namespace {
+
+// Per-round shift amounts (RFC 1321 §3.4).
+constexpr std::uint32_t kShift[64] = {
+    7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22, 7, 12, 17, 22,
+    5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20, 5, 9,  14, 20,
+    4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23, 4, 11, 16, 23,
+    6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21, 6, 10, 15, 21};
+
+// K[i] = floor(2^32 * |sin(i + 1)|) (RFC 1321 §3.4).
+constexpr std::uint32_t kSine[64] = {
+    0xd76aa478, 0xe8c7b756, 0x242070db, 0xc1bdceee, 0xf57c0faf, 0x4787c62a,
+    0xa8304613, 0xfd469501, 0x698098d8, 0x8b44f7af, 0xffff5bb1, 0x895cd7be,
+    0x6b901122, 0xfd987193, 0xa679438e, 0x49b40821, 0xf61e2562, 0xc040b340,
+    0x265e5a51, 0xe9b6c7aa, 0xd62f105d, 0x02441453, 0xd8a1e681, 0xe7d3fbc8,
+    0x21e1cde6, 0xc33707d6, 0xf4d50d87, 0x455a14ed, 0xa9e3e905, 0xfcefa3f8,
+    0x676f02d9, 0x8d2a4c8a, 0xfffa3942, 0x8771f681, 0x6d9d6122, 0xfde5380c,
+    0xa4beea44, 0x4bdecfa9, 0xf6bb4b60, 0xbebfbc70, 0x289b7ec6, 0xeaa127fa,
+    0xd4ef3085, 0x04881d05, 0xd9d4d039, 0xe6db99e5, 0x1fa27cf8, 0xc4ac5665,
+    0xf4292244, 0x432aff97, 0xab9423a7, 0xfc93a039, 0x655b59c3, 0x8f0ccc92,
+    0xffeff47d, 0x85845dd1, 0x6fa87e4f, 0xfe2ce6e0, 0xa3014314, 0x4e0811a1,
+    0xf7537e82, 0xbd3af235, 0x2ad7d2bb, 0xeb86d391};
+
+std::uint32_t rotl(std::uint32_t x, std::uint32_t c) {
+  return (x << c) | (x >> (32 - c));
+}
+
+std::uint32_t load_le32(const std::uint8_t* p) {
+  return static_cast<std::uint32_t>(p[0]) |
+         (static_cast<std::uint32_t>(p[1]) << 8) |
+         (static_cast<std::uint32_t>(p[2]) << 16) |
+         (static_cast<std::uint32_t>(p[3]) << 24);
+}
+
+void store_le32(std::uint8_t* p, std::uint32_t v) {
+  p[0] = static_cast<std::uint8_t>(v);
+  p[1] = static_cast<std::uint8_t>(v >> 8);
+  p[2] = static_cast<std::uint8_t>(v >> 16);
+  p[3] = static_cast<std::uint8_t>(v >> 24);
+}
+
+}  // namespace
+
+void Md5::reset() {
+  state_[0] = 0x67452301;
+  state_[1] = 0xefcdab89;
+  state_[2] = 0x98badcfe;
+  state_[3] = 0x10325476;
+  length_ = 0;
+  buffered_ = 0;
+}
+
+void Md5::process_block(const std::uint8_t* block) {
+  std::uint32_t m[16];
+  for (int i = 0; i < 16; ++i) m[i] = load_le32(block + i * 4);
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3];
+
+  for (int i = 0; i < 64; ++i) {
+    std::uint32_t f;
+    int g;
+    if (i < 16) {
+      f = (b & c) | (~b & d);
+      g = i;
+    } else if (i < 32) {
+      f = (d & b) | (~d & c);
+      g = (5 * i + 1) % 16;
+    } else if (i < 48) {
+      f = b ^ c ^ d;
+      g = (3 * i + 5) % 16;
+    } else {
+      f = c ^ (b | ~d);
+      g = (7 * i) % 16;
+    }
+    std::uint32_t tmp = d;
+    d = c;
+    c = b;
+    b = b + rotl(a + f + kSine[i] + m[g], kShift[i]);
+    a = tmp;
+  }
+
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+}
+
+void Md5::update(BytesView data) {
+  length_ += data.size();
+  std::size_t off = 0;
+
+  if (buffered_ > 0) {
+    std::size_t need = 64 - buffered_;
+    std::size_t take = std::min(need, data.size());
+    std::memcpy(buffer_ + buffered_, data.data(), take);
+    buffered_ += take;
+    off = take;
+    if (buffered_ == 64) {
+      process_block(buffer_);
+      buffered_ = 0;
+    }
+  }
+
+  while (off + 64 <= data.size()) {
+    process_block(data.data() + off);
+    off += 64;
+  }
+
+  if (off < data.size()) {
+    std::memcpy(buffer_, data.data() + off, data.size() - off);
+    buffered_ = data.size() - off;
+  }
+}
+
+void Md5::update(std::string_view data) {
+  update(BytesView(reinterpret_cast<const std::uint8_t*>(data.data()),
+                   data.size()));
+}
+
+Md5Digest Md5::finish() {
+  // Append 0x80, pad with zeros to 56 mod 64, then the 64-bit bit length
+  // little-endian.
+  std::uint64_t bit_length = length_ * 8;
+  std::uint8_t pad[72];
+  std::size_t pad_len = (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  pad[0] = 0x80;
+  std::memset(pad + 1, 0, pad_len - 1);
+  store_le32(pad + pad_len, static_cast<std::uint32_t>(bit_length));
+  store_le32(pad + pad_len + 4, static_cast<std::uint32_t>(bit_length >> 32));
+  update(BytesView(pad, pad_len + 8));
+
+  Md5Digest digest;
+  for (int i = 0; i < 4; ++i) store_le32(digest.data() + i * 4, state_[i]);
+  return digest;
+}
+
+Md5Digest Md5::hash(BytesView data) {
+  Md5 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+Md5Digest Md5::hash(std::string_view data) {
+  Md5 ctx;
+  ctx.update(data);
+  return ctx.finish();
+}
+
+}  // namespace dnsguard::crypto

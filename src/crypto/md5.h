@@ -1,0 +1,49 @@
+// MD5 message digest (RFC 1321), implemented from scratch.
+//
+// The paper computes each requester's cookie as c = MD5(key || source_ip)
+// with a 76-byte secret key, and argues the cookie checker must be fast
+// enough to sustain attack-rate traffic. This is a straightforward,
+// allocation-free implementation; `bench/ablation_cookie_cost` measures its
+// throughput.
+//
+// MD5 is used here exactly as the paper uses it — as a keyed one-way
+// function for cookie generation, not for collision-resistant signing.
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "common/bytes.h"
+
+namespace dnsguard::crypto {
+
+using Md5Digest = std::array<std::uint8_t, 16>;
+
+/// Incremental MD5 context: init → update* → finish.
+class Md5 {
+ public:
+  Md5() { reset(); }
+
+  void reset();
+  void update(BytesView data);
+  void update(std::string_view data);
+  /// Finalizes and returns the digest. The context must be reset() before
+  /// further use.
+  [[nodiscard]] Md5Digest finish();
+
+  /// One-shot convenience.
+  [[nodiscard]] static Md5Digest hash(BytesView data);
+  [[nodiscard]] static Md5Digest hash(std::string_view data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::uint32_t state_[4]{};
+  std::uint64_t length_ = 0;  // total message length in bytes
+  std::uint8_t buffer_[64]{};
+  std::size_t buffered_ = 0;
+};
+
+}  // namespace dnsguard::crypto

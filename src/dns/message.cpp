@@ -1,0 +1,135 @@
+#include "dns/message.h"
+
+namespace dnsguard::dns {
+
+void Question::encode(ByteWriter& w, NameCompressor& compressor) const {
+  compressor.write(w, qname);
+  w.u16(static_cast<std::uint16_t>(qtype));
+  w.u16(static_cast<std::uint16_t>(qclass));
+}
+
+std::optional<Question> Question::decode(ByteReader& r) {
+  Question q;
+  auto name = read_name(r);
+  if (!name) return std::nullopt;
+  q.qname = std::move(*name);
+  q.qtype = static_cast<RrType>(r.u16());
+  q.qclass = static_cast<RrClass>(r.u16());
+  if (!r.ok()) return std::nullopt;
+  return q;
+}
+
+std::string Question::to_string() const {
+  return qname.to_string() + " IN " + rr_type_name(qtype);
+}
+
+Bytes Message::encode() const {
+  ByteWriter w(kMaxUdpPayload);
+  NameCompressor compressor;
+
+  w.u16(header.id);
+  std::uint16_t flags = 0;
+  if (header.qr) flags |= 0x8000;
+  flags |= static_cast<std::uint16_t>(
+      (static_cast<std::uint16_t>(header.opcode) & 0xf) << 11);
+  if (header.aa) flags |= 0x0400;
+  if (header.tc) flags |= 0x0200;
+  if (header.rd) flags |= 0x0100;
+  if (header.ra) flags |= 0x0080;
+  flags |= static_cast<std::uint16_t>(header.rcode) & 0xf;
+  w.u16(flags);
+  w.u16(static_cast<std::uint16_t>(questions.size()));
+  w.u16(static_cast<std::uint16_t>(answers.size()));
+  w.u16(static_cast<std::uint16_t>(authority.size()));
+  w.u16(static_cast<std::uint16_t>(additional.size()));
+
+  for (const auto& q : questions) q.encode(w, compressor);
+  for (const auto& rr : answers) rr.encode(w, compressor);
+  for (const auto& rr : authority) rr.encode(w, compressor);
+  for (const auto& rr : additional) rr.encode(w, compressor);
+  return std::move(w).take();
+}
+
+std::optional<Message> Message::decode(BytesView wire) {
+  ByteReader r(wire);
+  Message m;
+  m.header.id = r.u16();
+  std::uint16_t flags = r.u16();
+  std::uint16_t qdcount = r.u16();
+  std::uint16_t ancount = r.u16();
+  std::uint16_t nscount = r.u16();
+  std::uint16_t arcount = r.u16();
+  if (!r.ok()) return std::nullopt;
+
+  m.header.qr = (flags & 0x8000) != 0;
+  m.header.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
+  m.header.aa = (flags & 0x0400) != 0;
+  m.header.tc = (flags & 0x0200) != 0;
+  m.header.rd = (flags & 0x0100) != 0;
+  m.header.ra = (flags & 0x0080) != 0;
+  m.header.rcode = static_cast<Rcode>(flags & 0xf);
+
+  for (std::uint16_t i = 0; i < qdcount; ++i) {
+    auto q = Question::decode(r);
+    if (!q) return std::nullopt;
+    m.questions.push_back(std::move(*q));
+  }
+  auto read_section = [&r](std::uint16_t count,
+                           std::vector<ResourceRecord>& out) {
+    for (std::uint16_t i = 0; i < count; ++i) {
+      auto rr = ResourceRecord::decode(r);
+      if (!rr) return false;
+      out.push_back(std::move(*rr));
+    }
+    return true;
+  };
+  if (!read_section(ancount, m.answers)) return std::nullopt;
+  if (!read_section(nscount, m.authority)) return std::nullopt;
+  if (!read_section(arcount, m.additional)) return std::nullopt;
+  if (r.pos() != wire.size()) return std::nullopt;  // trailing garbage
+  return m;
+}
+
+Message Message::query(std::uint16_t id, DomainName qname, RrType qtype,
+                       bool recursion_desired) {
+  Message m;
+  m.header.id = id;
+  m.header.rd = recursion_desired;
+  m.questions.push_back(Question{std::move(qname), qtype, RrClass::IN});
+  return m;
+}
+
+Message Message::response_to(const Message& request) {
+  Message m;
+  m.header.id = request.header.id;
+  m.header.qr = true;
+  m.header.opcode = request.header.opcode;
+  m.header.rd = request.header.rd;
+  m.questions = request.questions;
+  return m;
+}
+
+bool Message::is_referral() const {
+  if (!header.qr || !answers.empty() || authority.empty()) return false;
+  for (const auto& rr : authority) {
+    if (rr.type != RrType::NS) return false;
+  }
+  return true;
+}
+
+std::string Message::to_string() const {
+  std::string out = header.qr ? "response" : "query";
+  out += " id=" + std::to_string(header.id);
+  if (header.aa) out += " aa";
+  if (header.tc) out += " tc";
+  if (header.rcode != Rcode::NoError) {
+    out += " rcode=" + std::to_string(static_cast<unsigned>(header.rcode));
+  }
+  for (const auto& q : questions) out += " Q{" + q.to_string() + "}";
+  for (const auto& rr : answers) out += " AN{" + rr.to_string() + "}";
+  for (const auto& rr : authority) out += " NS{" + rr.to_string() + "}";
+  for (const auto& rr : additional) out += " AR{" + rr.to_string() + "}";
+  return out;
+}
+
+}  // namespace dnsguard::dns

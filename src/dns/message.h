@@ -1,0 +1,87 @@
+// The DNS message (RFC 1035 §4): header, question, answer, authority,
+// additional sections, with full wire codec.
+//
+// The paper's evaluation is sensitive to message *sizes* (truncation at
+// 512 bytes triggers the TCP-based scheme; amplification ratios compare
+// response to request bytes), so encode() is byte-exact RFC 1035 format.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/bytes.h"
+#include "dns/name.h"
+#include "dns/records.h"
+
+namespace dnsguard::dns {
+
+/// Conventional maximum UDP DNS payload without EDNS0 (RFC 1035 §2.3.4).
+inline constexpr std::size_t kMaxUdpPayload = 512;
+
+enum class Opcode : std::uint8_t { Query = 0, IQuery = 1, Status = 2 };
+
+enum class Rcode : std::uint8_t {
+  NoError = 0,
+  FormErr = 1,
+  ServFail = 2,
+  NxDomain = 3,
+  NotImp = 4,
+  Refused = 5,
+};
+
+struct Header {
+  std::uint16_t id = 0;
+  bool qr = false;  // response flag
+  Opcode opcode = Opcode::Query;
+  bool aa = false;  // authoritative answer
+  bool tc = false;  // truncated — drives the TCP-based scheme
+  bool rd = false;  // recursion desired
+  bool ra = false;  // recursion available
+  Rcode rcode = Rcode::NoError;
+
+  bool operator==(const Header&) const = default;
+};
+
+struct Question {
+  DomainName qname;
+  RrType qtype = RrType::A;
+  RrClass qclass = RrClass::IN;
+
+  void encode(ByteWriter& w, NameCompressor& compressor) const;
+  [[nodiscard]] static std::optional<Question> decode(ByteReader& r);
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const Question&) const = default;
+};
+
+struct Message {
+  Header header;
+  std::vector<Question> questions;
+  std::vector<ResourceRecord> answers;
+  std::vector<ResourceRecord> authority;
+  std::vector<ResourceRecord> additional;
+
+  [[nodiscard]] Bytes encode() const;
+  [[nodiscard]] static std::optional<Message> decode(BytesView wire);
+
+  /// Builds a standard query (one question, RD set for stub->LRS usage).
+  [[nodiscard]] static Message query(std::uint16_t id, DomainName qname,
+                                     RrType qtype, bool recursion_desired);
+
+  /// Starts a response to `request`: copies id/opcode/question, sets QR.
+  [[nodiscard]] static Message response_to(const Message& request);
+
+  [[nodiscard]] const Question* question() const {
+    return questions.empty() ? nullptr : &questions.front();
+  }
+
+  /// True iff the answer section is empty and authority carries NS records
+  /// for a zone below the server's apex — i.e. a referral (§III.B).
+  [[nodiscard]] bool is_referral() const;
+
+  [[nodiscard]] std::string to_string() const;
+  bool operator==(const Message&) const = default;
+};
+
+}  // namespace dnsguard::dns

@@ -1,0 +1,195 @@
+#include "dns/name.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dnsguard::dns {
+namespace {
+
+char lower(char c) {
+  return static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+}
+
+/// Canonical (lowercase, dot-joined) text of the suffix starting at label
+/// index `from` — the key for the compression table.
+std::string canonical_suffix(const std::vector<std::string>& labels,
+                             std::size_t from) {
+  std::string out;
+  for (std::size_t i = from; i < labels.size(); ++i) {
+    for (char c : labels[i]) out.push_back(lower(c));
+    out.push_back('.');
+  }
+  return out;
+}
+
+}  // namespace
+
+bool label_equal_ci(std::string_view a, std::string_view b) {
+  if (a.size() != b.size()) return false;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    if (lower(a[i]) != lower(b[i])) return false;
+  }
+  return true;
+}
+
+std::optional<DomainName> DomainName::parse(std::string_view text) {
+  if (text.empty()) return std::nullopt;
+  if (text == ".") return DomainName{};
+  if (text.back() == '.') text.remove_suffix(1);
+  if (text.empty()) return std::nullopt;
+
+  std::vector<std::string> labels;
+  std::size_t start = 0;
+  while (start <= text.size()) {
+    std::size_t dot = text.find('.', start);
+    std::string_view label = (dot == std::string_view::npos)
+                                 ? text.substr(start)
+                                 : text.substr(start, dot - start);
+    if (label.empty() || label.size() > kMaxLabelLength) return std::nullopt;
+    labels.emplace_back(label);
+    if (dot == std::string_view::npos) break;
+    start = dot + 1;
+  }
+  DomainName name(std::move(labels));
+  if (!name.valid()) return std::nullopt;
+  return name;
+}
+
+std::string DomainName::to_string() const {
+  if (labels_.empty()) return ".";
+  std::string out;
+  for (const auto& l : labels_) {
+    out += l;
+    out += '.';
+  }
+  return out;
+}
+
+std::size_t DomainName::wire_length() const {
+  std::size_t n = 1;  // terminating zero byte
+  for (const auto& l : labels_) n += 1 + l.size();
+  return n;
+}
+
+bool DomainName::valid() const {
+  for (const auto& l : labels_) {
+    if (l.empty() || l.size() > kMaxLabelLength) return false;
+  }
+  return wire_length() <= kMaxNameLength;
+}
+
+bool DomainName::equals(const DomainName& other) const {
+  if (labels_.size() != other.labels_.size()) return false;
+  for (std::size_t i = 0; i < labels_.size(); ++i) {
+    if (!label_equal_ci(labels_[i], other.labels_[i])) return false;
+  }
+  return true;
+}
+
+bool DomainName::is_subdomain_of(const DomainName& ancestor) const {
+  if (ancestor.labels_.size() > labels_.size()) return false;
+  std::size_t offset = labels_.size() - ancestor.labels_.size();
+  for (std::size_t i = 0; i < ancestor.labels_.size(); ++i) {
+    if (!label_equal_ci(labels_[offset + i], ancestor.labels_[i])) {
+      return false;
+    }
+  }
+  return true;
+}
+
+DomainName DomainName::parent() const {
+  if (labels_.empty()) return {};
+  return DomainName(std::vector<std::string>(labels_.begin() + 1,
+                                             labels_.end()));
+}
+
+std::optional<DomainName> DomainName::with_prefix_label(
+    std::string_view label) const {
+  if (label.empty() || label.size() > kMaxLabelLength) return std::nullopt;
+  std::vector<std::string> labels;
+  labels.reserve(labels_.size() + 1);
+  labels.emplace_back(label);
+  labels.insert(labels.end(), labels_.begin(), labels_.end());
+  DomainName out(std::move(labels));
+  if (!out.valid()) return std::nullopt;
+  return out;
+}
+
+std::string_view DomainName::first_label() const {
+  if (labels_.empty()) return {};
+  return labels_.front();
+}
+
+DomainName DomainName::suffix(std::size_t n) const {
+  if (n >= labels_.size()) return *this;
+  return DomainName(
+      std::vector<std::string>(labels_.end() - static_cast<std::ptrdiff_t>(n),
+                               labels_.end()));
+}
+
+void NameCompressor::write(ByteWriter& w, const DomainName& name) {
+  const auto& labels = name.labels();
+  for (std::size_t i = 0; i < labels.size(); ++i) {
+    std::string key = canonical_suffix(labels, i);
+    auto it = offsets_.find(key);
+    if (it != offsets_.end() && it->second <= 0x3fff) {
+      // Emit a 2-byte pointer to the earlier occurrence.
+      w.u16(static_cast<std::uint16_t>(0xc000 | it->second));
+      return;
+    }
+    // Remember this suffix's offset (only representable offsets).
+    if (w.size() <= 0x3fff) offsets_.emplace(std::move(key), w.size());
+    w.u8(static_cast<std::uint8_t>(labels[i].size()));
+    w.raw(labels[i]);
+  }
+  w.u8(0);
+}
+
+void write_name_uncompressed(ByteWriter& w, const DomainName& name) {
+  for (const auto& l : name.labels()) {
+    w.u8(static_cast<std::uint8_t>(l.size()));
+    w.raw(l);
+  }
+  w.u8(0);
+}
+
+std::optional<DomainName> read_name(ByteReader& r) {
+  std::vector<std::string> labels;
+  std::size_t total_len = 1;
+  bool jumped = false;
+  std::size_t resume_pos = 0;
+  int jumps = 0;
+
+  for (;;) {
+    std::uint8_t len = r.u8();
+    if (!r.ok()) return std::nullopt;
+    if ((len & 0xc0) == 0xc0) {
+      // Compression pointer: 14-bit offset into the message.
+      std::uint8_t low = r.u8();
+      if (!r.ok()) return std::nullopt;
+      std::size_t target = static_cast<std::size_t>(len & 0x3f) << 8 | low;
+      if (!jumped) {
+        resume_pos = r.pos();
+        jumped = true;
+      }
+      // A pointer must point strictly backwards; combined with the jump
+      // cap this prevents loops.
+      if (++jumps > 32 || target >= r.pos()) return std::nullopt;
+      r.seek(target);
+      continue;
+    }
+    if ((len & 0xc0) != 0) return std::nullopt;  // reserved label types
+    if (len == 0) break;
+    if (len > kMaxLabelLength) return std::nullopt;
+    BytesView raw = r.raw(len);
+    if (!r.ok()) return std::nullopt;
+    total_len += 1 + len;
+    if (total_len > kMaxNameLength) return std::nullopt;
+    labels.emplace_back(reinterpret_cast<const char*>(raw.data()), raw.size());
+  }
+
+  if (jumped) r.seek(resume_pos);
+  return DomainName(std::move(labels));
+}
+
+}  // namespace dnsguard::dns

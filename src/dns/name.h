@@ -1,0 +1,103 @@
+// RFC 1035 domain names.
+//
+// A DomainName is a sequence of labels ("www", "foo", "com"); the root is
+// the empty sequence. Wire encoding supports message compression (pointer
+// labels), which the decoder follows with loop protection. RFC 1035 limits
+// matter to the paper: the DNS-based scheme embeds an 10-char cookie prefix
+// plus the original first label in one label, so the 63-byte label limit
+// bounds the cookie encoding budget (§III.B.1, issue four).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+
+namespace dnsguard::dns {
+
+inline constexpr std::size_t kMaxLabelLength = 63;
+inline constexpr std::size_t kMaxNameLength = 255;
+
+class DomainName {
+ public:
+  DomainName() = default;  // the root name "."
+  explicit DomainName(std::vector<std::string> labels)
+      : labels_(std::move(labels)) {}
+
+  /// Parses "www.foo.com" or "www.foo.com." (trailing dot optional; "." is
+  /// the root). Rejects empty labels, oversize labels and oversize names.
+  [[nodiscard]] static std::optional<DomainName> parse(std::string_view text);
+
+  [[nodiscard]] const std::vector<std::string>& labels() const {
+    return labels_;
+  }
+  [[nodiscard]] bool is_root() const { return labels_.empty(); }
+  [[nodiscard]] std::size_t label_count() const { return labels_.size(); }
+
+  /// Presentation form with trailing dot ("www.foo.com.", root is ".").
+  [[nodiscard]] std::string to_string() const;
+
+  /// Wire length: 1 length byte per label + label bytes + terminating 0.
+  [[nodiscard]] std::size_t wire_length() const;
+
+  /// True if every label/name length constraint holds.
+  [[nodiscard]] bool valid() const;
+
+  /// Case-insensitive equality (RFC 1035 §2.3.3).
+  [[nodiscard]] bool equals(const DomainName& other) const;
+
+  /// True iff `this` is `ancestor` or lies underneath it
+  /// ("www.foo.com" is_subdomain_of "com" and "foo.com" and itself).
+  [[nodiscard]] bool is_subdomain_of(const DomainName& ancestor) const;
+
+  /// Strips the leftmost label ("www.foo.com" -> "foo.com"); root -> root.
+  [[nodiscard]] DomainName parent() const;
+
+  /// Prepends a label ("foo.com".with_prefix_label("www") -> "www.foo.com").
+  /// Returns nullopt if the result would violate length limits.
+  [[nodiscard]] std::optional<DomainName> with_prefix_label(
+      std::string_view label) const;
+
+  /// The leftmost label, or "" for the root.
+  [[nodiscard]] std::string_view first_label() const;
+
+  /// Keeps only the rightmost `n` labels ("www.foo.com".suffix(2) ->
+  /// "foo.com").
+  [[nodiscard]] DomainName suffix(std::size_t n) const;
+
+  bool operator==(const DomainName& other) const { return equals(other); }
+
+ private:
+  std::vector<std::string> labels_;
+};
+
+/// Tracks names already emitted in a message so later occurrences can be
+/// encoded as compression pointers (RFC 1035 §4.1.4).
+class NameCompressor {
+ public:
+  /// Writes `name` at the current writer position, emitting a pointer to an
+  /// earlier occurrence of the longest possible suffix.
+  void write(ByteWriter& w, const DomainName& name);
+
+ private:
+  // Maps canonical (lowercased) suffix text -> wire offset.
+  std::unordered_map<std::string, std::size_t> offsets_;
+};
+
+/// Writes `name` without compression (used inside RDATA where some
+/// implementations choke on pointers, and by the guard's fabricated names).
+void write_name_uncompressed(ByteWriter& w, const DomainName& name);
+
+/// Decodes a (possibly compressed) name starting at the reader's position.
+/// Follows pointers with cycle protection; the reader ends up positioned
+/// just past the name's in-place bytes. Returns nullopt on malformation.
+[[nodiscard]] std::optional<DomainName> read_name(ByteReader& r);
+
+/// Case-insensitive label comparison helper.
+[[nodiscard]] bool label_equal_ci(std::string_view a, std::string_view b);
+
+}  // namespace dnsguard::dns

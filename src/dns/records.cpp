@@ -1,0 +1,204 @@
+#include "dns/records.h"
+
+#include <cstdio>
+
+namespace dnsguard::dns {
+
+std::string rr_type_name(RrType t) {
+  switch (t) {
+    case RrType::A: return "A";
+    case RrType::NS: return "NS";
+    case RrType::CNAME: return "CNAME";
+    case RrType::SOA: return "SOA";
+    case RrType::TXT: return "TXT";
+    case RrType::AAAA: return "AAAA";
+    case RrType::OPT: return "OPT";
+  }
+  return "TYPE" + std::to_string(static_cast<unsigned>(t));
+}
+
+ResourceRecord ResourceRecord::a(DomainName name, net::Ipv4Address addr,
+                                 std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::A, RrClass::IN, ttl,
+                        ARdata{addr}};
+}
+
+ResourceRecord ResourceRecord::ns(DomainName name, DomainName nsdname,
+                                  std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::NS, RrClass::IN, ttl,
+                        NsRdata{std::move(nsdname)}};
+}
+
+ResourceRecord ResourceRecord::cname(DomainName name, DomainName target,
+                                     std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::CNAME, RrClass::IN, ttl,
+                        CnameRdata{std::move(target)}};
+}
+
+ResourceRecord ResourceRecord::soa(DomainName name, SoaRdata soa,
+                                   std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::SOA, RrClass::IN, ttl,
+                        std::move(soa)};
+}
+
+ResourceRecord ResourceRecord::txt(DomainName name, TxtRdata txt,
+                                   std::uint32_t ttl) {
+  return ResourceRecord{std::move(name), RrType::TXT, RrClass::IN, ttl,
+                        std::move(txt)};
+}
+
+void ResourceRecord::encode(ByteWriter& w, NameCompressor& compressor) const {
+  compressor.write(w, name);
+  w.u16(static_cast<std::uint16_t>(type));
+  if (type == RrType::OPT) {
+    // For OPT, CLASS carries the requester's UDP payload size (RFC 6891).
+    w.u16(std::get<OptRdata>(rdata).udp_payload_size);
+  } else {
+    w.u16(static_cast<std::uint16_t>(rclass));
+  }
+  w.u32(ttl);
+  std::size_t rdlength_at = w.size();
+  w.u16(0);  // RDLENGTH placeholder
+  std::size_t rdata_start = w.size();
+
+  std::visit(
+      [&w](const auto& rd) {
+        using T = std::decay_t<decltype(rd)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          w.u32(rd.address.value());
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          write_name_uncompressed(w, rd.nsdname);
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          write_name_uncompressed(w, rd.target);
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          write_name_uncompressed(w, rd.mname);
+          write_name_uncompressed(w, rd.rname);
+          w.u32(rd.serial);
+          w.u32(rd.refresh);
+          w.u32(rd.retry);
+          w.u32(rd.expire);
+          w.u32(rd.minimum);
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          for (const auto& s : rd.strings) {
+            w.u8(static_cast<std::uint8_t>(s.size()));
+            w.raw(BytesView(s));
+          }
+        } else if constexpr (std::is_same_v<T, OptRdata>) {
+          // No options carried.
+        } else if constexpr (std::is_same_v<T, RawRdata>) {
+          w.raw(BytesView(rd.data));
+        }
+      },
+      rdata);
+
+  w.patch_u16(rdlength_at, static_cast<std::uint16_t>(w.size() - rdata_start));
+}
+
+std::optional<ResourceRecord> ResourceRecord::decode(ByteReader& r) {
+  ResourceRecord rr;
+  auto name = read_name(r);
+  if (!name) return std::nullopt;
+  rr.name = std::move(*name);
+  std::uint16_t type = r.u16();
+  std::uint16_t rclass = r.u16();
+  rr.ttl = r.u32();
+  std::uint16_t rdlength = r.u16();
+  if (!r.ok() || r.remaining() < rdlength) return std::nullopt;
+  std::size_t rdata_end = r.pos() + rdlength;
+
+  rr.type = static_cast<RrType>(type);
+  rr.rclass = static_cast<RrClass>(rclass);
+
+  switch (rr.type) {
+    case RrType::A: {
+      if (rdlength != 4) return std::nullopt;
+      rr.rdata = ARdata{net::Ipv4Address(r.u32())};
+      break;
+    }
+    case RrType::NS: {
+      auto n = read_name(r);
+      if (!n || r.pos() != rdata_end) return std::nullopt;
+      rr.rdata = NsRdata{std::move(*n)};
+      break;
+    }
+    case RrType::CNAME: {
+      auto n = read_name(r);
+      if (!n || r.pos() != rdata_end) return std::nullopt;
+      rr.rdata = CnameRdata{std::move(*n)};
+      break;
+    }
+    case RrType::SOA: {
+      SoaRdata soa;
+      auto mname = read_name(r);
+      auto rname = read_name(r);
+      if (!mname || !rname) return std::nullopt;
+      soa.mname = std::move(*mname);
+      soa.rname = std::move(*rname);
+      soa.serial = r.u32();
+      soa.refresh = r.u32();
+      soa.retry = r.u32();
+      soa.expire = r.u32();
+      soa.minimum = r.u32();
+      if (!r.ok() || r.pos() != rdata_end) return std::nullopt;
+      rr.rdata = std::move(soa);
+      break;
+    }
+    case RrType::TXT: {
+      TxtRdata txt;
+      while (r.pos() < rdata_end) {
+        std::uint8_t len = r.u8();
+        BytesView s = r.raw(len);
+        if (!r.ok() || r.pos() > rdata_end) return std::nullopt;
+        txt.strings.emplace_back(s.begin(), s.end());
+      }
+      rr.rdata = std::move(txt);
+      break;
+    }
+    case RrType::OPT: {
+      // CLASS field holds the UDP payload size.
+      rr.rclass = RrClass::IN;
+      rr.rdata = OptRdata{rclass};
+      r.skip(rdlength);
+      if (!r.ok()) return std::nullopt;
+      break;
+    }
+    default: {
+      BytesView raw = r.raw(rdlength);
+      if (!r.ok()) return std::nullopt;
+      rr.rdata = RawRdata{type, Bytes(raw.begin(), raw.end())};
+      break;
+    }
+  }
+
+  if (r.pos() != rdata_end) return std::nullopt;
+  return rr;
+}
+
+std::string ResourceRecord::to_string() const {
+  std::string out = name.to_string() + " " + std::to_string(ttl) + " IN " +
+                    rr_type_name(type) + " ";
+  std::visit(
+      [&out](const auto& rd) {
+        using T = std::decay_t<decltype(rd)>;
+        if constexpr (std::is_same_v<T, ARdata>) {
+          out += rd.address.to_string();
+        } else if constexpr (std::is_same_v<T, NsRdata>) {
+          out += rd.nsdname.to_string();
+        } else if constexpr (std::is_same_v<T, CnameRdata>) {
+          out += rd.target.to_string();
+        } else if constexpr (std::is_same_v<T, SoaRdata>) {
+          out += rd.mname.to_string() + " " + rd.rname.to_string() + " " +
+                 std::to_string(rd.serial);
+        } else if constexpr (std::is_same_v<T, TxtRdata>) {
+          out += "(" + std::to_string(rd.strings.size()) + " strings)";
+        } else if constexpr (std::is_same_v<T, OptRdata>) {
+          out += "udp=" + std::to_string(rd.udp_payload_size);
+        } else if constexpr (std::is_same_v<T, RawRdata>) {
+          out += "\\# " + std::to_string(rd.data.size());
+        }
+      },
+      rdata);
+  return out;
+}
+
+}  // namespace dnsguard::dns

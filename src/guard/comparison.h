@@ -1,0 +1,49 @@
+// Scheme metadata backing Table I ("Comparison among spoof detection
+// schemes"). Values that are protocol facts (packet counts, RTTs, cookie
+// ranges, amplification bounds) are encoded here and cross-checked by the
+// table1 bench against behaviour measured in the simulator.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string_view>
+
+#include "guard/remote_guard.h"
+
+namespace dnsguard::guard {
+
+struct SchemeProfile {
+  Scheme scheme;
+  std::string_view column;           // Table I column heading
+  int worst_latency_rtt;             // first access
+  int best_latency_rtt;              // cookie cached
+  std::string_view cookie_storage;   // at the LRS
+  double cookie_range_log2;          // log2 of guessing space
+  int amplification_bytes;           // max response-minus-request bytes
+  std::string_view deployment;       // where modules must be added
+  /// Packets transiting the guard per request (cache miss / hit) — the
+  /// quantities behind Table III's throughput ratios.
+  int packets_miss;
+  int packets_hit;
+  int cookie_ops_miss;
+  int cookie_ops_hit;
+};
+
+/// r_y_log2: log2 of the deployed subnet's usable range (Table I lists
+/// "2^32 and R_y ≤ 2^24" for the fabricated variant's two cookies).
+[[nodiscard]] constexpr std::array<SchemeProfile, 4> scheme_profiles(
+    double r_y_log2 = 8.0) {
+  return {{
+      {Scheme::NsName, "DNS-based: NS name", 2, 1, "1 cookie per NS record",
+       32.0, 24, "ANS side only", 6, 4, 2, 1},
+      {Scheme::FabricatedNsIp, "DNS-based: fabricated NS name and IP", 3, 1,
+       "2 cookies per non-referral record", r_y_log2, 24, "ANS side only", 8,
+       4, 3, 1},
+      {Scheme::TcpRedirect, "TCP-based", 3, 3, "0", 29.0, 0, "ANS side only",
+       12, 12, 0, 0},
+      {Scheme::ModifiedDns, "Modified DNS", 2, 1, "1 cookie per ANS", 128.0,
+       0, "LRS side and ANS side", 6, 4, 2, 1},
+  }};
+}
+
+}  // namespace dnsguard::guard

@@ -1,0 +1,111 @@
+#include "guard/cookie_engine.h"
+
+#include "common/hex.h"
+
+namespace dnsguard::guard {
+
+std::optional<std::string> CookieEngine::make_cookie_label(
+    net::Ipv4Address requester, std::string_view restore_label) const {
+  crypto::Cookie c = mint(requester);
+  std::uint32_t prefix = crypto::cookie_prefix32(c);
+  std::uint8_t be[4] = {
+      static_cast<std::uint8_t>(prefix >> 24),
+      static_cast<std::uint8_t>(prefix >> 16),
+      static_cast<std::uint8_t>(prefix >> 8),
+      static_cast<std::uint8_t>(prefix)};
+  std::string label(kCookieLabelPrefix);
+  label += hex_encode(BytesView(be, 4));
+  label += restore_label;
+  if (label.size() > dns::kMaxLabelLength) return std::nullopt;
+  return label;
+}
+
+std::optional<CookieEngine::ParsedLabel> CookieEngine::parse_cookie_label(
+    std::string_view label) {
+  if (label.size() < kCookieLabelPrefix.size() + kCookieHexChars) {
+    return std::nullopt;
+  }
+  if (label.substr(0, kCookieLabelPrefix.size()) != kCookieLabelPrefix) {
+    return std::nullopt;
+  }
+  std::string_view hex =
+      label.substr(kCookieLabelPrefix.size(), kCookieHexChars);
+  if (!is_hex(hex)) return std::nullopt;
+  auto bytes = hex_decode(hex);
+  if (!bytes || bytes->size() != 4) return std::nullopt;
+  std::uint32_t prefix = (static_cast<std::uint32_t>((*bytes)[0]) << 24) |
+                         (static_cast<std::uint32_t>((*bytes)[1]) << 16) |
+                         (static_cast<std::uint32_t>((*bytes)[2]) << 8) |
+                         static_cast<std::uint32_t>((*bytes)[3]);
+  ParsedLabel out;
+  out.cookie_prefix = prefix;
+  out.restore_label =
+      std::string(label.substr(kCookieLabelPrefix.size() + kCookieHexChars));
+  return out;
+}
+
+net::Ipv4Address CookieEngine::make_cookie_address(
+    net::Ipv4Address requester, net::Ipv4Address subnet_base,
+    std::uint32_t r_y) const {
+  crypto::Cookie c = mint(requester);
+  std::uint32_t y = crypto::cookie_prefix32(c) % (r_y == 0 ? 1 : r_y);
+  return net::Ipv4Address(subnet_base.value() + 1 + y);
+}
+
+bool CookieEngine::verify_cookie_address(net::Ipv4Address requester,
+                                         net::Ipv4Address dst,
+                                         net::Ipv4Address subnet_base,
+                                         std::uint32_t r_y) const {
+  if (dst.value() <= subnet_base.value()) return false;
+  std::uint32_t offset = dst.value() - subnet_base.value() - 1;
+  if (r_y == 0 || offset >= r_y) return false;
+  // Both current and previous key generation must be checked, mirroring
+  // verify_prefix semantics: recompute under the generation the requester
+  // might hold. The IP encoding carries no generation bit, so try both.
+  crypto::Cookie current = mint(requester);
+  if (crypto::cookie_prefix32(current) % r_y == offset) return true;
+  return false;
+}
+
+std::optional<crypto::Cookie> CookieEngine::extract_txt_cookie(
+    const dns::Message& m) {
+  for (const auto& rr : m.additional) {
+    if (rr.type != dns::RrType::TXT || !rr.name.is_root()) continue;
+    const auto* txt = std::get_if<dns::TxtRdata>(&rr.rdata);
+    if (txt == nullptr || txt->strings.empty()) continue;
+    const Bytes& payload = txt->strings.front();
+    if (payload.size() != crypto::kCookieSize) continue;
+    crypto::Cookie c{};
+    std::copy(payload.begin(), payload.end(), c.begin());
+    return c;
+  }
+  return std::nullopt;
+}
+
+void CookieEngine::attach_txt_cookie(dns::Message& m,
+                                     const crypto::Cookie& cookie,
+                                     std::uint32_t ttl) {
+  m.additional.push_back(dns::ResourceRecord::txt(
+      dns::DomainName{}, dns::TxtRdata::single(BytesView(cookie)), ttl));
+  // TTL 0 records still need to reach the peer; the wire TTL field is what
+  // the local guard reads for cache lifetime.
+  m.additional.back().ttl = ttl;
+}
+
+void CookieEngine::strip_txt_cookie(dns::Message& m) {
+  std::erase_if(m.additional, [](const dns::ResourceRecord& rr) {
+    if (rr.type != dns::RrType::TXT || !rr.name.is_root()) return false;
+    const auto* txt = std::get_if<dns::TxtRdata>(&rr.rdata);
+    return txt != nullptr && !txt->strings.empty() &&
+           txt->strings.front().size() == crypto::kCookieSize;
+  });
+}
+
+bool CookieEngine::is_zero_cookie(const crypto::Cookie& c) {
+  for (auto b : c) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+}  // namespace dnsguard::guard

@@ -1,0 +1,193 @@
+#include "guard/local_guard.h"
+
+namespace dnsguard::guard {
+
+LocalGuardNode::LocalGuardNode(sim::Simulator& sim, std::string name,
+                               Config config, sim::Node* lrs)
+    : sim::Node(sim, std::move(name)), config_(config), lrs_(lrs) {}
+
+void LocalGuardNode::install() {
+  sim().add_host_route(config_.lrs_address, this);
+  sim().set_gateway(lrs_, this);
+}
+
+bool LocalGuardNode::has_cookie_for(net::Ipv4Address ans) const {
+  auto it = cookies_.find(ans);
+  return it != cookies_.end() && it->second.expires > sim().now();
+}
+
+SimDuration LocalGuardNode::process(const net::Packet& packet) {
+  cost_ = config_.packet_cost;
+  if (!packet.is_udp()) {
+    // TCP traffic (truncation fallback) passes through transparently.
+    if (packet.src_ip == config_.lrs_address) {
+      send(packet);
+    } else {
+      send_direct(lrs_, packet);
+    }
+    return cost_ + config_.packet_cost;
+  }
+
+  auto m = dns::Message::decode(BytesView(packet.payload));
+  if (!m) {
+    // Undecodable: forward unchanged in whichever direction it flows.
+    if (packet.src_ip == config_.lrs_address) {
+      send(packet);
+    } else {
+      send_direct(lrs_, packet);
+    }
+    return cost_ + config_.packet_cost;
+  }
+
+  if (packet.src_ip == config_.lrs_address && !m->header.qr) {
+    handle_outbound(packet, std::move(*m));
+  } else {
+    handle_inbound(packet, std::move(*m));
+  }
+  return cost_;
+}
+
+void LocalGuardNode::handle_outbound(const net::Packet& packet,
+                                     dns::Message query) {
+  net::Ipv4Address ans = packet.dst_ip;
+
+  auto cit = cookies_.find(ans);
+  if (cit != cookies_.end() && cit->second.expires > now()) {
+    // msg 4: attach the cached cookie.
+    CookieEngine::strip_txt_cookie(query);  // defensive: never double-add
+    CookieEngine::attach_txt_cookie(query, cit->second.cookie, 0);
+    stats_.queries_with_cookie++;
+    net::Packet out = packet;
+    out.payload = query.encode();
+    cost_ = cost_ + config_.packet_cost;
+    send(std::move(out));
+    return;
+  }
+
+  // A recently-probed ANS without a remote guard is served plainly.
+  auto nc = not_capable_until_.find(ans);
+  if (nc != not_capable_until_.end()) {
+    if (nc->second > now()) {
+      cost_ = cost_ + config_.packet_cost;
+      send(packet);
+      return;
+    }
+    not_capable_until_.erase(nc);
+  }
+
+  // Hold the original and (at most once per window) request a cookie.
+  HeldBucket& bucket = held_[ans];
+  if (bucket.queries.size() < config_.max_held_per_ans) {
+    bucket.queries.push_back(packet);
+    stats_.queries_held++;
+  }
+  if (!bucket.request_outstanding) {
+    bucket.request_outstanding = true;
+    std::uint64_t gen = ++bucket.generation;
+    // msg 2: same query with an all-zero cookie — same size as msg 4, so
+    // the exchange amplifies nothing.
+    dns::Message req = query;
+    CookieEngine::strip_txt_cookie(req);
+    CookieEngine::attach_txt_cookie(req, crypto::Cookie{}, 0);
+    stats_.cookie_requests++;
+    net::Packet out = packet;
+    out.payload = req.encode();
+    cost_ = cost_ + config_.packet_cost;
+    send(std::move(out));
+    schedule_in(config_.cookie_request_timeout,
+                [this, ans, gen] { on_cookie_timeout(ans, gen); });
+  }
+}
+
+void LocalGuardNode::handle_inbound(const net::Packet& packet,
+                                    dns::Message response) {
+  if (!response.header.qr) {
+    // A query addressed to the LRS (stub client traffic): pass through.
+    cost_ = cost_ + config_.packet_cost;
+    send_direct(lrs_, packet);
+    return;
+  }
+
+  auto cookie = CookieEngine::extract_txt_cookie(response);
+  if (cookie && !CookieEngine::is_zero_cookie(*cookie)) {
+    // Cache by the responding server's address; TTL rides in the TXT TTL.
+    std::uint32_t ttl = 0;
+    for (const auto& rr : response.additional) {
+      if (rr.type == dns::RrType::TXT && rr.name.is_root()) ttl = rr.ttl;
+    }
+    if (ttl == 0) ttl = 60;
+    cookies_[packet.src_ip] =
+        CachedCookie{*cookie, now() + seconds(ttl)};
+    stats_.cookies_cached++;
+
+    if (response.answers.empty() && response.authority.empty()) {
+      // msg 3: pure cookie reply — consume it and release held queries.
+      release_held(packet.src_ip, &cookies_[packet.src_ip].cookie);
+      return;
+    }
+    // A real answer carrying a refreshed cookie: strip and deliver; any
+    // queries still held for this ANS can go out with the fresh cookie.
+    release_held(packet.src_ip, &cookies_[packet.src_ip].cookie);
+    CookieEngine::strip_txt_cookie(response);
+    net::Packet out = packet;
+    out.payload = response.encode();
+    stats_.responses_delivered++;
+    cost_ = cost_ + config_.packet_cost;
+    send_direct(lrs_, std::move(out));
+    return;
+  }
+
+  // A cookie-less response. If we were waiting on a cookie from this
+  // server, it has no remote guard: this response answers the probe query
+  // itself (msg 2 was the original query + zero cookie, same id), so
+  // deliver it, release anything else held plainly, and remember the
+  // server is not cookie-capable.
+  if (held_.count(packet.src_ip) > 0) {
+    not_capable_until_[packet.src_ip] = now() + config_.not_capable_ttl;
+    // Drop the probe's duplicate from the held set: the LRS is getting
+    // its answer right now.
+    auto& bucket = held_[packet.src_ip];
+    std::erase_if(bucket.queries, [&response](const net::Packet& p) {
+      auto m = dns::Message::decode(BytesView(p.payload));
+      return m && m->header.id == response.header.id;
+    });
+    release_held(packet.src_ip, nullptr);
+  }
+
+  stats_.responses_delivered++;
+  cost_ = cost_ + config_.packet_cost;
+  send_direct(lrs_, packet);
+}
+
+void LocalGuardNode::release_held(net::Ipv4Address ans,
+                                  const crypto::Cookie* cookie) {
+  auto it = held_.find(ans);
+  if (it == held_.end()) return;
+  HeldBucket bucket = std::move(it->second);
+  held_.erase(it);
+  for (net::Packet& p : bucket.queries) {
+    auto m = dns::Message::decode(BytesView(p.payload));
+    if (!m) continue;
+    if (cookie != nullptr) {
+      CookieEngine::attach_txt_cookie(*m, *cookie, 0);
+      stats_.queries_with_cookie++;
+    } else {
+      stats_.released_without_cookie++;
+    }
+    p.payload = m->encode();
+    cost_ = cost_ + config_.packet_cost;
+    send(std::move(p));
+  }
+}
+
+void LocalGuardNode::on_cookie_timeout(net::Ipv4Address ans,
+                                       std::uint64_t generation) {
+  auto it = held_.find(ans);
+  if (it == held_.end() || it->second.generation != generation) return;
+  // No cookie reply: the ANS is probably unguarded. Release the held
+  // queries unmodified so service continues.
+  it->second.request_outstanding = false;
+  release_held(ans, nullptr);
+}
+
+}  // namespace dnsguard::guard

@@ -1,0 +1,94 @@
+// LocalGuardNode — the LRS-side firewall module of the modified-DNS
+// scheme (§III.D, Fig. 3).
+//
+// Deployed "in front of" an unmodified LRS: the simulator routes the
+// LRS's address through this node in both directions. For each protected
+// ANS the local guard caches one cookie (Table I: "1 cookie per ANS").
+//
+//   - Outbound query, cookie cached  -> attach TXT cookie, forward (msg 4).
+//   - Outbound query, no cookie      -> hold the query, send a copy with an
+//     all-zero cookie (msg 2) to request one; on the cookie reply (msg 3)
+//     release all held queries with the real cookie attached.
+//   - Cookie reply never arrives (no remote guard / RL1 drop): after a
+//     timeout the held queries are released without cookies, so an
+//     unprotected ANS keeps working — incremental deployability.
+//   - Inbound responses: strip/cache any cookie TXT, deliver to the LRS.
+#pragma once
+
+#include <deque>
+#include <unordered_map>
+
+#include "dns/message.h"
+#include "guard/cookie_engine.h"
+#include "sim/node.h"
+
+namespace dnsguard::guard {
+
+struct LocalGuardStats {
+  std::uint64_t queries_with_cookie = 0;
+  std::uint64_t queries_held = 0;
+  std::uint64_t cookie_requests = 0;
+  std::uint64_t cookies_cached = 0;
+  std::uint64_t released_without_cookie = 0;
+  std::uint64_t responses_delivered = 0;
+};
+
+class LocalGuardNode : public sim::Node {
+ public:
+  struct Config {
+    net::Ipv4Address lrs_address;
+    /// How long to wait for a cookie reply before releasing held queries
+    /// without cookies.
+    SimDuration cookie_request_timeout = milliseconds(500);
+    /// Per-packet CPU cost of the module.
+    SimDuration packet_cost = nanoseconds(700);
+    std::size_t max_held_per_ans = 1024;
+    /// How long to remember that an ANS answered without a cookie (i.e.
+    /// has no remote guard) before probing again. Incremental deployment:
+    /// unguarded ANSs are served plainly with no per-query delay.
+    SimDuration not_capable_ttl = seconds(60);
+  };
+
+  LocalGuardNode(sim::Simulator& sim, std::string name, Config config,
+                 sim::Node* lrs);
+
+  /// Takes over routing for the LRS address and sets the LRS gateway.
+  void install();
+
+  [[nodiscard]] const LocalGuardStats& local_stats() const { return stats_; }
+  [[nodiscard]] bool has_cookie_for(net::Ipv4Address ans) const;
+  /// Drops a cached cookie (tests: simulate expiry).
+  void forget_cookie(net::Ipv4Address ans) { cookies_.erase(ans); }
+
+ protected:
+  SimDuration process(const net::Packet& packet) override;
+
+ private:
+  struct CachedCookie {
+    crypto::Cookie cookie;
+    SimTime expires;
+  };
+  struct HeldQuery {
+    net::Packet packet;
+  };
+
+  void handle_outbound(const net::Packet& packet, dns::Message query);
+  void handle_inbound(const net::Packet& packet, dns::Message response);
+  void release_held(net::Ipv4Address ans, const crypto::Cookie* cookie);
+  void on_cookie_timeout(net::Ipv4Address ans, std::uint64_t generation);
+
+  Config config_;
+  sim::Node* lrs_;
+  std::unordered_map<net::Ipv4Address, CachedCookie> cookies_;
+  std::unordered_map<net::Ipv4Address, SimTime> not_capable_until_;
+  struct HeldBucket {
+    std::deque<net::Packet> queries;
+    std::uint64_t generation = 0;
+    bool request_outstanding = false;
+  };
+  std::unordered_map<net::Ipv4Address, HeldBucket> held_;
+  LocalGuardStats stats_;
+  SimDuration cost_{};
+};
+
+}  // namespace dnsguard::guard

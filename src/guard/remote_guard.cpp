@@ -1,0 +1,558 @@
+#include "guard/remote_guard.h"
+
+#include "common/log.h"
+
+namespace dnsguard::guard {
+
+std::string scheme_name(Scheme s) {
+  switch (s) {
+    case Scheme::PassThrough: return "pass-through";
+    case Scheme::NsName: return "dns-based/ns-name";
+    case Scheme::FabricatedNsIp: return "dns-based/fabricated-ns-ip";
+    case Scheme::TcpRedirect: return "tcp-based";
+    case Scheme::ModifiedDns: return "modified-dns";
+  }
+  return "?";
+}
+
+RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
+                                 Config config, sim::Node* ans)
+    : sim::Node(sim, std::move(name), config.rx_queue_capacity),
+      config_(std::move(config)),
+      ans_(ans),
+      engine_(config_.key_seed),
+      rl1_(config_.rl1),
+      rl2_(config_.rl2) {
+  tcp_ = std::make_unique<tcp::TcpStack>(
+      [this](net::Packet p) { emit(std::move(p)); },
+      [this] { return now(); },
+      tcp::TcpStack::Callbacks{
+          .on_established = {},
+          .on_data = [this](tcp::ConnId id,
+                            BytesView data) { proxy_on_data(id, data); },
+          .on_closed =
+              [this](tcp::ConnId id) {
+                framers_.erase(id);
+                std::erase_if(nat_, [id](const auto& kv) {
+                  return kv.second.conn == id;
+                });
+              },
+      },
+      tcp::TcpStack::Options{.syn_cookies = true,
+                             .syn_cookie_secret = config_.key_seed ^
+                                                  0xabcdef0123456789ULL});
+  tcp_->listen(net::kDnsPort);
+
+  if (config_.proxy_lifetime_rtt_multiple > 0) {
+    schedule_in(config_.estimated_rtt, [this] { proxy_reap_loop(); });
+  }
+  if (config_.key_rotation_interval.ns > 0) {
+    schedule_in(config_.key_rotation_interval, [this] { rotation_loop(); });
+  }
+}
+
+void RemoteGuardNode::rotation_loop() {
+  // Derive the next generation's seed deterministically from the base
+  // seed and the generation counter; a deployment would draw randomness.
+  std::uint64_t next_seed =
+      config_.key_seed ^ (0x9e3779b97f4a7c15ULL * (engine_.generation() + 1));
+  engine_.rotate(next_seed);
+  stats_.key_rotations++;
+  schedule_in(config_.key_rotation_interval, [this] { rotation_loop(); });
+}
+
+void RemoteGuardNode::proxy_reap_loop() {
+  SimDuration max_life = SimDuration{static_cast<std::int64_t>(
+      config_.estimated_rtt.ns * config_.proxy_lifetime_rtt_multiple)};
+  tcp_->reap(SimDuration{0}, max_life);
+  schedule_in(config_.estimated_rtt, [this] { proxy_reap_loop(); });
+}
+
+void RemoteGuardNode::install(int subnet_prefix_len) {
+  sim().add_host_route(config_.ans_address, this);
+  sim().add_host_route(config_.guard_address, this);
+  if (config_.scheme == Scheme::FabricatedNsIp ||
+      config_.per_source_scheme.size() > 0) {
+    sim().add_route(config_.subnet_base, subnet_prefix_len, this);
+  }
+  sim().set_gateway(ans_, this);
+  installed_ = true;
+}
+
+void RemoteGuardNode::uninstall() {
+  sim().remove_routes_to(this);
+  sim().add_host_route(config_.ans_address, ans_);
+  sim().clear_gateway(ans_);
+  installed_ = false;
+}
+
+bool RemoteGuardNode::protection_active() const {
+  if (config_.activation_threshold_rps <= 0) return true;
+  return request_rate_.rate(sim().now()) > config_.activation_threshold_rps;
+}
+
+Scheme RemoteGuardNode::effective_scheme(net::Ipv4Address src) const {
+  auto it = config_.per_source_scheme.find(src);
+  if (it != config_.per_source_scheme.end()) return it->second;
+  return config_.scheme;
+}
+
+void RemoteGuardNode::emit(net::Packet p) {
+  charge(config_.costs.packet);
+  send(std::move(p));
+}
+
+void RemoteGuardNode::emit_direct(sim::Node* to, net::Packet p) {
+  charge(config_.costs.packet);
+  send_direct(to, std::move(p));
+}
+
+void RemoteGuardNode::drop_spoof() {
+  stats_.spoofs_dropped++;
+  charge(config_.costs.drop);
+}
+
+void RemoteGuardNode::reply(const net::Packet& to, dns::Message response,
+                            std::optional<net::Ipv4Address> src_override) {
+  charge(config_.costs.transform);
+  net::Ipv4Address src = src_override.value_or(to.dst_ip);
+  emit(net::Packet::make_udp({src, net::kDnsPort}, to.src(),
+                             response.encode()));
+}
+
+void RemoteGuardNode::forward_to_ans(const net::Packet& original,
+                                     dns::Message query) {
+  stats_.forwarded_to_ans++;
+  net::Packet p = net::Packet::make_udp(
+      original.src(), {config_.ans_address, net::kDnsPort}, query.encode());
+  emit_direct(ans_, std::move(p));
+}
+
+SimDuration RemoteGuardNode::process(const net::Packet& packet) {
+  cost_ = config_.costs.packet;  // ingress processing
+
+  if (packet.is_tcp()) {
+    // TCP path: either the proxy itself, or (pass-through schemes) raw
+    // forwarding to the ANS.
+    charge(config_.costs.proxy_segment);
+    charge(SimDuration{static_cast<std::int64_t>(
+        config_.costs.proxy_table_per_conn.ns *
+        static_cast<std::int64_t>(tcp_->connection_count()))});
+    if (packet.tcp().flags.syn && !packet.tcp().flags.ack) {
+      charge(config_.costs.proxy_connection);
+      // Per-client connection-rate throttle (§III.C).
+      auto it = conn_buckets_.find(packet.src_ip);
+      if (it == conn_buckets_.end()) {
+        it = conn_buckets_
+                 .emplace(packet.src_ip,
+                          ratelimit::TokenBucket(config_.proxy_conn_rate,
+                                                 config_.proxy_conn_burst))
+                 .first;
+      }
+      if (!it->second.try_consume(now())) {
+        stats_.proxy_conn_throttled++;
+        return cost_;
+      }
+    }
+    tcp_->handle_packet(packet);
+    return cost_;
+  }
+
+  if (!packet.is_udp()) return cost_;
+
+  // Responses coming back from the protected ANS (via its gateway).
+  if (packet.src_ip == config_.ans_address) {
+    if (packet.dst_ip == config_.guard_address) {
+      handle_proxy_nat_response(packet);
+    } else {
+      handle_ans_response(packet);
+    }
+    return cost_;
+  }
+
+  auto m = dns::Message::decode(BytesView(packet.payload));
+  if (!m || m->header.qr || m->question() == nullptr) {
+    stats_.malformed++;
+    charge(config_.costs.drop);
+    return cost_;
+  }
+
+  handle_request(packet, *m);
+  return cost_;
+}
+
+void RemoteGuardNode::handle_request(const net::Packet& packet,
+                                     const dns::Message& query) {
+  stats_.requests_seen++;
+  request_rate_.record(now());
+
+  bool to_subnet = !(packet.dst_ip == config_.ans_address);
+
+  if (!protection_active()) {
+    // Below the activation threshold every request goes straight through
+    // (§IV.C) — queries to fabricated subnet addresses have no meaning
+    // in this mode and are redirected to the real server.
+    stats_.forwarded_inactive++;
+    forward_to_ans(packet, query);
+    return;
+  }
+
+  // Fig. 4: the cookie checker handles all incoming UDP requests; a
+  // request carrying the modified-DNS TXT cookie takes that path no
+  // matter which scheme is configured for cookie-incapable requesters.
+  if (auto cookie = CookieEngine::extract_txt_cookie(query)) {
+    do_modified_dns(packet, query, *cookie);
+    return;
+  }
+
+  switch (effective_scheme(packet.src_ip)) {
+    case Scheme::PassThrough:
+      forward_to_ans(packet, query);
+      return;
+    case Scheme::ModifiedDns:
+      // Cookie-incapable requester under a modified-DNS-only guard: fall
+      // back to the transparent NS-name scheme (Fig. 4).
+      [[fallthrough]];
+    case Scheme::NsName:
+      do_ns_name(packet, query);
+      return;
+    case Scheme::FabricatedNsIp:
+      do_fabricated_ns_ip(packet, query, to_subnet);
+      return;
+    case Scheme::TcpRedirect:
+      do_tcp_redirect(packet, query);
+      return;
+  }
+}
+
+// --- modified-DNS scheme (§III.D) -------------------------------------------
+
+void RemoteGuardNode::do_modified_dns(const net::Packet& packet,
+                                      const dns::Message& query,
+                                      const crypto::Cookie& cookie) {
+  if (CookieEngine::is_zero_cookie(cookie)) {
+    // msg 2: a cookie request. Reply msg 3 (same size; no amplification),
+    // through Rate-Limiter1.
+    if (!rl1_.allow(packet.src_ip, now())) {
+      stats_.rl1_throttled++;
+      return;
+    }
+    charge(config_.costs.cookie);
+    stats_.cookies_minted++;
+    dns::Message resp = dns::Message::response_to(query);
+    CookieEngine::attach_txt_cookie(resp, engine_.mint(packet.src_ip),
+                                    config_.cookie_ttl);
+    stats_.cookie_replies++;
+    reply(packet, std::move(resp));
+    return;
+  }
+
+  charge(config_.costs.cookie);
+  stats_.cookie_checks++;
+  if (!engine_.verify(packet.src_ip, cookie)) {
+    drop_spoof();
+    return;
+  }
+  if (!rl2_.allow(packet.src_ip, now())) {
+    stats_.rl2_throttled++;
+    return;
+  }
+  // msg 5: strip the extension; the ANS never sees cookies.
+  dns::Message stripped = query;
+  CookieEngine::strip_txt_cookie(stripped);
+  charge(config_.costs.transform);
+  forward_to_ans(packet, std::move(stripped));
+}
+
+// --- DNS-based scheme, NS-name variant (§III.B.1, Fig. 2(a)) ----------------
+
+void RemoteGuardNode::do_ns_name(const net::Packet& packet,
+                                 const dns::Message& query) {
+  const dns::Question& q = *query.question();
+  const auto& zone = config_.protected_zone;
+
+  // Is this a cookie query (msg 3): [cookie-label] directly under the
+  // protected zone?
+  if (q.qname.label_count() == zone.label_count() + 1 &&
+      q.qname.is_subdomain_of(zone)) {
+    if (auto parsed = CookieEngine::parse_cookie_label(q.qname.first_label())) {
+      charge(config_.costs.cookie);
+      stats_.cookie_checks++;
+      if (!engine_.verify_prefix(packet.src_ip, parsed->cookie_prefix)) {
+        drop_spoof();
+        return;
+      }
+      if (!rl2_.allow(packet.src_ip, now())) {
+        stats_.rl2_throttled++;
+        return;
+      }
+      // msg 4: restore the next-level question. "PRxxxxxxxxcom" under the
+      // root zone asks the root server about "com.".
+      auto restored = zone.with_prefix_label(parsed->restore_label);
+      if (!restored) {
+        drop_spoof();
+        return;
+      }
+      charge(config_.costs.transform);
+      PendingAction action;
+      action.kind = PendingAction::Kind::RestoreNsName;
+      action.fabricated_qname = q.qname;
+      action.original_qtype = q.qtype;
+      action.expires = now() + config_.pending_ttl;
+      pending_[PendingKey{query.header.id, packet.src_ip.value()}] = action;
+
+      dns::Message rewritten = query;
+      rewritten.questions.front().qname = *restored;
+      forward_to_ans(packet, std::move(rewritten));
+      return;
+    }
+  }
+
+  // msg 1 -> msg 2: fabricate a referral whose NS name embeds the cookie.
+  if (q.qname.label_count() <= zone.label_count()) {
+    // Query for the zone apex itself: nothing to refer to; use the TCP
+    // fallback so the request can still be served spoof-checked.
+    do_tcp_redirect(packet, query);
+    return;
+  }
+  dns::DomainName next_level = q.qname.suffix(zone.label_count() + 1);
+  std::string next_label(next_level.first_label());
+
+  if (!rl1_.allow(packet.src_ip, now())) {
+    stats_.rl1_throttled++;
+    return;
+  }
+  charge(config_.costs.cookie);
+  stats_.cookies_minted++;
+  auto label = engine_.make_cookie_label(packet.src_ip, next_label);
+  if (!label) {  // label overflow: oversized original label; fall back
+    do_tcp_redirect(packet, query);
+    return;
+  }
+  auto fabricated = zone.with_prefix_label(*label);
+  if (!fabricated) {
+    do_tcp_redirect(packet, query);
+    return;
+  }
+
+  dns::Message resp = dns::Message::response_to(query);
+  resp.authority.push_back(dns::ResourceRecord::ns(
+      next_level, *fabricated, config_.fabricated_ns_ttl));
+  stats_.fabricated_referrals++;
+  reply(packet, std::move(resp));
+}
+
+// --- DNS-based scheme, fabricated NS+IP variant (§III.B.2, Fig. 2(b)) -------
+
+void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
+                                          const dns::Message& query,
+                                          bool to_subnet) {
+  const dns::Question& q = *query.question();
+
+  if (to_subnet) {
+    // msg 7: the destination address is the cookie (COOKIE2).
+    charge(config_.costs.cookie);
+    stats_.cookie_checks++;
+    if (!engine_.verify_cookie_address(packet.src_ip, packet.dst_ip,
+                                       config_.subnet_base, config_.r_y)) {
+      drop_spoof();
+      return;
+    }
+    if (!rl2_.allow(packet.src_ip, now())) {
+      stats_.rl2_throttled++;
+      return;
+    }
+    PendingAction action;
+    action.kind = PendingAction::Kind::RelaySourceIp;
+    action.reply_src = packet.dst_ip;
+    action.expires = now() + config_.pending_ttl;
+    pending_[PendingKey{query.header.id, packet.src_ip.value()}] = action;
+    forward_to_ans(packet, query);  // msg 8: unchanged question
+    return;
+  }
+
+  // msg 3: query for the fabricated NS name?
+  if (q.qname.label_count() >= 1) {
+    if (auto parsed = CookieEngine::parse_cookie_label(q.qname.first_label())) {
+      charge(config_.costs.cookie);
+      stats_.cookie_checks++;
+      if (!engine_.verify_prefix(packet.src_ip, parsed->cookie_prefix)) {
+        drop_spoof();
+        return;
+      }
+      if (!rl2_.allow(packet.src_ip, now())) {
+        stats_.rl2_throttled++;
+        return;
+      }
+      // msg 6: answer with the second cookie as the fabricated server's
+      // address. One more cookie computation (COOKIE2).
+      charge(config_.costs.cookie);
+      net::Ipv4Address cookie2 = engine_.make_cookie_address(
+          packet.src_ip, config_.subnet_base, config_.r_y);
+      dns::Message resp = dns::Message::response_to(query);
+      resp.header.aa = true;
+      resp.answers.push_back(
+          dns::ResourceRecord::a(q.qname, cookie2, config_.cookie_ttl));
+      stats_.cookie_replies++;
+      reply(packet, std::move(resp));
+      return;
+    }
+  }
+
+  // msg 1 -> msg 2: fabricate an ANS for the queried name itself.
+  if (!rl1_.allow(packet.src_ip, now())) {
+    stats_.rl1_throttled++;
+    return;
+  }
+  if (q.qname.is_root()) {
+    do_tcp_redirect(packet, query);
+    return;
+  }
+  charge(config_.costs.cookie);
+  stats_.cookies_minted++;
+  auto label = engine_.make_cookie_label(packet.src_ip,
+                                         std::string(q.qname.first_label()));
+  if (!label) {
+    do_tcp_redirect(packet, query);
+    return;
+  }
+  auto fabricated = q.qname.parent().with_prefix_label(*label);
+  if (!fabricated) {
+    do_tcp_redirect(packet, query);
+    return;
+  }
+  dns::Message resp = dns::Message::response_to(query);
+  resp.authority.push_back(dns::ResourceRecord::ns(
+      q.qname, *fabricated, config_.fabricated_ns_ttl));
+  stats_.fabricated_referrals++;
+  reply(packet, std::move(resp));
+}
+
+// --- TCP-based scheme (§III.C) ----------------------------------------------
+
+void RemoteGuardNode::do_tcp_redirect(const net::Packet& packet,
+                                      const dns::Message& query) {
+  if (!rl1_.allow(packet.src_ip, now())) {
+    stats_.rl1_throttled++;
+    return;
+  }
+  dns::Message resp = dns::Message::response_to(query);
+  resp.header.tc = true;  // same size as the request: no amplification
+  stats_.tc_redirects++;
+  reply(packet, std::move(resp));
+}
+
+void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
+  auto& framer = framers_[conn];
+  for (Bytes& msg : framer.push(data)) {
+    auto query = dns::Message::decode(BytesView(msg));
+    if (!query || query->header.qr || query->question() == nullptr) {
+      stats_.malformed++;
+      continue;
+    }
+    auto remote = tcp_->remote_of(conn);
+    if (!remote) continue;
+    // TCP handshake completion already proved the source address; still
+    // apply Rate-Limiter2 like any verified requester.
+    if (!rl2_.allow(remote->ip, now())) {
+      stats_.rl2_throttled++;
+      continue;
+    }
+    stats_.proxy_queries++;
+    // Convert to UDP toward the ANS, NATed to the guard's own address.
+    std::uint16_t port = next_nat_port_++;
+    if (next_nat_port_ < 20000) next_nat_port_ = 20000;
+    nat_[port] = NatEntry{conn, query->header.id};
+    charge(config_.costs.transform);
+    stats_.forwarded_to_ans++;
+    emit_direct(ans_, net::Packet::make_udp(
+                          {config_.guard_address, port},
+                          {config_.ans_address, net::kDnsPort},
+                          query->encode()));
+  }
+}
+
+void RemoteGuardNode::handle_proxy_nat_response(const net::Packet& packet) {
+  auto it = nat_.find(packet.udp().dst_port);
+  if (it == nat_.end()) return;
+  NatEntry entry = it->second;
+  nat_.erase(it);
+  charge(config_.costs.transform);
+  stats_.responses_relayed++;
+  tcp_->send_data(entry.conn,
+                  BytesView(tcp::StreamFramer::frame(BytesView(packet.payload))));
+  // DNS-over-TCP here is one query per connection; closing after the
+  // response keeps the proxy's connection table small (§III.C's concern).
+  tcp_->close(entry.conn);
+}
+
+void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
+  // Periodic lazy sweep of expired rewrite state.
+  if ((++pending_sweep_counter_ & 0x3ff) == 0) {
+    SimTime t = now();
+    std::erase_if(pending_,
+                  [t](const auto& kv) { return kv.second.expires <= t; });
+  }
+
+  auto m = dns::Message::decode(BytesView(packet.payload));
+  if (!m || !m->header.qr) {
+    // Not a DNS response we can interpret; pass through untouched.
+    emit(packet);
+    return;
+  }
+
+  auto pit = pending_.find(PendingKey{m->header.id, packet.dst_ip.value()});
+  if (pit == pending_.end()) {
+    stats_.responses_relayed++;
+    emit(packet);
+    return;
+  }
+  PendingAction action = pit->second;
+  pending_.erase(pit);
+
+  switch (action.kind) {
+    case PendingAction::Kind::RestoreNsName: {
+      // msg 5 -> msg 6: return the next-level servers' addresses as the
+      // fabricated name's A records (Fig. 2(a)).
+      std::vector<dns::ResourceRecord> addresses;
+      for (const auto* section : {&m->answers, &m->additional}) {
+        for (const auto& rr : *section) {
+          if (rr.type == dns::RrType::A) {
+            addresses.push_back(dns::ResourceRecord::a(
+                action.fabricated_qname,
+                std::get<dns::ARdata>(rr.rdata).address, rr.ttl));
+          }
+        }
+      }
+      dns::Message resp;
+      resp.header.id = m->header.id;
+      resp.header.qr = true;
+      resp.header.aa = true;
+      resp.questions.push_back(dns::Question{action.fabricated_qname,
+                                             action.original_qtype,
+                                             dns::RrClass::IN});
+      if (addresses.empty()) {
+        resp.header.rcode = dns::Rcode::ServFail;
+      } else {
+        resp.answers = std::move(addresses);
+      }
+      charge(config_.costs.transform);
+      stats_.responses_relayed++;
+      emit(net::Packet::make_udp({config_.ans_address, net::kDnsPort},
+                                 packet.dst(), resp.encode()));
+      return;
+    }
+    case PendingAction::Kind::RelaySourceIp: {
+      // msg 9 -> msg 10: the LRS asked COOKIE2, so the answer must come
+      // from COOKIE2 (Fig. 2(b)).
+      charge(config_.costs.transform);
+      stats_.responses_relayed++;
+      net::Packet out = packet;
+      out.src_ip = action.reply_src;
+      emit(std::move(out));
+      return;
+    }
+  }
+}
+
+}  // namespace dnsguard::guard

@@ -1,0 +1,247 @@
+// RemoteGuardNode — the DNS guard deployed in front of an authoritative
+// name server (the paper's core contribution, §III, Fig. 4).
+//
+// The guard is a router-mode firewall: the simulator routes the ANS's
+// public address (and, for the fabricated-IP variant, its whole subnet)
+// to this node, and the ANS's gateway points back at it, so every packet
+// in both directions transits — and is charged to — the guard's CPU.
+//
+// Pipeline (Fig. 4):
+//
+//     UDP req ──> cookie checker ──valid──> Rate-Limiter2 ──> ANS
+//                     │ all-zero/absent
+//                     ▼
+//              cookie generator (scheme-specific response)
+//                     │
+//                     ▼
+//              Rate-Limiter1 ──> requester   (reflector protection)
+//
+//     TCP req ──> TCP proxy (SYN cookies, conn monitor, token buckets)
+//                     │ framed DNS query
+//                     ▼
+//              Rate-Limiter2 ──> ANS (as UDP; response converted back)
+//
+// Spoof detection activates only above a request-rate threshold (§IV.C);
+// below it the guard is a plain forwarder.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+
+#include "dns/message.h"
+#include "guard/cookie_engine.h"
+#include "ratelimit/limiters.h"
+#include "ratelimit/token_bucket.h"
+#include "sim/node.h"
+#include "tcp/tcp_stack.h"
+
+namespace dnsguard::guard {
+
+enum class Scheme : std::uint8_t {
+  PassThrough,     // no spoof detection (baseline / disabled)
+  NsName,          // §III.B.1 — cookie in fabricated NS name (referrals)
+  FabricatedNsIp,  // §III.B.2 — cookie in NS name + fabricated IP
+  TcpRedirect,     // §III.C — truncation redirect + kernel TCP proxy
+  ModifiedDns,     // §III.D — explicit TXT cookie extension
+};
+
+[[nodiscard]] std::string scheme_name(Scheme s);
+
+struct GuardStats {
+  std::uint64_t requests_seen = 0;
+  std::uint64_t forwarded_inactive = 0;
+  std::uint64_t cookies_minted = 0;
+  std::uint64_t cookie_checks = 0;
+  std::uint64_t spoofs_dropped = 0;
+  std::uint64_t rl1_throttled = 0;
+  std::uint64_t rl2_throttled = 0;
+  std::uint64_t forwarded_to_ans = 0;
+  std::uint64_t responses_relayed = 0;
+  std::uint64_t fabricated_referrals = 0;
+  std::uint64_t cookie_replies = 0;   // modified-DNS msg3 + fabricated-IP msg6
+  std::uint64_t tc_redirects = 0;
+  std::uint64_t proxy_queries = 0;
+  std::uint64_t proxy_conn_throttled = 0;
+  std::uint64_t malformed = 0;
+  std::uint64_t key_rotations = 0;
+};
+
+class RemoteGuardNode : public sim::Node {
+ public:
+  struct CostModel {
+    /// Per packet received or emitted (header processing, routing).
+    SimDuration packet = nanoseconds(900);
+    /// Per cookie computation/verification (one MD5, §III.E).
+    SimDuration cookie = nanoseconds(1200);
+    /// Per DNS message synthesized or rewritten.
+    SimDuration transform = nanoseconds(760);
+    /// Extra bookkeeping when a spoofed request is dropped.
+    SimDuration drop = nanoseconds(120);
+    /// Per TCP segment handled by the kernel proxy.
+    SimDuration proxy_segment = nanoseconds(2500);
+    /// Per proxied TCP connection accepted.
+    SimDuration proxy_connection = microseconds(8);
+    /// Connection-table management: extra cost per segment per open
+    /// connection (drives the Fig. 7(a) concurrency falloff).
+    SimDuration proxy_table_per_conn = nanoseconds(2);
+  };
+
+  struct Config {
+    net::Ipv4Address guard_address;  // NAT source for proxied UDP queries
+    net::Ipv4Address ans_address;    // the protected server's public IP
+    /// Zone the protected ANS serves (root for a root guard); needed by
+    /// the NS-name scheme to restore the next-level question.
+    dns::DomainName protected_zone;
+    /// Base of the guard-intercepted subnet; fabricated cookie addresses
+    /// live in (base, base + r_y].
+    net::Ipv4Address subnet_base;
+    std::uint32_t r_y = 250;
+
+    Scheme scheme = Scheme::NsName;
+    /// Per-requester overrides (the Fig. 5 testbed serves one LRS with
+    /// UDP cookies and redirects another to TCP).
+    std::unordered_map<net::Ipv4Address, Scheme> per_source_scheme;
+
+    std::uint64_t key_seed = 0x1337c00c1e5eedULL;
+    /// Automatic key rotation period (§III.E suggests weekly; cookies of
+    /// the previous generation remain valid for one period, selected by
+    /// the cookie's generation bit). Zero disables automatic rotation.
+    SimDuration key_rotation_interval{};
+
+    /// Requests/sec above which spoof detection engages; 0 = always on.
+    double activation_threshold_rps = 0.0;
+
+    std::uint32_t fabricated_ns_ttl = 604800;  // 1 week (§III.B.1)
+    std::uint32_t cookie_ttl = 604800;
+
+    CostModel costs;
+
+    ratelimit::CookieResponseLimiter::Config rl1;
+    ratelimit::VerifiedRequestLimiter::Config rl2;
+
+    /// Per-client TCP connection-rate token bucket (§III.C).
+    double proxy_conn_rate = 200.0;
+    double proxy_conn_burst = 100.0;
+    /// Remove TCP connections living longer than this multiple of RTT
+    /// (§III.C: 5×RTT). 0 disables lifetime reaping.
+    double proxy_lifetime_rtt_multiple = 0.0;
+    SimDuration estimated_rtt = microseconds(400);
+
+    /// Response-rewrite state lifetime.
+    SimDuration pending_ttl = seconds(5);
+
+    /// Receive-queue depth. Sized like a kernel backlog: thousands of
+    /// concurrent proxied TCP connections keep one segment each in
+    /// flight, and dropping those (our mini-TCP has no retransmission)
+    /// would stall connections rather than just delay them.
+    std::size_t rx_queue_capacity = 65536;
+  };
+
+  /// `ans` is the protected server node. The constructor does not touch
+  /// routing; call install() to take over the ANS's addresses.
+  RemoteGuardNode(sim::Simulator& sim, std::string name, Config config,
+                  sim::Node* ans);
+
+  /// Installs routes: ANS address (and subnet for the fabricated-IP
+  /// variant) + guard address -> this node; ANS gateway -> this node.
+  void install(int subnet_prefix_len = 24);
+  /// Reverts to direct routing (protection fully removed).
+  void uninstall();
+
+  [[nodiscard]] const GuardStats& guard_stats() const { return stats_; }
+  void reset_guard_stats() { stats_ = GuardStats{}; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] CookieEngine& cookie_engine() { return engine_; }
+  [[nodiscard]] bool protection_active() const;
+  [[nodiscard]] std::size_t proxy_connections() const {
+    return tcp_ ? tcp_->connection_count() : 0;
+  }
+  [[nodiscard]] const ratelimit::CookieResponseLimiter& rl1() const {
+    return rl1_;
+  }
+  [[nodiscard]] const ratelimit::VerifiedRequestLimiter& rl2() const {
+    return rl2_;
+  }
+
+ protected:
+  SimDuration process(const net::Packet& packet) override;
+
+ private:
+  // Response-rewrite actions awaiting the ANS's reply.
+  struct PendingAction {
+    enum class Kind {
+      RestoreNsName,   // msg5 -> msg6 of Fig. 2(a)
+      RelaySourceIp,   // msg9 -> msg10 of Fig. 2(b): reply from COOKIE2
+    } kind;
+    dns::DomainName fabricated_qname;
+    dns::RrType original_qtype = dns::RrType::A;
+    net::Ipv4Address reply_src;
+    SimTime expires;
+  };
+  struct PendingKey {
+    std::uint16_t qid;
+    std::uint32_t requester;
+    bool operator==(const PendingKey&) const = default;
+  };
+  struct PendingKeyHash {
+    std::size_t operator()(const PendingKey& k) const {
+      return std::hash<std::uint64_t>{}(
+          (static_cast<std::uint64_t>(k.requester) << 16) | k.qid);
+    }
+  };
+
+  // --- packet paths ---
+  void handle_request(const net::Packet& packet, const dns::Message& query);
+  void handle_ans_response(const net::Packet& packet);
+  void handle_proxy_nat_response(const net::Packet& packet);
+
+  // --- scheme handlers (charge their own costs via charge()) ---
+  void do_modified_dns(const net::Packet& packet, const dns::Message& query,
+                       const crypto::Cookie& cookie);
+  void do_ns_name(const net::Packet& packet, const dns::Message& query);
+  void do_fabricated_ns_ip(const net::Packet& packet,
+                           const dns::Message& query, bool to_subnet);
+  void do_tcp_redirect(const net::Packet& packet, const dns::Message& query);
+
+  Scheme effective_scheme(net::Ipv4Address src) const;
+
+  void forward_to_ans(const net::Packet& original, dns::Message query);
+  void reply(const net::Packet& to, dns::Message response,
+             std::optional<net::Ipv4Address> src_override = std::nullopt);
+  void drop_spoof();
+  void charge(SimDuration d) { cost_ = cost_ + d; }
+  void emit(net::Packet p);
+  void emit_direct(sim::Node* to, net::Packet p);
+
+  // --- TCP proxy ---
+  void proxy_on_data(tcp::ConnId conn, BytesView data);
+  void proxy_reap_loop();
+  void rotation_loop();
+
+  Config config_;
+  sim::Node* ans_;
+  CookieEngine engine_;
+  ratelimit::CookieResponseLimiter rl1_;
+  ratelimit::VerifiedRequestLimiter rl2_;
+  ratelimit::RateEstimator request_rate_;
+  std::unordered_map<PendingKey, PendingAction, PendingKeyHash> pending_;
+  std::uint64_t pending_sweep_counter_ = 0;
+
+  std::unique_ptr<tcp::TcpStack> tcp_;
+  std::unordered_map<tcp::ConnId, tcp::StreamFramer> framers_;
+  struct NatEntry {
+    tcp::ConnId conn;
+    std::uint16_t query_id;
+  };
+  std::unordered_map<std::uint16_t, NatEntry> nat_;  // by guard src port
+  std::unordered_map<net::Ipv4Address, ratelimit::TokenBucket> conn_buckets_;
+  std::uint16_t next_nat_port_ = 20000;
+
+  GuardStats stats_;
+  SimDuration cost_{};
+  bool installed_ = false;
+};
+
+}  // namespace dnsguard::guard

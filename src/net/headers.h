@@ -1,0 +1,76 @@
+// Wire-format IPv4, UDP and TCP headers.
+//
+// The simulator moves structured Packet objects, but every header can be
+// serialized to and parsed from real wire format. Byte-accurate sizes
+// matter: the paper's traffic-amplification analysis (§III.E, §III.G) is
+// about response-vs-request *byte* ratios, so packet length accounting has
+// to be faithful.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "common/bytes.h"
+#include "net/ipv4.h"
+
+namespace dnsguard::net {
+
+inline constexpr std::size_t kIpv4HeaderSize = 20;
+inline constexpr std::size_t kUdpHeaderSize = 8;
+inline constexpr std::size_t kTcpHeaderSize = 20;
+
+/// RFC 791 Internet checksum over `data` (16-bit one's-complement sum).
+[[nodiscard]] std::uint16_t internet_checksum(BytesView data);
+
+enum class IpProto : std::uint8_t { Udp = 17, Tcp = 6 };
+
+struct Ipv4Header {
+  Ipv4Address src;
+  Ipv4Address dst;
+  IpProto proto = IpProto::Udp;
+  std::uint8_t ttl = 64;
+  std::uint16_t total_length = 0;  // header + payload, filled by encode
+  std::uint16_t identification = 0;
+
+  /// Serializes 20 bytes (no options) with a valid header checksum.
+  void encode(ByteWriter& w, std::size_t payload_size) const;
+  /// Parses and checksum-verifies a header. nullopt on truncation or bad
+  /// checksum.
+  [[nodiscard]] static std::optional<Ipv4Header> decode(ByteReader& r);
+};
+
+struct UdpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint16_t length = 0;  // header + payload, filled by encode
+
+  void encode(ByteWriter& w, std::size_t payload_size) const;
+  [[nodiscard]] static std::optional<UdpHeader> decode(ByteReader& r);
+};
+
+/// TCP flag bits (RFC 793 order within the flags byte).
+struct TcpFlags {
+  bool fin = false;
+  bool syn = false;
+  bool rst = false;
+  bool psh = false;
+  bool ack = false;
+
+  [[nodiscard]] std::uint8_t to_byte() const;
+  [[nodiscard]] static TcpFlags from_byte(std::uint8_t b);
+  [[nodiscard]] bool operator==(const TcpFlags&) const = default;
+};
+
+struct TcpHeader {
+  std::uint16_t src_port = 0;
+  std::uint16_t dst_port = 0;
+  std::uint32_t seq = 0;
+  std::uint32_t ack = 0;
+  TcpFlags flags;
+  std::uint16_t window = 65535;
+
+  void encode(ByteWriter& w) const;
+  [[nodiscard]] static std::optional<TcpHeader> decode(ByteReader& r);
+};
+
+}  // namespace dnsguard::net

@@ -1,0 +1,58 @@
+#include "ratelimit/limiters.h"
+
+namespace dnsguard::ratelimit {
+
+void CookieResponseLimiter::reset() {
+  tracker_ = std::make_unique<SpaceSaving<net::Ipv4Address>>(
+      config_.tracker_capacity);
+  buckets_.clear();
+  stats_ = LimiterStats{};
+}
+
+bool CookieResponseLimiter::allow(net::Ipv4Address requester, SimTime now) {
+  std::uint64_t count = tracker_->record(requester);
+  if (count < config_.heavy_hitter_threshold) {
+    // Light requesters are never throttled: a legitimate LRS fetching a
+    // cookie once per TTL stays far below the threshold.
+    stats_.allowed++;
+    return true;
+  }
+  auto it = buckets_.find(requester);
+  if (it == buckets_.end()) {
+    it = buckets_
+             .emplace(requester, TokenBucket(config_.per_address_rate,
+                                             config_.per_address_burst))
+             .first;
+  }
+  if (it->second.try_consume(now)) {
+    stats_.allowed++;
+    return true;
+  }
+  stats_.throttled++;
+  return false;
+}
+
+bool VerifiedRequestLimiter::allow(net::Ipv4Address host, SimTime now) {
+  auto it = buckets_.find(host);
+  if (it == buckets_.end()) {
+    if (buckets_.size() >= config_.max_hosts) {
+      // Table full: refuse new hosts rather than evict active ones. This
+      // only triggers with more *validated* distinct hosts than the cap,
+      // which spoofing cannot cause.
+      stats_.throttled++;
+      return false;
+    }
+    it = buckets_
+             .emplace(host, TokenBucket(config_.per_host_rate,
+                                        config_.per_host_burst))
+             .first;
+  }
+  if (it->second.try_consume(now)) {
+    stats_.allowed++;
+    return true;
+  }
+  stats_.throttled++;
+  return false;
+}
+
+}  // namespace dnsguard::ratelimit

@@ -1,0 +1,97 @@
+// The DNS guard's two rate limiters (Fig. 4).
+//
+// Rate-Limiter1 sits on the *cookie response* path: before the guard sends
+// any unverified requester a cookie (or a fabricated referral / truncation
+// reply), the response must pass this limiter. It tracks top requesters
+// with a Space-Saving sketch and throttles per-address cookie responses,
+// so an attacker cannot use the guard itself as a traffic reflector
+// toward a spoofed victim.
+//
+// Rate-Limiter2 sits on the *validated request* path: requests whose
+// cookie checked out are real, so per-source-address token buckets can
+// fairly cap each requester at a nominal rate — the defense against
+// non-spoofed (zombie/botnet) floods and against cookie-probing (§III.G).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <unordered_map>
+
+#include "common/time.h"
+#include "net/ipv4.h"
+#include "ratelimit/token_bucket.h"
+#include "ratelimit/topk.h"
+
+namespace dnsguard::ratelimit {
+
+struct LimiterStats {
+  std::uint64_t allowed = 0;
+  std::uint64_t throttled = 0;
+};
+
+/// Rate-Limiter1: caps cookie responses per destination address.
+class CookieResponseLimiter {
+ public:
+  struct Config {
+    /// Cookie responses allowed per second per tracked top requester.
+    double per_address_rate = 100.0;
+    double per_address_burst = 20.0;
+    /// How many requester addresses the heavy-hitter sketch tracks.
+    std::size_t tracker_capacity = 1024;
+    /// Addresses below this request count are never throttled — only the
+    /// *top* requesters are limited (paper: "tracks the top requesters").
+    std::uint64_t heavy_hitter_threshold = 32;
+  };
+
+  explicit CookieResponseLimiter(Config config) : config_(config) {
+    reset();
+  }
+  CookieResponseLimiter() : CookieResponseLimiter(Config{}) {}
+
+  /// Should a cookie response toward `requester` be sent at `now`?
+  bool allow(net::Ipv4Address requester, SimTime now);
+
+  [[nodiscard]] const LimiterStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  void reset();
+
+ private:
+  Config config_;
+  std::unique_ptr<SpaceSaving<net::Ipv4Address>> tracker_;
+  std::unordered_map<net::Ipv4Address, TokenBucket> buckets_;
+  LimiterStats stats_;
+};
+
+/// Rate-Limiter2: caps validated (non-spoofed) per-host request rates.
+class VerifiedRequestLimiter {
+ public:
+  struct Config {
+    /// Nominal per-host request rate (paper: "usually very low").
+    double per_host_rate = 200.0;
+    double per_host_burst = 50.0;
+    /// Bound on the number of per-host buckets kept (validated hosts are
+    /// real, so this table cannot be inflated by spoofing).
+    std::size_t max_hosts = 65536;
+  };
+
+  explicit VerifiedRequestLimiter(Config config) : config_(config) {}
+  VerifiedRequestLimiter() : VerifiedRequestLimiter(Config{}) {}
+
+  /// Should a validated request from `host` be forwarded at `now`?
+  bool allow(net::Ipv4Address host, SimTime now);
+
+  [[nodiscard]] const LimiterStats& stats() const { return stats_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::size_t tracked_hosts() const { return buckets_.size(); }
+  void reset() {
+    buckets_.clear();
+    stats_ = LimiterStats{};
+  }
+
+ private:
+  Config config_;
+  std::unordered_map<net::Ipv4Address, TokenBucket> buckets_;
+  LimiterStats stats_;
+};
+
+}  // namespace dnsguard::ratelimit

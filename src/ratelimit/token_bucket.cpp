@@ -1,0 +1,53 @@
+#include "ratelimit/token_bucket.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace dnsguard::ratelimit {
+
+void TokenBucket::refill(SimTime now) {
+  if (now <= last_) return;
+  double elapsed = (now - last_).seconds();
+  tokens_ = std::min(burst_, tokens_ + elapsed * rate_);
+  last_ = now;
+}
+
+bool TokenBucket::try_consume(SimTime now, double cost) {
+  refill(now);
+  if (tokens_ + 1e-12 < cost) return false;
+  tokens_ -= cost;
+  return true;
+}
+
+double TokenBucket::available(SimTime now) {
+  refill(now);
+  return tokens_;
+}
+
+// Exponential impulse-train estimator: each event contributes 1/tau to the
+// estimate and the estimate decays as exp(-dt/tau). For a steady stream of
+// rate r with r*tau >> 1 the estimate converges to ~r.
+double RateEstimator::decay(SimDuration elapsed) const {
+  if (elapsed.ns <= 0) return 1.0;
+  double tau = half_life_.seconds() / std::log(2.0);
+  return std::exp(-elapsed.seconds() / tau);
+}
+
+void RateEstimator::record(SimTime now, double count) {
+  double tau = half_life_.seconds() / std::log(2.0);
+  if (!primed_) {
+    value_ = count / tau;
+    last_ = now;
+    primed_ = true;
+    return;
+  }
+  value_ = value_ * decay(now - last_) + count / tau;
+  last_ = now;
+}
+
+double RateEstimator::rate(SimTime now) const {
+  if (!primed_) return 0.0;
+  return value_ * decay(now - last_);
+}
+
+}  // namespace dnsguard::ratelimit

@@ -1,0 +1,62 @@
+// Token bucket — the primitive behind both of the DNS guard's limiters
+// (§III.F) and the TCP proxy's per-client connection throttle (§III.C).
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+
+namespace dnsguard::ratelimit {
+
+class TokenBucket {
+ public:
+  /// `rate_per_sec` tokens accrue per second up to `burst` capacity; the
+  /// bucket starts full.
+  TokenBucket(double rate_per_sec, double burst)
+      : rate_(rate_per_sec), burst_(burst), tokens_(burst) {}
+
+  /// Tries to take `cost` tokens at time `now`. Returns true on success.
+  bool try_consume(SimTime now, double cost = 1.0);
+
+  /// Tokens currently available (after refill to `now`).
+  [[nodiscard]] double available(SimTime now);
+
+  [[nodiscard]] double rate() const { return rate_; }
+  [[nodiscard]] double burst() const { return burst_; }
+  void set_rate(double rate_per_sec) { rate_ = rate_per_sec; }
+
+ private:
+  void refill(SimTime now);
+
+  double rate_;
+  double burst_;
+  double tokens_;
+  SimTime last_{};
+};
+
+/// Exponentially-weighted rate estimator: tracks an arrival rate in
+/// events/sec. The DNS guard uses this to decide when the incoming request
+/// rate exceeds the protection-activation threshold (§IV.C: spoof detection
+/// kicks in only above ~ANS capacity).
+class RateEstimator {
+ public:
+  /// `half_life` controls smoothing: weight of past traffic halves every
+  /// half_life of simulated time.
+  explicit RateEstimator(SimDuration half_life = milliseconds(250))
+      : half_life_(half_life) {}
+
+  void record(SimTime now, double count = 1.0);
+
+  /// Current estimated rate (events/sec) as of `now`.
+  [[nodiscard]] double rate(SimTime now) const;
+
+ private:
+  [[nodiscard]] double decay(SimDuration elapsed) const;
+
+  SimDuration half_life_;
+  double value_ = 0.0;  // smoothed events per second
+  SimTime last_{};
+  bool primed_ = false;
+};
+
+}  // namespace dnsguard::ratelimit

@@ -1,0 +1,109 @@
+// Space-Saving top-k heavy-hitter tracker (Metwally et al.).
+//
+// Rate-Limiter1 "tracks the top requesters and limits the rate of cookie
+// response to them" (§III.F). Tracking every source address seen during a
+// spoofed flood would let the attacker exhaust guard memory, so the guard
+// keeps only a bounded table of candidate heavy hitters with the classic
+// Space-Saving guarantee: any key with true count > N/capacity is present,
+// and each reported count overestimates by at most the minimum counter.
+#pragma once
+
+#include <algorithm>
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+namespace dnsguard::ratelimit {
+
+template <typename Key, typename Hash = std::hash<Key>>
+class SpaceSaving {
+ public:
+  explicit SpaceSaving(std::size_t capacity) : capacity_(capacity) {}
+
+  /// Records one occurrence of `key`; returns its (over)estimated count.
+  std::uint64_t record(const Key& key) {
+    auto it = index_.find(key);
+    if (it != index_.end()) {
+      return bump(it->second);
+    }
+    if (entries_.size() < capacity_) {
+      entries_.push_back(Entry{key, 1, 0});
+      index_.emplace(key, entries_.size() - 1);
+      return 1;
+    }
+    // Evict the minimum-count entry and inherit its count as error bound.
+    std::size_t victim = min_index();
+    Entry& e = entries_[victim];
+    index_.erase(e.key);
+    std::uint64_t inherited = e.count;
+    e.key = key;
+    e.error = inherited;
+    e.count = inherited + 1;
+    index_.emplace(key, victim);
+    return e.count;
+  }
+
+  /// Estimated count for `key` (0 if not tracked).
+  [[nodiscard]] std::uint64_t estimate(const Key& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? 0 : entries_[it->second].count;
+  }
+
+  /// Upper bound on the estimation error for `key` (0 if exact).
+  [[nodiscard]] std::uint64_t error(const Key& key) const {
+    auto it = index_.find(key);
+    return it == index_.end() ? 0 : entries_[it->second].error;
+  }
+
+  [[nodiscard]] bool contains(const Key& key) const {
+    return index_.count(key) > 0;
+  }
+
+  struct Item {
+    Key key;
+    std::uint64_t count;
+    std::uint64_t error;
+  };
+
+  /// The tracked items, highest count first.
+  [[nodiscard]] std::vector<Item> top() const {
+    std::vector<Item> out;
+    out.reserve(entries_.size());
+    for (const Entry& e : entries_) out.push_back(Item{e.key, e.count, e.error});
+    std::sort(out.begin(), out.end(),
+              [](const Item& a, const Item& b) { return a.count > b.count; });
+    return out;
+  }
+
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return capacity_; }
+
+  void clear() {
+    entries_.clear();
+    index_.clear();
+  }
+
+ private:
+  struct Entry {
+    Key key;
+    std::uint64_t count;
+    std::uint64_t error;
+  };
+
+  std::uint64_t bump(std::size_t i) { return ++entries_[i].count; }
+
+  std::size_t min_index() const {
+    std::size_t best = 0;
+    for (std::size_t i = 1; i < entries_.size(); ++i) {
+      if (entries_[i].count < entries_[best].count) best = i;
+    }
+    return best;
+  }
+
+  std::size_t capacity_;
+  std::vector<Entry> entries_;
+  std::unordered_map<Key, std::size_t, Hash> index_;
+};
+
+}  // namespace dnsguard::ratelimit

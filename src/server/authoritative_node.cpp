@@ -1,0 +1,139 @@
+#include "server/authoritative_node.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dnsguard::server {
+
+AuthoritativeServerNode::AuthoritativeServerNode(sim::Simulator& sim,
+                                                 std::string name,
+                                                 Config config)
+    : sim::Node(sim, std::move(name)), config_(config) {
+  tcp_ = std::make_unique<tcp::TcpStack>(
+      [this](net::Packet p) { send(std::move(p)); },
+      [this] { return now(); },
+      tcp::TcpStack::Callbacks{
+          .on_established = {},
+          .on_data = [this](tcp::ConnId id,
+                            BytesView data) { on_tcp_data(id, data); },
+          .on_closed = [this](tcp::ConnId id) { framers_.erase(id); },
+      },
+      tcp::TcpStack::Options{.syn_cookies = false});
+  tcp_->listen(net::kDnsPort);
+
+  // Periodic reaping of dead TCP connections.
+  auto reap_loop = std::make_shared<std::function<void()>>();
+  *reap_loop = [this, reap_loop] {
+    tcp_->reap(config_.tcp_idle_timeout, SimDuration{0});
+    schedule_in(config_.tcp_idle_timeout, *reap_loop);
+  };
+  schedule_in(config_.tcp_idle_timeout, *reap_loop);
+}
+
+void AuthoritativeServerNode::apply_ttl_override(dns::Message& m) const {
+  if (!config_.ttl_override) return;
+  for (auto* section : {&m.answers, &m.authority, &m.additional}) {
+    for (auto& rr : *section) rr.ttl = *config_.ttl_override;
+  }
+}
+
+dns::Message AuthoritativeServerNode::answer(const dns::Message& query,
+                                             bool via_tcp) const {
+  Answer a = engine_.answer(query);
+  apply_ttl_override(a.message);
+
+  // EDNS0 (RFC 6891): an OPT record in the query advertises the
+  // requester's reassembly capability; honor it (clamped) instead of the
+  // classic 512-byte limit, and mirror an OPT in the response.
+  std::size_t max_udp = dns::kMaxUdpPayload;
+  bool requester_edns = false;
+  for (const auto& rr : query.additional) {
+    if (rr.type == dns::RrType::OPT) {
+      requester_edns = true;
+      const auto& opt = std::get<dns::OptRdata>(rr.rdata);
+      max_udp = std::clamp<std::size_t>(opt.udp_payload_size,
+                                        dns::kMaxUdpPayload,
+                                        config_.max_edns_payload);
+      break;
+    }
+  }
+  if (requester_edns) {
+    a.message.additional.push_back(dns::ResourceRecord{
+        dns::DomainName{}, dns::RrType::OPT, dns::RrClass::IN, 0,
+        dns::OptRdata{static_cast<std::uint16_t>(config_.max_edns_payload)}});
+  }
+
+  if (!via_tcp && a.message.encode().size() > max_udp) {
+    // Too large for UDP: signal truncation; the client retries over TCP.
+    dns::Message tc = dns::Message::response_to(query);
+    tc.header.tc = true;
+    tc.header.aa = a.message.header.aa;
+    return tc;
+  }
+  return a.message;
+}
+
+SimDuration AuthoritativeServerNode::process(const net::Packet& packet) {
+  if (packet.is_udp()) {
+    if (packet.udp().dst_port != net::kDnsPort) return SimDuration{0};
+    auto query = dns::Message::decode(BytesView(packet.payload));
+    if (!query || query->header.qr || query->question() == nullptr) {
+      ans_stats_.malformed++;
+      return config_.udp_query_cost;  // parsing junk still costs CPU
+    }
+    ans_stats_.udp_queries++;
+    dns::Message resp = answer(*query, /*via_tcp=*/false);
+    if (resp.header.tc) ans_stats_.truncated++;
+    ans_stats_.responses++;
+    send(net::Packet::make_udp({config_.address, net::kDnsPort}, packet.src(),
+                               resp.encode()));
+    return config_.udp_query_cost;
+  }
+
+  // TCP path: the stack drives callbacks; costs accrue in pending_cost_.
+  pending_cost_ = config_.tcp_segment_cost;
+  if (packet.tcp().flags.syn && !packet.tcp().flags.ack) {
+    pending_cost_ = pending_cost_ + config_.tcp_connection_cost;
+  }
+  tcp_->handle_packet(packet);
+  return pending_cost_;
+}
+
+void AuthoritativeServerNode::on_tcp_data(tcp::ConnId conn, BytesView data) {
+  auto& framer = framers_[conn];
+  for (Bytes& msg : framer.push(data)) {
+    auto query = dns::Message::decode(BytesView(msg));
+    if (!query || query->header.qr || query->question() == nullptr) {
+      ans_stats_.malformed++;
+      continue;
+    }
+    ans_stats_.tcp_queries++;
+    dns::Message resp = answer(*query, /*via_tcp=*/true);
+    ans_stats_.responses++;
+    tcp_->send_data(conn, BytesView(tcp::StreamFramer::frame(resp.encode())));
+  }
+}
+
+SimDuration AnsSimulatorNode::process(const net::Packet& packet) {
+  if (!packet.is_udp() || packet.udp().dst_port != net::kDnsPort) {
+    return SimDuration{0};
+  }
+  auto query = dns::Message::decode(BytesView(packet.payload));
+  if (!query || query->header.qr || query->question() == nullptr) {
+    ans_stats_.malformed++;
+    return config_.query_cost;
+  }
+  ans_stats_.udp_queries++;
+  dns::Message resp = dns::Message::response_to(*query);
+  resp.header.aa = true;
+  resp.answers.push_back(dns::ResourceRecord::a(query->question()->qname,
+                                                config_.answer_address,
+                                                config_.answer_ttl));
+  ans_stats_.responses++;
+  send(net::Packet::make_udp({config_.address, net::kDnsPort}, packet.src(),
+                             resp.encode()));
+  return config_.query_cost;
+}
+
+}  // namespace dnsguard::server

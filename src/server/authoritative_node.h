@@ -1,0 +1,111 @@
+// Authoritative name server simulation nodes.
+//
+// AuthoritativeServerNode models a BIND-like ANS: full zone-based answer
+// logic over UDP and TCP, with a calibrated CPU cost model. The paper
+// measures BIND 9.3.1 at ~14K UDP queries/sec and ~2.2K TCP queries/sec
+// on the testbed hardware (§IV.C); the default costs reproduce those
+// capacities.
+//
+// AnsSimulatorNode models the paper's stripped-down "ANS simulator" that
+// "responds to each DNS request with the same answer" at ~110K
+// requests/sec (§IV.D) — used to stress the DNS guard without BIND being
+// the bottleneck.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <unordered_map>
+
+#include "dns/message.h"
+#include "server/zone.h"
+#include "sim/node.h"
+#include "tcp/tcp_stack.h"
+
+namespace dnsguard::server {
+
+struct AnsStats {
+  std::uint64_t udp_queries = 0;
+  std::uint64_t tcp_queries = 0;
+  std::uint64_t responses = 0;
+  std::uint64_t truncated = 0;
+  std::uint64_t malformed = 0;
+};
+
+class AuthoritativeServerNode : public sim::Node {
+ public:
+  struct Config {
+    net::Ipv4Address address;
+    /// CPU time per UDP query (default = 1 / 14K req/s, §IV.C).
+    SimDuration udp_query_cost = nanoseconds(71429);
+    /// CPU time per TCP segment processed.
+    SimDuration tcp_segment_cost = microseconds(40);
+    /// Additional CPU time per TCP connection (setup/teardown bookkeeping).
+    /// With ~6 server-side segments per query, total ≈ 1/2.2K req/s.
+    SimDuration tcp_connection_cost = microseconds(200);
+    /// When set, every record in every response is rewritten to this TTL
+    /// (Fig. 5 config: "TTL of each DNS response is configured to be 0 to
+    /// disable DNS caching").
+    std::optional<std::uint32_t> ttl_override;
+    /// Reap TCP connections idle longer than this.
+    SimDuration tcp_idle_timeout = seconds(30);
+    /// Largest UDP payload served to EDNS0 requesters (RFC 6891).
+    std::size_t max_edns_payload = 4096;
+  };
+
+  AuthoritativeServerNode(sim::Simulator& sim, std::string name,
+                          Config config);
+
+  void add_zone(Zone zone) { engine_.add_zone(std::move(zone)); }
+  [[nodiscard]] const AuthoritativeEngine& engine() const { return engine_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const AnsStats& ans_stats() const { return ans_stats_; }
+  void reset_ans_stats() { ans_stats_ = AnsStats{}; }
+
+  /// Produces the response message for `query` (shared by UDP/TCP paths;
+  /// public so the guard can consult the engine in unit tests).
+  [[nodiscard]] dns::Message answer(const dns::Message& query,
+                                    bool via_tcp) const;
+
+ protected:
+  SimDuration process(const net::Packet& packet) override;
+
+ private:
+  void apply_ttl_override(dns::Message& m) const;
+  void on_tcp_data(tcp::ConnId conn, BytesView data);
+
+  Config config_;
+  AuthoritativeEngine engine_;
+  std::unique_ptr<tcp::TcpStack> tcp_;
+  std::unordered_map<tcp::ConnId, tcp::StreamFramer> framers_;
+  AnsStats ans_stats_;
+  SimDuration pending_cost_{};  // cost accrued by TCP callbacks per packet
+};
+
+/// The paper's high-throughput ANS simulator: answers every query with one
+/// fixed A record, no zone logic, at ~110K req/s.
+class AnsSimulatorNode : public sim::Node {
+ public:
+  struct Config {
+    net::Ipv4Address address;
+    net::Ipv4Address answer_address{192, 0, 2, 1};
+    std::uint32_t answer_ttl = 60;
+    /// CPU time per query (default = 1 / 110K req/s, §IV.D).
+    SimDuration query_cost = nanoseconds(9091);
+  };
+
+  AnsSimulatorNode(sim::Simulator& sim, std::string name, Config config)
+      : sim::Node(sim, std::move(name)), config_(config) {}
+
+  [[nodiscard]] const AnsStats& ans_stats() const { return ans_stats_; }
+  void reset_ans_stats() { ans_stats_ = AnsStats{}; }
+  [[nodiscard]] const Config& config() const { return config_; }
+
+ protected:
+  SimDuration process(const net::Packet& packet) override;
+
+ private:
+  Config config_;
+  AnsStats ans_stats_;
+};
+
+}  // namespace dnsguard::server

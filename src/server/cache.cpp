@@ -1,0 +1,72 @@
+#include "server/cache.h"
+
+#include <algorithm>
+#include <cctype>
+
+namespace dnsguard::server {
+
+RrCache::Key RrCache::key_of(const dns::DomainName& name, dns::RrType type) {
+  std::string s = name.to_string();
+  for (char& c : s) {
+    c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+  }
+  return Key{std::move(s), static_cast<std::uint16_t>(type)};
+}
+
+void RrCache::put(const dns::ResourceRecord& rr, SimTime now) {
+  if (rr.ttl == 0) return;
+  Key key = key_of(rr.name, rr.type);
+  SimTime expires = now + seconds(rr.ttl);
+  auto it = entries_.find(key);
+  if (it == entries_.end() || it->second.expires <= now) {
+    entries_[key] = Entry{{rr}, expires};
+    stats_.inserts++;
+    return;
+  }
+  // Merge into the existing set if this exact record is new; keep the
+  // earlier of the two expiries so no record outlives its TTL.
+  Entry& e = it->second;
+  if (std::none_of(e.rrs.begin(), e.rrs.end(),
+                   [&rr](const dns::ResourceRecord& x) { return x == rr; })) {
+    e.rrs.push_back(rr);
+    stats_.inserts++;
+  }
+  e.expires = std::min(e.expires, expires);
+}
+
+std::optional<std::vector<dns::ResourceRecord>> RrCache::get(
+    const dns::DomainName& name, dns::RrType type, SimTime now) {
+  auto it = entries_.find(key_of(name, type));
+  if (it == entries_.end() || it->second.expires <= now) {
+    if (it != entries_.end()) entries_.erase(it);
+    stats_.misses++;
+    return std::nullopt;
+  }
+  stats_.hits++;
+  return it->second.rrs;
+}
+
+void RrCache::evict(const dns::DomainName& name, dns::RrType type) {
+  entries_.erase(key_of(name, type));
+  negative_.erase(key_of(name, type));
+}
+
+void RrCache::put_negative(const dns::DomainName& name, dns::RrType type,
+                           dns::Rcode rcode, std::uint32_t ttl, SimTime now) {
+  if (ttl == 0) return;
+  negative_[key_of(name, type)] = NegativeEntry{rcode, now + seconds(ttl)};
+}
+
+std::optional<dns::Rcode> RrCache::get_negative(const dns::DomainName& name,
+                                                dns::RrType type,
+                                                SimTime now) {
+  auto it = negative_.find(key_of(name, type));
+  if (it == negative_.end() || it->second.expires <= now) {
+    if (it != negative_.end()) negative_.erase(it);
+    return std::nullopt;
+  }
+  stats_.hits++;
+  return it->second.rcode;
+}
+
+}  // namespace dnsguard::server

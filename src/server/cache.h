@@ -1,0 +1,86 @@
+// TTL-honoring resource-record cache used by the recursive resolver.
+//
+// Cache behaviour is load-bearing for the paper: the DNS-based scheme's
+// latency depends on the LRS caching fabricated NS records with a large
+// TTL while the underlying A records expire on the original schedule
+// (§III.B.1, issue one), and Fig. 5 disables caching entirely by serving
+// TTL=0 responses.
+#pragma once
+
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "dns/message.h"
+#include "dns/records.h"
+
+namespace dnsguard::server {
+
+class RrCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::uint64_t inserts = 0;
+  };
+
+  /// Caches one record set under (name, type). TTL 0 records are not
+  /// cached (RFC 1035 semantics: use only for the current transaction).
+  void put(const dns::ResourceRecord& rr, SimTime now);
+  void put_all(const std::vector<dns::ResourceRecord>& rrs, SimTime now) {
+    for (const auto& rr : rrs) put(rr, now);
+  }
+
+  /// Returns unexpired records for (name, type), or nullopt.
+  [[nodiscard]] std::optional<std::vector<dns::ResourceRecord>> get(
+      const dns::DomainName& name, dns::RrType type, SimTime now);
+
+  /// Removes the entry for (name, type) — used by tests to force expiry.
+  void evict(const dns::DomainName& name, dns::RrType type);
+
+  // --- negative caching (RFC 2308) ----------------------------------------
+  // NXDOMAIN / NODATA results are cached for the SOA "minimum" interval so
+  // repeated lookups of missing names don't re-walk the hierarchy.
+
+  /// Records a negative result for (name, type) lasting `ttl` seconds.
+  void put_negative(const dns::DomainName& name, dns::RrType type,
+                    dns::Rcode rcode, std::uint32_t ttl, SimTime now);
+
+  /// Unexpired negative result for (name, type), if any.
+  [[nodiscard]] std::optional<dns::Rcode> get_negative(
+      const dns::DomainName& name, dns::RrType type, SimTime now);
+
+  void clear() {
+    entries_.clear();
+    negative_.clear();
+  }
+  [[nodiscard]] std::size_t size() const { return entries_.size(); }
+  [[nodiscard]] std::size_t negative_size() const { return negative_.size(); }
+  [[nodiscard]] const Stats& stats() const { return stats_; }
+
+ private:
+  struct Key {
+    std::string name;  // canonical lowercase
+    std::uint16_t type;
+    auto operator<=>(const Key&) const = default;
+  };
+  struct Entry {
+    std::vector<dns::ResourceRecord> rrs;
+    SimTime expires;
+  };
+
+  struct NegativeEntry {
+    dns::Rcode rcode;
+    SimTime expires;
+  };
+
+  static Key key_of(const dns::DomainName& name, dns::RrType type);
+
+  std::map<Key, Entry> entries_;
+  std::map<Key, NegativeEntry> negative_;
+  Stats stats_;
+};
+
+}  // namespace dnsguard::server

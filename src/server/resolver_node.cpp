@@ -1,0 +1,494 @@
+#include "server/resolver_node.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dnsguard::server {
+
+RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
+                                             std::string name, Config config)
+    : sim::Node(sim, std::move(name)), config_(std::move(config)) {
+  tcp_ = std::make_unique<tcp::TcpStack>(
+      [this](net::Packet p) { send(std::move(p)); },
+      [this] { return now(); },
+      tcp::TcpStack::Callbacks{
+          .on_established = {},
+          .on_data = [this](tcp::ConnId id,
+                            BytesView data) { on_tcp_data(id, data); },
+          .on_closed =
+              [this](tcp::ConnId id) {
+                tcp_framers_.erase(id);
+                tcp_conn_query_.erase(id);
+              },
+      },
+      tcp::TcpStack::Options{});
+}
+
+void RecursiveResolverNode::resolve(const dns::DomainName& qname,
+                                    dns::RrType qtype, ResolveCallback cb) {
+  start_task(dns::Question{qname, qtype, dns::RrClass::IN}, std::nullopt,
+             std::move(cb), /*parent=*/0, /*glue_depth=*/0);
+}
+
+std::uint16_t RecursiveResolverNode::allocate_query_id() {
+  // Skip ids still in flight; with < 2^16 outstanding this terminates.
+  for (int i = 0; i < 65536; ++i) {
+    std::uint16_t id = next_query_id_++;
+    if (id != 0 && pending_.find(id) == pending_.end()) return id;
+  }
+  return 0;  // resolver saturated; caller fails the task
+}
+
+std::uint64_t RecursiveResolverNode::start_task(dns::Question question,
+                                                std::optional<ClientRef> client,
+                                                ResolveCallback cb,
+                                                std::uint64_t parent,
+                                                int glue_depth) {
+  Task task;
+  task.id = next_task_id_++;
+  task.original_qname = question.qname;
+  task.original_qtype = question.qtype;
+  task.question = std::move(question);
+  task.client = std::move(client);
+  task.callback = std::move(cb);
+  task.parent = parent;
+  task.glue_depth = glue_depth;
+  task.started_at = now();
+  std::uint64_t id = task.id;
+  tasks_.emplace(id, std::move(task));
+  continue_task(id);
+  return id;
+}
+
+RecursiveResolverNode::ServerSelection
+RecursiveResolverNode::select_servers(const dns::DomainName& qname) {
+  ServerSelection sel;
+  // Walk enclosing zones from the deepest: qname itself, its parent, ...
+  // down to the root. The guard's fabricated referrals place the "zone"
+  // exactly at qname, so starting at depth == label_count matters.
+  for (std::size_t depth = qname.label_count();; --depth) {
+    dns::DomainName zone = qname.suffix(depth);
+    auto ns_set = cache_.get(zone, dns::RrType::NS, now());
+    if (ns_set) {
+      std::optional<dns::DomainName> first_unresolved;
+      for (const auto& ns : *ns_set) {
+        const auto& nsname = std::get<dns::NsRdata>(ns.rdata).nsdname;
+        if (auto addrs = cache_.get(nsname, dns::RrType::A, now())) {
+          for (const auto& a : *addrs) {
+            sel.addresses.push_back(std::get<dns::ARdata>(a.rdata).address);
+          }
+        } else if (!first_unresolved) {
+          first_unresolved = nsname;
+        }
+      }
+      if (!sel.addresses.empty()) return sel;
+      if (first_unresolved) {
+        sel.glue_needed = first_unresolved;
+        return sel;
+      }
+      // NS names cached but unresolvable; fall through to shallower zone.
+    }
+    if (depth == 0) break;
+  }
+  sel.addresses = config_.root_hints;
+  return sel;
+}
+
+void RecursiveResolverNode::continue_task(std::uint64_t task_id) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;
+  Task& task = it->second;
+  task.waiting_glue = false;
+
+  if (++task.attempts > config_.max_attempts) {
+    fail(task_id);
+    return;
+  }
+
+  // 1. Cache: direct answer?
+  if (auto hit = cache_.get(task.question.qname, task.question.qtype, now())) {
+    for (const auto& rr : *hit) task.accumulated.push_back(rr);
+    complete(task_id, true, dns::Rcode::NoError);
+    return;
+  }
+  // Negative cache (RFC 2308): a recent NXDOMAIN/NODATA answers without
+  // touching the network.
+  if (auto neg = cache_.get_negative(task.question.qname, task.question.qtype,
+                                     now())) {
+    complete(task_id, true, *neg);
+    return;
+  }
+  // Cached CNAME redirect?
+  if (task.question.qtype != dns::RrType::CNAME) {
+    if (auto cn = cache_.get(task.question.qname, dns::RrType::CNAME, now())) {
+      if (++task.cname_depth > config_.max_cname_depth) {
+        fail(task_id);
+        return;
+      }
+      stats_.cname_chases++;
+      task.accumulated.push_back(cn->front());
+      task.question.qname = std::get<dns::CnameRdata>(cn->front().rdata).target;
+      continue_task(task_id);
+      return;
+    }
+  }
+
+  // 2. Choose servers.
+  ServerSelection sel = select_servers(task.question.qname);
+  if (sel.glue_needed) {
+    if (task.glue_depth >= config_.max_glue_depth) {
+      fail(task_id);
+      return;
+    }
+    stats_.glue_subtasks++;
+    task.waiting_glue = true;
+    std::uint64_t parent_id = task.id;
+    start_task(dns::Question{*sel.glue_needed, dns::RrType::A,
+                             dns::RrClass::IN},
+               std::nullopt, {}, parent_id, task.glue_depth + 1);
+    return;
+  }
+  task.servers = std::move(sel.addresses);
+  task.server_index = 0;
+  task.retries = 0;
+  if (task.servers.empty()) {
+    fail(task_id);
+    return;
+  }
+  send_iterative(task);
+}
+
+void RecursiveResolverNode::send_iterative(Task& task) {
+  std::uint16_t qid = allocate_query_id();
+  if (qid == 0) {
+    fail(task.id);
+    return;
+  }
+  net::Ipv4Address server = task.servers[task.server_index];
+  dns::Message query = dns::Message::query(qid, task.question.qname,
+                                           task.question.qtype,
+                                           /*recursion_desired=*/false);
+  if (config_.edns_payload_size > 0) {
+    query.additional.push_back(dns::ResourceRecord{
+        dns::DomainName{}, dns::RrType::OPT, dns::RrClass::IN, 0,
+        dns::OptRdata{config_.edns_payload_size}});
+  }
+  PendingQuery pq;
+  pq.task_id = task.id;
+  pq.question = task.question;
+  pq.server = server;
+  pq.timer_generation = 0;
+  pending_[qid] = pq;
+  stats_.iterative_queries++;
+
+  send(net::Packet::make_udp({config_.address, net::kDnsPort},
+                             {server, net::kDnsPort}, query.encode()));
+
+  std::uint64_t gen = pending_[qid].timer_generation;
+  schedule_in(config_.retry_timeout,
+              [this, qid, gen] { on_timeout(qid, gen); });
+}
+
+void RecursiveResolverNode::on_timeout(std::uint16_t query_id,
+                                       std::uint64_t generation) {
+  auto it = pending_.find(query_id);
+  if (it == pending_.end() || it->second.timer_generation != generation) {
+    return;  // already answered or superseded
+  }
+  PendingQuery pq = it->second;
+  pending_.erase(it);
+
+  auto tit = tasks_.find(pq.task_id);
+  if (tit == tasks_.end()) return;
+  Task& task = tit->second;
+
+  if (task.retries < config_.max_retries) {
+    task.retries++;
+    stats_.retransmissions++;
+    send_iterative(task);
+    return;
+  }
+  // Next server, if any.
+  if (task.server_index + 1 < task.servers.size()) {
+    task.server_index++;
+    task.retries = 0;
+    stats_.retransmissions++;
+    send_iterative(task);
+    return;
+  }
+  fail(pq.task_id);
+}
+
+void RecursiveResolverNode::cache_message(const dns::Message& m) {
+  cache_.put_all(m.answers, now());
+  cache_.put_all(m.authority, now());
+  cache_.put_all(m.additional, now());
+}
+
+void RecursiveResolverNode::handle_response(const dns::Message& response,
+                                            net::Ipv4Address from_server,
+                                            bool via_tcp) {
+  auto pit = pending_.find(response.header.id);
+  if (pit == pending_.end()) return;
+  PendingQuery& pq = pit->second;
+  // Anti-spoofing checks a real resolver performs: the response must come
+  // from the queried server and echo the question.
+  if (pq.server != from_server) return;
+  const dns::Question* q = response.question();
+  if (q == nullptr || !(q->qname == pq.question.qname) ||
+      q->qtype != pq.question.qtype) {
+    return;
+  }
+  std::uint64_t task_id = pq.task_id;
+
+  // Truncated: retry the same query over TCP (RFC 1035 §4.2.2). Keep the
+  // pending entry; the TCP response will land back here.
+  if (response.header.tc && !via_tcp) {
+    auto tit = tasks_.find(task_id);
+    if (tit == tasks_.end()) {
+      pending_.erase(pit);
+      return;
+    }
+    pq.via_tcp = true;
+    pq.timer_generation++;
+    stats_.tcp_fallbacks++;
+    // Arm a fresh timer for the TCP attempt so a stalled connection
+    // (e.g. the guard dropping segments under attack) fails the task
+    // instead of leaking it.
+    std::uint16_t qid = response.header.id;
+    std::uint64_t gen = pq.timer_generation;
+    schedule_in(config_.retry_timeout * 2,
+                [this, qid, gen] { on_timeout(qid, gen); });
+    start_tcp_query(tit->second, from_server);
+    return;
+  }
+
+  pending_.erase(pit);
+  auto tit = tasks_.find(task_id);
+  if (tit == tasks_.end()) return;
+  Task& task = tit->second;
+
+  cache_message(response);
+
+  // SOA "minimum" bounds how long a negative result may be cached
+  // (RFC 2308 §5): use min(SOA TTL, SOA minimum).
+  auto negative_ttl = [&response]() -> std::uint32_t {
+    for (const auto& rr : response.authority) {
+      if (rr.type == dns::RrType::SOA) {
+        const auto& soa = std::get<dns::SoaRdata>(rr.rdata);
+        return std::min(rr.ttl, soa.minimum);
+      }
+    }
+    return 0;
+  };
+
+  if (response.header.rcode == dns::Rcode::NxDomain) {
+    cache_.put_negative(task.question.qname, task.question.qtype,
+                        dns::Rcode::NxDomain, negative_ttl(), now());
+    complete(task_id, true, dns::Rcode::NxDomain);
+    return;
+  }
+  if (response.header.rcode != dns::Rcode::NoError) {
+    // Try next server; a lame/refusing server shouldn't kill resolution.
+    if (task.server_index + 1 < task.servers.size()) {
+      task.server_index++;
+      task.retries = 0;
+      send_iterative(task);
+    } else {
+      fail(task_id);
+    }
+    return;
+  }
+
+  if (!response.answers.empty()) {
+    // Collect answers; chase a CNAME if the target type is still missing.
+    bool have_target_type = false;
+    std::optional<dns::DomainName> cname_target;
+    for (const auto& rr : response.answers) {
+      task.accumulated.push_back(rr);
+      if (rr.type == task.question.qtype && rr.name == task.question.qname) {
+        have_target_type = true;
+      }
+      if (rr.type == dns::RrType::CNAME && rr.name == task.question.qname) {
+        cname_target = std::get<dns::CnameRdata>(rr.rdata).target;
+      }
+    }
+    // Also accept any record of the right type for a CNAME-chained owner.
+    if (!have_target_type) {
+      for (const auto& rr : response.answers) {
+        if (rr.type == task.question.qtype) have_target_type = true;
+      }
+    }
+    if (have_target_type || task.question.qtype == dns::RrType::CNAME) {
+      complete(task_id, true, dns::Rcode::NoError);
+      return;
+    }
+    if (cname_target) {
+      if (++task.cname_depth > config_.max_cname_depth) {
+        fail(task_id);
+        return;
+      }
+      stats_.cname_chases++;
+      task.question.qname = *cname_target;
+      continue_task(task_id);
+      return;
+    }
+    // Answers but nothing usable: treat as NODATA.
+    complete(task_id, true, dns::Rcode::NoError);
+    return;
+  }
+
+  if (response.is_referral()) {
+    // Accept the referral if it names a zone enclosing (or equal to) the
+    // question; the guard's fabricated referrals use owner == qname.
+    const auto& owner = response.authority.front().name;
+    if (task.question.qname.is_subdomain_of(owner)) {
+      stats_.referrals_followed++;
+      continue_task(task_id);
+      return;
+    }
+  }
+
+  // NODATA (or unusable referral): negative-cache the absence of this
+  // type if the server supplied an SOA.
+  cache_.put_negative(task.question.qname, task.question.qtype,
+                      dns::Rcode::NoError, negative_ttl(), now());
+  complete(task_id, true, dns::Rcode::NoError);
+}
+
+void RecursiveResolverNode::complete(std::uint64_t task_id, bool ok,
+                                     dns::Rcode rcode) {
+  auto it = tasks_.find(task_id);
+  if (it == tasks_.end()) return;
+  Task task = std::move(it->second);
+  tasks_.erase(it);
+
+  if (ok) {
+    stats_.completed++;
+  } else {
+    stats_.failures++;
+  }
+
+  if (task.parent != 0) {
+    // Glue subtask: results are already in cache; resume the parent.
+    auto pit = tasks_.find(task.parent);
+    if (pit != tasks_.end() && pit->second.waiting_glue) {
+      if (ok && rcode == dns::Rcode::NoError) {
+        continue_task(task.parent);
+      } else {
+        fail(task.parent);
+      }
+    }
+    return;
+  }
+
+  if (task.client) {
+    dns::Message resp;
+    resp.header.id = task.client->query_id;
+    resp.header.qr = true;
+    resp.header.rd = true;
+    resp.header.ra = true;
+    resp.header.rcode = ok ? rcode : dns::Rcode::ServFail;
+    resp.questions.push_back(task.client->question);
+    if (ok && rcode == dns::Rcode::NoError) {
+      resp.answers = task.accumulated;
+    }
+    stats_.client_responses++;
+    send(net::Packet::make_udp({config_.address, net::kDnsPort},
+                               task.client->addr, resp.encode()));
+  }
+  if (task.callback) {
+    Result r;
+    r.ok = ok;  // "resolution completed"; rcode carries the DNS outcome
+    r.rcode = ok ? rcode : dns::Rcode::ServFail;
+    r.answers = std::move(task.accumulated);
+    r.elapsed = now() - task.started_at;
+    task.callback(r);
+  }
+}
+
+void RecursiveResolverNode::start_tcp_query(Task& task,
+                                            net::Ipv4Address server) {
+  net::SocketAddr local{config_.address, next_ephemeral_port_++};
+  if (next_ephemeral_port_ < 10000) next_ephemeral_port_ = 10000;
+  tcp::ConnId conn = tcp_->connect(local, {server, net::kDnsPort});
+
+  // Find the pending query id for this task to resend over TCP.
+  std::uint16_t qid = 0;
+  for (const auto& [id, pq] : pending_) {
+    if (pq.task_id == task.id) {
+      qid = id;
+      break;
+    }
+  }
+  if (qid == 0) {
+    tcp_->abort(conn);
+    return;
+  }
+  tcp_conn_query_[conn] = qid;
+
+  dns::Message query = dns::Message::query(qid, task.question.qname,
+                                           task.question.qtype, false);
+  Bytes framed = tcp::StreamFramer::frame(query.encode());
+  // Send once established. Capture by value; the stack ignores sends on
+  // dead connections.
+  std::uint64_t task_id = task.id;
+  (void)task_id;
+  // Poll-free approach: TcpStack has no per-connection established hook
+  // with payload, so wire it through the general on_established callback
+  // is not possible post-construction; instead we piggyback: try now (it
+  // will fail silently), and also schedule a retry after the handshake
+  // RTT. Robust because send_data() is a no-op until ESTABLISHED.
+  auto try_send = std::make_shared<std::function<void(int)>>();
+  *try_send = [this, conn, framed, try_send](int attempts_left) {
+    if (tcp_->send_data(conn, BytesView(framed))) return;
+    if (attempts_left <= 0) return;
+    schedule_in(milliseconds(1), [try_send, attempts_left] {
+      (*try_send)(attempts_left - 1);
+    });
+  };
+  (*try_send)(100);
+}
+
+void RecursiveResolverNode::on_tcp_data(tcp::ConnId conn, BytesView data) {
+  auto qit = tcp_conn_query_.find(conn);
+  if (qit == tcp_conn_query_.end()) return;
+  auto& framer = tcp_framers_[conn];
+  for (Bytes& msg : framer.push(data)) {
+    auto m = dns::Message::decode(BytesView(msg));
+    if (!m || !m->header.qr) continue;
+    auto remote = tcp_->remote_of(conn);
+    if (!remote) continue;
+    handle_response(*m, remote->ip, /*via_tcp=*/true);
+  }
+  // One query per connection: close after the response arrives.
+  tcp_->close(conn);
+}
+
+SimDuration RecursiveResolverNode::process(const net::Packet& packet) {
+  if (packet.is_tcp()) {
+    tcp_->handle_packet(packet);
+    return config_.per_packet_cost;
+  }
+  if (!packet.is_udp()) return SimDuration{0};
+
+  auto m = dns::Message::decode(BytesView(packet.payload));
+  if (!m) return config_.per_packet_cost;
+
+  if (m->header.qr) {
+    handle_response(*m, packet.src_ip, /*via_tcp=*/false);
+    return config_.per_packet_cost;
+  }
+
+  // A recursive client query (stub resolver).
+  if (packet.udp().dst_port == net::kDnsPort && m->header.rd &&
+      m->question() != nullptr) {
+    stats_.client_queries++;
+    ClientRef client{packet.src(), m->header.id, *m->question()};
+    start_task(*m->question(), client, {}, 0, 0);
+  }
+  return config_.per_packet_cost;
+}
+
+}  // namespace dnsguard::server

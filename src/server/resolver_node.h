@@ -1,0 +1,166 @@
+// RecursiveResolverNode: a faithful local recursive server (LRS).
+//
+// This is a *standard* resolver on purpose: the central claim of the
+// paper's DNS-based and TCP-based schemes is transparency — an unmodified
+// LRS, by simply following referrals, resolving glueless NS names and
+// falling back to TCP on truncation, performs the guard's cookie exchange
+// without knowing it (§III.B, §III.C). This implementation therefore
+// only speaks RFC 1035: iterative resolution from root hints, a
+// TTL-honoring cache, glueless-NS sub-resolution, CNAME chasing, UDP
+// retransmission with BIND-like timeouts, and TCP fallback on TC=1.
+//
+// It serves recursive clients (stub resolvers) over UDP port 53 and also
+// exposes a local resolve() API for workload drivers.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "dns/message.h"
+#include "server/cache.h"
+#include "sim/node.h"
+#include "tcp/tcp_stack.h"
+
+namespace dnsguard::server {
+
+struct ResolverStats {
+  std::uint64_t client_queries = 0;
+  std::uint64_t client_responses = 0;
+  std::uint64_t iterative_queries = 0;
+  std::uint64_t retransmissions = 0;
+  std::uint64_t tcp_fallbacks = 0;
+  std::uint64_t referrals_followed = 0;
+  std::uint64_t glue_subtasks = 0;
+  std::uint64_t cname_chases = 0;
+  std::uint64_t failures = 0;
+  std::uint64_t completed = 0;
+};
+
+class RecursiveResolverNode : public sim::Node {
+ public:
+  struct Config {
+    net::Ipv4Address address;
+    std::vector<net::Ipv4Address> root_hints;
+    /// UDP retransmission timeout. BIND's classic 2 s (§IV.C: "BIND-based
+    /// LRS uses a large time-out value of 2 seconds").
+    SimDuration retry_timeout = seconds(2);
+    /// Retransmissions per server before moving to the next server.
+    int max_retries = 2;
+    /// CPU cost per packet handled (the LRS is never the bottleneck in
+    /// the paper's experiments, but its CPU is still modeled).
+    SimDuration per_packet_cost = microseconds(5);
+    /// Overall per-task attempt budget (loop protection).
+    int max_attempts = 24;
+    int max_cname_depth = 8;
+    int max_glue_depth = 3;
+    /// When nonzero, advertise EDNS0 with this UDP payload size on every
+    /// iterative query (reduces TCP fallbacks for large answers).
+    std::uint16_t edns_payload_size = 0;
+  };
+
+  /// Result delivered to local resolve() callers.
+  struct Result {
+    bool ok = false;
+    dns::Rcode rcode = dns::Rcode::ServFail;
+    std::vector<dns::ResourceRecord> answers;
+    SimDuration elapsed{};
+  };
+  using ResolveCallback = std::function<void(const Result&)>;
+
+  RecursiveResolverNode(sim::Simulator& sim, std::string name, Config config);
+
+  /// Starts a resolution driven directly (no stub network hop).
+  void resolve(const dns::DomainName& qname, dns::RrType qtype,
+               ResolveCallback cb);
+
+  [[nodiscard]] const ResolverStats& resolver_stats() const { return stats_; }
+  void reset_resolver_stats() { stats_ = ResolverStats{}; }
+  [[nodiscard]] RrCache& cache() { return cache_; }
+  [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::size_t inflight_tasks() const { return tasks_.size(); }
+
+ protected:
+  SimDuration process(const net::Packet& packet) override;
+
+ private:
+  struct ClientRef {
+    net::SocketAddr addr;
+    std::uint16_t query_id;
+    dns::Question question;
+  };
+
+  struct Task {
+    std::uint64_t id = 0;
+    dns::Question question;        // current target (follows CNAMEs)
+    dns::DomainName original_qname;
+    dns::RrType original_qtype = dns::RrType::A;
+    std::optional<ClientRef> client;   // network client, or...
+    ResolveCallback callback;          // ...local caller
+    std::uint64_t parent = 0;          // glue subtask's awaiting parent
+    int cname_depth = 0;
+    int glue_depth = 0;
+    int attempts = 0;
+    std::vector<dns::ResourceRecord> accumulated;  // CNAME chain so far
+    std::vector<net::Ipv4Address> servers;
+    std::size_t server_index = 0;
+    int retries = 0;
+    SimTime started_at;
+    bool waiting_glue = false;
+  };
+
+  struct PendingQuery {
+    std::uint64_t task_id = 0;
+    dns::Question question;
+    net::Ipv4Address server;
+    std::uint64_t timer_generation = 0;
+    bool via_tcp = false;
+  };
+
+  // --- task machinery ---
+  std::uint64_t start_task(dns::Question question,
+                           std::optional<ClientRef> client,
+                           ResolveCallback cb, std::uint64_t parent,
+                           int glue_depth);
+  void continue_task(std::uint64_t task_id);
+  void send_iterative(Task& task);
+  void on_timeout(std::uint16_t query_id, std::uint64_t generation);
+  void handle_response(const dns::Message& response,
+                       net::Ipv4Address from_server, bool via_tcp);
+  void complete(std::uint64_t task_id, bool ok, dns::Rcode rcode);
+  void fail(std::uint64_t task_id) { complete(task_id, false,
+                                              dns::Rcode::ServFail); }
+
+  /// Finds the closest enclosing zone with usable nameserver addresses in
+  /// cache; falls back to root hints. If NS names are known but none has a
+  /// cached address, returns the first such name for glue resolution.
+  struct ServerSelection {
+    std::vector<net::Ipv4Address> addresses;
+    std::optional<dns::DomainName> glue_needed;
+  };
+  ServerSelection select_servers(const dns::DomainName& qname);
+
+  void cache_message(const dns::Message& m);
+  std::uint16_t allocate_query_id();
+
+  // --- TCP fallback ---
+  void start_tcp_query(Task& task, net::Ipv4Address server);
+  void on_tcp_data(tcp::ConnId conn, BytesView data);
+
+  Config config_;
+  RrCache cache_;
+  ResolverStats stats_;
+  std::unordered_map<std::uint64_t, Task> tasks_;
+  std::unordered_map<std::uint16_t, PendingQuery> pending_;  // by query id
+  std::unordered_map<tcp::ConnId, std::uint16_t> tcp_conn_query_;
+  std::unordered_map<tcp::ConnId, tcp::StreamFramer> tcp_framers_;
+  std::unique_ptr<tcp::TcpStack> tcp_;
+  std::uint64_t next_task_id_ = 1;
+  std::uint16_t next_query_id_ = 1;
+  std::uint16_t next_ephemeral_port_ = 10000;
+};
+
+}  // namespace dnsguard::server

@@ -1,0 +1,16 @@
+#include "sim/event_queue.h"
+
+namespace dnsguard::sim {
+
+void EventQueue::schedule(SimTime at, EventFn fn) {
+  heap_.push(Entry{at, next_seq_++, std::make_shared<EventFn>(std::move(fn))});
+}
+
+EventFn EventQueue::pop(SimTime& at_out) {
+  Entry e = heap_.top();
+  heap_.pop();
+  at_out = e.at;
+  return std::move(*e.fn);
+}
+
+}  // namespace dnsguard::sim

@@ -1,0 +1,51 @@
+// Discrete-event engine: a time-ordered queue of callbacks.
+//
+// Ties are broken by insertion sequence so the simulation is fully
+// deterministic: two events scheduled for the same instant always fire in
+// the order they were scheduled.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <queue>
+#include <vector>
+
+#include "common/time.h"
+
+namespace dnsguard::sim {
+
+using EventFn = std::function<void()>;
+
+class EventQueue {
+ public:
+  /// Schedules `fn` to run at absolute time `at`. Events in the past are
+  /// clamped to "now" by the Simulator before reaching here.
+  void schedule(SimTime at, EventFn fn);
+
+  [[nodiscard]] bool empty() const { return heap_.empty(); }
+  [[nodiscard]] std::size_t size() const { return heap_.size(); }
+  [[nodiscard]] SimTime next_time() const { return heap_.top().at; }
+
+  /// Removes and returns the earliest event's callback, advancing nothing
+  /// itself — the Simulator owns the clock.
+  EventFn pop(SimTime& at_out);
+
+ private:
+  struct Entry {
+    SimTime at;
+    std::uint64_t seq;
+    // Shared rather than unique so Entry stays copyable for the heap.
+    std::shared_ptr<EventFn> fn;
+
+    bool operator>(const Entry& o) const {
+      if (at != o.at) return at > o.at;
+      return seq > o.seq;
+    }
+  };
+
+  std::priority_queue<Entry, std::vector<Entry>, std::greater<>> heap_;
+  std::uint64_t next_seq_ = 0;
+};
+
+}  // namespace dnsguard::sim

@@ -1,0 +1,77 @@
+#include "sim/node.h"
+
+namespace dnsguard::sim {
+
+void Node::deliver(net::Packet packet) {
+  if (rx_queue_.size() >= rx_capacity_) {
+    stats_.dropped_queue_full++;
+    sim_.mutable_stats().packets_dropped_queue_full++;
+    return;
+  }
+  stats_.rx++;
+  sim_.mutable_stats().packets_delivered++;
+  rx_queue_.push_back(std::move(packet));
+  maybe_schedule_service();
+}
+
+void Node::maybe_schedule_service() {
+  if (service_scheduled_ || rx_queue_.empty()) return;
+  service_scheduled_ = true;
+  SimTime start = std::max(now(), busy_until_);
+  sim_.schedule_at(start, [this] { service_one(); });
+}
+
+void Node::service_one() {
+  service_scheduled_ = false;
+  if (rx_queue_.empty()) return;
+  net::Packet packet = std::move(rx_queue_.front());
+  rx_queue_.pop_front();
+
+  in_process_ = true;
+  SimDuration cost = process(packet);
+  in_process_ = false;
+  if (cost.ns < 0) cost.ns = 0;
+
+  stats_.busy = stats_.busy + cost;
+  busy_until_ = now() + cost;
+
+  // Packets emitted during process() leave when the service time elapses.
+  if (!outbox_.empty()) {
+    auto sends = std::move(outbox_);
+    outbox_.clear();
+    sim_.schedule_at(busy_until_, [this, sends = std::move(sends)]() mutable {
+      for (auto& s : sends) {
+        stats_.tx++;
+        if (s.direct_to != nullptr) {
+          sim_.send_direct(this, s.direct_to, std::move(s.packet));
+        } else {
+          sim_.send_packet(this, std::move(s.packet));
+        }
+      }
+    });
+  }
+
+  maybe_schedule_service();
+}
+
+void Node::send(net::Packet packet) {
+  if (in_process_) {
+    outbox_.push_back(PendingSend{nullptr, std::move(packet)});
+  } else {
+    // Sends from timer callbacks leave immediately (the timer already
+    // accounted for any think-time).
+    stats_.tx++;
+    sim_.send_packet(this, std::move(packet));
+  }
+}
+
+void Node::send_direct(Node* to, net::Packet packet) {
+  if (in_process_) {
+    outbox_.push_back(PendingSend{to, std::move(packet)});
+  } else {
+    stats_.tx++;
+    sim_.send_direct(this, to, std::move(packet));
+  }
+}
+
+}  // namespace dnsguard::sim

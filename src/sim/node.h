@@ -1,0 +1,99 @@
+// Node: a simulated machine with one CPU and a bounded receive queue.
+//
+// The CPU cost model is the heart of the reproduction: every throughput
+// and CPU-utilization curve in the paper's evaluation (Figs. 5-7) emerges
+// from nodes whose packet handlers charge calibrated service times.
+//
+// Service discipline: packets wait in a FIFO receive queue; the CPU serves
+// one packet at a time; a handler returns the CPU cost it consumed, and any
+// packets it emitted leave the node when that service time completes. When
+// the receive queue is full, arrivals are dropped — which is what pushes a
+// saturated BIND server's goodput off a cliff in Fig. 5.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <string>
+
+#include "common/time.h"
+#include "net/packet.h"
+#include "sim/simulator.h"
+
+namespace dnsguard::sim {
+
+/// Per-node counters. `busy` accumulates CPU service time; utilization over
+/// a measurement window is busy_delta / window.
+struct NodeStats {
+  std::uint64_t rx = 0;
+  std::uint64_t tx = 0;
+  std::uint64_t dropped_queue_full = 0;
+  SimDuration busy{};
+};
+
+class Node {
+ public:
+  explicit Node(Simulator& sim, std::string name,
+                std::size_t rx_queue_capacity = 4096)
+      : sim_(sim), name_(std::move(name)), rx_capacity_(rx_queue_capacity) {}
+  virtual ~Node() = default;
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  [[nodiscard]] const std::string& name() const { return name_; }
+  [[nodiscard]] Simulator& sim() { return sim_; }
+  [[nodiscard]] const Simulator& sim() const { return sim_; }
+  [[nodiscard]] const NodeStats& stats() const { return stats_; }
+  void reset_stats() { stats_ = NodeStats{}; }
+
+  /// CPU utilization between `reset_stats()` (or construction) and now,
+  /// given the elapsed window length.
+  [[nodiscard]] double utilization(SimDuration window) const {
+    if (window.ns <= 0) return 0.0;
+    return static_cast<double>(stats_.busy.ns) /
+           static_cast<double>(window.ns);
+  }
+
+  /// Entry point used by the Simulator: enqueue an arriving packet.
+  void deliver(net::Packet packet);
+
+  [[nodiscard]] std::size_t rx_queue_depth() const { return rx_queue_.size(); }
+
+ protected:
+  /// Handles one packet. Implementations do their protocol work, emit
+  /// packets via `send()` / `send_direct()`, and return the CPU time the
+  /// work cost. Emitted packets leave the node when that time has elapsed.
+  virtual SimDuration process(const net::Packet& packet) = 0;
+
+  /// Emits a packet into the routed network (released at service end).
+  void send(net::Packet packet);
+  /// Emits a packet on a private wire to a specific peer.
+  void send_direct(Node* to, net::Packet packet);
+
+  /// Schedules a timer callback (timers model OS timers: no CPU charge).
+  void schedule_in(SimDuration delay, EventFn fn) {
+    sim_.schedule_in(delay, std::move(fn));
+  }
+
+  [[nodiscard]] SimTime now() const { return sim_.now(); }
+
+ private:
+  struct PendingSend {
+    Node* direct_to;  // nullptr => routed send
+    net::Packet packet;
+  };
+
+  void maybe_schedule_service();
+  void service_one();
+
+  Simulator& sim_;
+  std::string name_;
+  std::size_t rx_capacity_;
+  std::deque<net::Packet> rx_queue_;
+  std::vector<PendingSend> outbox_;
+  SimTime busy_until_{};
+  bool service_scheduled_ = false;
+  bool in_process_ = false;
+  NodeStats stats_;
+};
+
+}  // namespace dnsguard::sim

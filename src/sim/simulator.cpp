@@ -1,0 +1,130 @@
+#include "sim/simulator.h"
+
+#include <algorithm>
+
+#include "sim/node.h"
+
+namespace dnsguard::sim {
+namespace {
+
+std::uint64_t pair_key(const Node* a, const Node* b) {
+  auto pa = reinterpret_cast<std::uintptr_t>(a);
+  auto pb = reinterpret_cast<std::uintptr_t>(b);
+  if (pa > pb) std::swap(pa, pb);
+  // Mix the two pointers into one key; collisions would only blur latency
+  // configuration, and in practice node counts are tiny.
+  return (static_cast<std::uint64_t>(pa) * 0x9e3779b97f4a7c15ULL) ^
+         static_cast<std::uint64_t>(pb);
+}
+
+}  // namespace
+
+void Simulator::schedule_in(SimDuration delay, EventFn fn) {
+  if (delay.ns < 0) delay.ns = 0;
+  queue_.schedule(now_ + delay, std::move(fn));
+}
+
+void Simulator::schedule_at(SimTime at, EventFn fn) {
+  if (at < now_) at = now_;
+  queue_.schedule(at, std::move(fn));
+}
+
+void Simulator::run_until(SimTime until) {
+  while (!queue_.empty() && queue_.next_time() <= until) {
+    SimTime at;
+    EventFn fn = queue_.pop(at);
+    now_ = at;
+    fn();
+  }
+  if (now_ < until) now_ = until;
+}
+
+void Simulator::run_all() {
+  while (!queue_.empty()) {
+    SimTime at;
+    EventFn fn = queue_.pop(at);
+    now_ = at;
+    fn();
+  }
+}
+
+void Simulator::add_node(Node* node) { nodes_.push_back(node); }
+
+void Simulator::add_route(net::Ipv4Address prefix, int prefix_len,
+                          Node* node) {
+  routes_.push_back(Route{prefix.value(), prefix_len, node});
+  std::stable_sort(routes_.begin(), routes_.end(),
+                   [](const Route& a, const Route& b) {
+                     return a.prefix_len > b.prefix_len;
+                   });
+}
+
+void Simulator::remove_routes_to(Node* node) {
+  std::erase_if(routes_, [node](const Route& r) { return r.node == node; });
+}
+
+Node* Simulator::route_lookup(net::Ipv4Address dst) const {
+  for (const Route& r : routes_) {  // sorted longest-prefix first
+    if (dst.in_subnet(net::Ipv4Address(r.prefix), r.prefix_len)) {
+      return r.node;
+    }
+  }
+  return nullptr;
+}
+
+void Simulator::set_latency(Node* a, Node* b, SimDuration one_way) {
+  latency_[pair_key(a, b)] = one_way;
+}
+
+SimDuration Simulator::latency_between(const Node* a, const Node* b) const {
+  auto it = latency_.find(pair_key(a, b));
+  return it == latency_.end() ? default_latency_ : it->second;
+}
+
+void Simulator::set_gateway(Node* from, Node* gateway) {
+  gateways_[from] = gateway;
+}
+
+void Simulator::clear_gateway(Node* from) { gateways_.erase(from); }
+
+void Simulator::send_packet(Node* from, net::Packet packet) {
+  stats_.packets_sent++;
+  stats_.bytes_sent += packet.wire_size();
+  auto gw = gateways_.find(from);
+  if (gw != gateways_.end()) {
+    deliver_later(from, gw->second, std::move(packet));
+    return;
+  }
+  Node* to = route_lookup(packet.dst_ip);
+  if (to == nullptr) {
+    stats_.packets_dropped_no_route++;
+    DG_LOG_TRACE("sim", "no route for %s", packet.dst_ip.to_string().c_str());
+    return;
+  }
+  deliver_later(from, to, std::move(packet));
+}
+
+void Simulator::send_direct(Node* from, Node* to, net::Packet packet) {
+  stats_.packets_sent++;
+  stats_.bytes_sent += packet.wire_size();
+  deliver_later(from, to, std::move(packet));
+}
+
+void Simulator::set_loss_rate(double p, std::uint64_t loss_seed) {
+  loss_rate_ = p;
+  loss_rng_.reseed(loss_seed);
+}
+
+void Simulator::deliver_later(Node* from, Node* to, net::Packet packet) {
+  if (tap_) tap_(now_, from, to, packet);
+  if (loss_rate_ > 0 && loss_rng_.chance(loss_rate_)) {
+    stats_.packets_dropped_loss++;
+    return;
+  }
+  SimDuration delay = latency_between(from, to);
+  schedule_in(delay, [to, p = std::move(packet)]() mutable {
+    to->deliver(std::move(p));
+  });
+}
+
+}  // namespace dnsguard::sim

@@ -1,0 +1,138 @@
+// The Simulator: virtual clock + event queue + network routing.
+//
+// Topology model (matching the paper's testbed, §IV.A): nodes own IPv4
+// addresses or whole subnets, and the network delivers each packet to the
+// owner of the longest matching prefix. That prefix rule is exactly how the
+// remote DNS guard "intercepts all traffic to 1.2.3.0/24" in front of the
+// ANS — the guard registers the subnet, the ANS registers nothing publicly,
+// and the guard forwards to the ANS over a private node-to-node link.
+//
+// Propagation delay is configured per node pair (one-way), with a global
+// default; CPU/queueing delay lives in Node (node.h).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/log.h"
+#include "common/rng.h"
+#include "common/time.h"
+#include "net/packet.h"
+#include "sim/event_queue.h"
+
+namespace dnsguard::sim {
+
+class Node;
+
+/// Global packet-conservation counters (also used by property tests:
+/// sent == delivered + dropped at all times once the queue drains).
+struct NetworkStats {
+  std::uint64_t packets_sent = 0;
+  std::uint64_t packets_delivered = 0;
+  std::uint64_t packets_dropped_no_route = 0;
+  std::uint64_t packets_dropped_queue_full = 0;
+  std::uint64_t packets_dropped_loss = 0;  // injected in-flight loss
+  std::uint64_t bytes_sent = 0;
+};
+
+class Simulator {
+ public:
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  [[nodiscard]] SimTime now() const { return now_; }
+
+  /// Schedules `fn` after `delay` (clamped to now for non-negative flow).
+  void schedule_in(SimDuration delay, EventFn fn);
+  void schedule_at(SimTime at, EventFn fn);
+
+  /// Runs until the queue is empty or `until` is reached.
+  void run_until(SimTime until);
+  void run_for(SimDuration d) { run_until(now_ + d); }
+  /// Runs until the event queue drains completely.
+  void run_all();
+
+  // --- topology -----------------------------------------------------------
+
+  /// Registers a node; the simulator does not own it.
+  void add_node(Node* node);
+
+  /// Routes every packet destined to `prefix`/`prefix_len` to `node`.
+  /// Longest prefix wins; a /32 route is a plain host address.
+  void add_route(net::Ipv4Address prefix, int prefix_len, Node* node);
+  void add_host_route(net::Ipv4Address addr, Node* node) {
+    add_route(addr, 32, node);
+  }
+  /// Removes all routes pointing at `node` (used when a guard is switched
+  /// from router mode back to pass-through).
+  void remove_routes_to(Node* node);
+
+  /// Routes ALL packets originating at `from` through `gateway` instead of
+  /// prefix routing — how a protected ANS sits behind the DNS guard in
+  /// router mode: its responses transit (and are charged to) the guard.
+  void set_gateway(Node* from, Node* gateway);
+  void clear_gateway(Node* from);
+
+  /// Sets the one-way propagation delay between two nodes (symmetric).
+  void set_latency(Node* a, Node* b, SimDuration one_way);
+  void set_default_latency(SimDuration one_way) { default_latency_ = one_way; }
+  [[nodiscard]] SimDuration latency_between(const Node* a, const Node* b) const;
+
+  /// Failure injection: each accepted packet is independently dropped in
+  /// flight with this probability (deterministic given `loss_seed`).
+  /// Exercises the recovery machinery — resolver retransmission, driver
+  /// timeouts, TCP stalls and reaping.
+  void set_loss_rate(double p, std::uint64_t loss_seed = 0x10551055ULL);
+
+  // --- traffic ------------------------------------------------------------
+
+  /// Injects a packet from `from` into the network at the current time;
+  /// it arrives at the routed destination after the propagation delay.
+  void send_packet(Node* from, net::Packet packet);
+
+  /// Delivers directly to a specific node (private guard<->ANS wire),
+  /// bypassing prefix routing but still paying propagation delay.
+  void send_direct(Node* from, Node* to, net::Packet packet);
+
+  [[nodiscard]] const NetworkStats& stats() const { return stats_; }
+  NetworkStats& mutable_stats() { return stats_; }
+
+  /// Observation tap: invoked for every packet accepted into the network
+  /// (after routing/gateway resolution, before propagation delay). Used
+  /// by tests and the walkthrough example; keep it cheap or unset.
+  using TapFn =
+      std::function<void(SimTime, const Node* from, const Node* to,
+                         const net::Packet&)>;
+  void set_tap(TapFn tap) { tap_ = std::move(tap); }
+  void clear_tap() { tap_ = nullptr; }
+
+  /// Finds the owner node for an address (nullptr if unrouted).
+  [[nodiscard]] Node* route_lookup(net::Ipv4Address dst) const;
+
+ private:
+  struct Route {
+    std::uint32_t prefix;
+    int prefix_len;
+    Node* node;
+  };
+
+  void deliver_later(Node* from, Node* to, net::Packet packet);
+
+  SimTime now_{};
+  EventQueue queue_;
+  std::vector<Node*> nodes_;
+  std::vector<Route> routes_;  // kept sorted by descending prefix_len
+  std::unordered_map<Node*, Node*> gateways_;
+  std::unordered_map<std::uint64_t, SimDuration> latency_;
+  SimDuration default_latency_ = microseconds(200);  // 0.4 ms RTT default
+  NetworkStats stats_;
+  TapFn tap_;
+  double loss_rate_ = 0.0;
+  Rng loss_rng_;
+};
+
+}  // namespace dnsguard::sim

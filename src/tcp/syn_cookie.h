@@ -1,0 +1,51 @@
+// SYN cookies (Bernstein), the stateless defense the paper's TCP proxy
+// enables against SYN floods (§III.C).
+//
+// The server encodes a keyed hash of the connection 4-tuple and a coarse
+// time counter into the initial sequence number of its SYN-ACK and keeps
+// NO state. When the third handshake packet (the client's ACK) arrives,
+// the server recomputes the hash and accepts the connection only if
+// ack-1 matches — proving the client really owns its source address,
+// which is exactly the cookie property the DNS guard wants.
+#pragma once
+
+#include <cstdint>
+
+#include "common/time.h"
+#include "net/ipv4.h"
+
+namespace dnsguard::tcp {
+
+class SynCookieGenerator {
+ public:
+  /// `secret` keys the hash; `slot_length` is the coarse time-counter
+  /// granularity (RFC-classic: 64 s; we default to 8 s so tests can
+  /// exercise expiry quickly).
+  explicit SynCookieGenerator(std::uint64_t secret,
+                              SimDuration slot_length = seconds(8))
+      : secret_(secret), slot_length_(slot_length) {}
+
+  /// ISN to place in the SYN-ACK for a SYN from `client` to `server`
+  /// carrying client ISN `client_isn`.
+  [[nodiscard]] std::uint32_t make(net::SocketAddr client,
+                                   net::SocketAddr server,
+                                   std::uint32_t client_isn,
+                                   SimTime now) const;
+
+  /// Validates the ACK of the third handshake packet. `acked_isn` is
+  /// ack - 1 as received. Accepts the current and previous time slot.
+  [[nodiscard]] bool validate(net::SocketAddr client, net::SocketAddr server,
+                              std::uint32_t client_isn,
+                              std::uint32_t acked_isn, SimTime now) const;
+
+ private:
+  [[nodiscard]] std::uint32_t hash(net::SocketAddr client,
+                                   net::SocketAddr server,
+                                   std::uint32_t client_isn,
+                                   std::uint64_t slot) const;
+
+  std::uint64_t secret_;
+  SimDuration slot_length_;
+};
+
+}  // namespace dnsguard::tcp

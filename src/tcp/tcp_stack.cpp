@@ -1,0 +1,347 @@
+#include "tcp/tcp_stack.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+
+namespace dnsguard::tcp {
+
+std::string tcp_state_name(TcpState s) {
+  switch (s) {
+    case TcpState::SynSent: return "SYN_SENT";
+    case TcpState::SynReceived: return "SYN_RCVD";
+    case TcpState::Established: return "ESTABLISHED";
+    case TcpState::FinWait: return "FIN_WAIT";
+    case TcpState::CloseWait: return "CLOSE_WAIT";
+    case TcpState::LastAck: return "LAST_ACK";
+    case TcpState::Closed: return "CLOSED";
+  }
+  return "?";
+}
+
+TcpStack::TcpStack(SendFn send, ClockFn clock, Callbacks callbacks,
+                   Options options)
+    : send_(std::move(send)),
+      clock_(std::move(clock)),
+      callbacks_(std::move(callbacks)),
+      options_(options),
+      syn_cookies_(options.syn_cookie_secret) {}
+
+void TcpStack::listen(std::uint16_t port) { listen_ports_.push_back(port); }
+
+std::uint32_t TcpStack::next_isn() {
+  isn_counter_ += 64013;  // arbitrary odd stride: distinct, non-sequential
+  return isn_counter_;
+}
+
+TcpStack::Connection* TcpStack::find(const ConnKey& key) {
+  auto it = conns_.find(key);
+  return it == conns_.end() ? nullptr : &it->second;
+}
+
+TcpStack::Connection& TcpStack::create(net::SocketAddr local,
+                                       net::SocketAddr remote,
+                                       TcpState state) {
+  ConnKey key{local, remote};
+  Connection c;
+  c.id = next_id_++;
+  c.local = local;
+  c.remote = remote;
+  c.state = state;
+  c.opened_at = clock_();
+  c.last_activity = c.opened_at;
+  auto [it, inserted] = conns_.insert_or_assign(key, std::move(c));
+  by_id_[it->second.id] = key;
+  return it->second;
+}
+
+void TcpStack::destroy(Connection& c, bool deliver_closed) {
+  ConnId id = c.id;
+  by_id_.erase(id);
+  conns_.erase(ConnKey{c.local, c.remote});  // invalidates c
+  if (deliver_closed && callbacks_.on_closed) callbacks_.on_closed(id);
+}
+
+void TcpStack::emit(net::SocketAddr from, net::SocketAddr to,
+                    net::TcpFlags flags, std::uint32_t seq, std::uint32_t ack,
+                    Bytes payload) {
+  stats_.segments_out++;
+  send_(net::Packet::make_tcp(from, to, flags, seq, ack, std::move(payload)));
+}
+
+void TcpStack::send_rst(const net::Packet& to_packet) {
+  stats_.resets_sent++;
+  const auto& h = to_packet.tcp();
+  emit(to_packet.dst(), to_packet.src(), net::TcpFlags{.rst = true},
+       h.ack, h.seq + 1);
+}
+
+ConnId TcpStack::connect(net::SocketAddr local, net::SocketAddr remote) {
+  Connection& c = create(local, remote, TcpState::SynSent);
+  c.snd_nxt = next_isn();
+  emit(local, remote, net::TcpFlags{.syn = true}, c.snd_nxt, 0);
+  c.snd_nxt += 1;  // SYN consumes one sequence number
+  return c.id;
+}
+
+bool TcpStack::send_data(ConnId id, BytesView data) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return false;
+  Connection* c = find(it->second);
+  if (c == nullptr || c->state != TcpState::Established) return false;
+  emit(c->local, c->remote, net::TcpFlags{.psh = true, .ack = true},
+       c->snd_nxt, c->rcv_nxt, Bytes(data.begin(), data.end()));
+  c->snd_nxt += static_cast<std::uint32_t>(data.size());
+  c->last_activity = clock_();
+  return true;
+}
+
+void TcpStack::close(ConnId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  Connection* c = find(it->second);
+  if (c == nullptr) return;
+  if (c->state == TcpState::Established) {
+    emit(c->local, c->remote, net::TcpFlags{.fin = true, .ack = true},
+         c->snd_nxt, c->rcv_nxt);
+    c->snd_nxt += 1;
+    c->state = TcpState::FinWait;
+  } else if (c->state == TcpState::CloseWait) {
+    emit(c->local, c->remote, net::TcpFlags{.fin = true, .ack = true},
+         c->snd_nxt, c->rcv_nxt);
+    c->snd_nxt += 1;
+    c->state = TcpState::LastAck;
+  }
+}
+
+void TcpStack::abort(ConnId id) {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return;
+  Connection* c = find(it->second);
+  if (c == nullptr) return;
+  stats_.resets_sent++;
+  emit(c->local, c->remote, net::TcpFlags{.rst = true}, c->snd_nxt,
+       c->rcv_nxt);
+  stats_.connections_aborted++;
+  destroy(*c, /*deliver_closed=*/true);
+}
+
+bool TcpStack::handle_packet(const net::Packet& packet) {
+  if (!packet.is_tcp()) return false;
+  stats_.segments_in++;
+  const net::TcpHeader& h = packet.tcp();
+  ConnKey key{packet.dst(), packet.src()};
+  Connection* c = find(key);
+  SimTime now = clock_();
+
+  // --- no existing connection state ---------------------------------------
+  if (c == nullptr) {
+    bool listening = std::find(listen_ports_.begin(), listen_ports_.end(),
+                               h.dst_port) != listen_ports_.end();
+    if (h.flags.syn && !h.flags.ack) {
+      if (!listening) {
+        send_rst(packet);
+        return false;
+      }
+      stats_.syns_received++;
+      if (options_.syn_cookies) {
+        // Stateless: encode the cookie in our ISN, keep no state.
+        std::uint32_t isn =
+            syn_cookies_.make(packet.src(), packet.dst(), h.seq, now);
+        stats_.syn_cookies_sent++;
+        emit(packet.dst(), packet.src(),
+             net::TcpFlags{.syn = true, .ack = true}, isn, h.seq + 1);
+        return true;
+      }
+      Connection& nc = create(packet.dst(), packet.src(),
+                              TcpState::SynReceived);
+      nc.rcv_nxt = h.seq + 1;
+      nc.snd_nxt = next_isn();
+      emit(nc.local, nc.remote, net::TcpFlags{.syn = true, .ack = true},
+           nc.snd_nxt, nc.rcv_nxt);
+      nc.snd_nxt += 1;
+      return true;
+    }
+    if (h.flags.ack && !h.flags.syn && !h.flags.rst && options_.syn_cookies &&
+        listening) {
+      // Possibly the third packet of a cookie handshake: ack-1 must be a
+      // valid cookie for (src, dst, client_isn = seq-1).
+      std::uint32_t acked_isn = h.ack - 1;
+      if (syn_cookies_.validate(packet.src(), packet.dst(), h.seq - 1,
+                                acked_isn, now)) {
+        stats_.syn_cookies_accepted++;
+        Connection& nc =
+            create(packet.dst(), packet.src(), TcpState::Established);
+        nc.rcv_nxt = h.seq;
+        nc.snd_nxt = h.ack;
+        stats_.connections_established++;
+        if (callbacks_.on_established) callbacks_.on_established(nc.id);
+        // The ACK may carry data already (common for eager clients).
+        if (!packet.payload.empty()) {
+          Connection* cc = find(ConnKey{packet.dst(), packet.src()});
+          if (cc != nullptr && h.seq == cc->rcv_nxt) {
+            cc->rcv_nxt += static_cast<std::uint32_t>(packet.payload.size());
+            cc->last_activity = now;
+            emit(cc->local, cc->remote, net::TcpFlags{.ack = true},
+                 cc->snd_nxt, cc->rcv_nxt);
+            if (callbacks_.on_data) {
+              callbacks_.on_data(cc->id, BytesView(packet.payload));
+            }
+          }
+        }
+        return true;
+      }
+      stats_.syn_cookies_rejected++;
+      send_rst(packet);
+      return false;
+    }
+    if (!h.flags.rst) send_rst(packet);
+    return false;
+  }
+
+  // --- existing connection --------------------------------------------------
+  c->last_activity = now;
+
+  if (h.flags.rst) {
+    stats_.connections_aborted++;
+    destroy(*c, /*deliver_closed=*/true);
+    return true;
+  }
+
+  switch (c->state) {
+    case TcpState::SynSent: {
+      if (h.flags.syn && h.flags.ack && h.ack == c->snd_nxt) {
+        c->rcv_nxt = h.seq + 1;
+        c->state = TcpState::Established;
+        emit(c->local, c->remote, net::TcpFlags{.ack = true}, c->snd_nxt,
+             c->rcv_nxt);
+        stats_.connections_established++;
+        if (callbacks_.on_established) callbacks_.on_established(c->id);
+        return true;
+      }
+      return true;  // stray segment during handshake: ignore
+    }
+    case TcpState::SynReceived: {
+      if (h.flags.ack && h.ack == c->snd_nxt) {
+        c->state = TcpState::Established;
+        stats_.connections_established++;
+        if (callbacks_.on_established) callbacks_.on_established(c->id);
+        // fall through into data handling below for piggybacked payloads
+      } else {
+        return true;
+      }
+      [[fallthrough]];
+    }
+    case TcpState::Established:
+    case TcpState::FinWait:
+    case TcpState::CloseWait: {
+      ConnId id = c->id;
+      if (!packet.payload.empty()) {
+        if (h.seq == c->rcv_nxt) {
+          c->rcv_nxt += static_cast<std::uint32_t>(packet.payload.size());
+          emit(c->local, c->remote, net::TcpFlags{.ack = true}, c->snd_nxt,
+               c->rcv_nxt);
+          if (callbacks_.on_data) {
+            callbacks_.on_data(id, BytesView(packet.payload));
+          }
+          // Callbacks may have closed/aborted the connection.
+          c = find(key);
+          if (c == nullptr) return true;
+        } else {
+          // Out-of-order/duplicate: re-ACK what we expect.
+          emit(c->local, c->remote, net::TcpFlags{.ack = true}, c->snd_nxt,
+               c->rcv_nxt);
+          return true;
+        }
+      }
+      if (h.flags.fin) {
+        c->rcv_nxt += 1;
+        emit(c->local, c->remote, net::TcpFlags{.ack = true}, c->snd_nxt,
+             c->rcv_nxt);
+        if (c->state == TcpState::FinWait) {
+          // Both directions closed.
+          stats_.connections_closed++;
+          destroy(*c, /*deliver_closed=*/true);
+        } else {
+          c->state = TcpState::CloseWait;
+        }
+      }
+      return true;
+    }
+    case TcpState::LastAck: {
+      if (h.flags.ack && h.ack == c->snd_nxt) {
+        stats_.connections_closed++;
+        destroy(*c, /*deliver_closed=*/true);
+      }
+      return true;
+    }
+    case TcpState::Closed:
+      return true;
+  }
+  return true;
+}
+
+std::size_t TcpStack::reap(SimDuration max_idle, SimDuration max_lifetime) {
+  SimTime now = clock_();
+  std::vector<ConnId> victims;
+  for (const auto& [key, c] : conns_) {
+    bool idle_out = max_idle.ns > 0 && (now - c.last_activity) > max_idle;
+    bool life_out = max_lifetime.ns > 0 && (now - c.opened_at) > max_lifetime;
+    if (idle_out || life_out) victims.push_back(c.id);
+  }
+  for (ConnId id : victims) abort(id);
+  return victims.size();
+}
+
+std::vector<TcpStack::ConnectionInfo> TcpStack::connections() const {
+  std::vector<ConnectionInfo> out;
+  out.reserve(conns_.size());
+  for (const auto& [key, c] : conns_) {
+    out.push_back(ConnectionInfo{c.id, c.local, c.remote, c.state,
+                                 c.opened_at, c.last_activity});
+  }
+  return out;
+}
+
+std::optional<TcpStack::ConnectionInfo> TcpStack::connection(
+    ConnId id) const {
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  auto cit = conns_.find(it->second);
+  if (cit == conns_.end()) return std::nullopt;
+  const Connection& c = cit->second;
+  return ConnectionInfo{c.id, c.local, c.remote, c.state, c.opened_at,
+                        c.last_activity};
+}
+
+std::optional<net::SocketAddr> TcpStack::remote_of(ConnId id) const {
+  auto info = connection(id);
+  if (!info) return std::nullopt;
+  return info->remote;
+}
+
+std::vector<Bytes> StreamFramer::push(BytesView data) {
+  buf_.insert(buf_.end(), data.begin(), data.end());
+  std::vector<Bytes> out;
+  std::size_t pos = 0;
+  while (buf_.size() - pos >= 2) {
+    std::size_t len = static_cast<std::size_t>(buf_[pos]) << 8 | buf_[pos + 1];
+    if (buf_.size() - pos - 2 < len) break;
+    out.emplace_back(buf_.begin() + static_cast<std::ptrdiff_t>(pos + 2),
+                     buf_.begin() + static_cast<std::ptrdiff_t>(pos + 2 + len));
+    pos += 2 + len;
+  }
+  if (pos > 0) buf_.erase(buf_.begin(), buf_.begin() + static_cast<std::ptrdiff_t>(pos));
+  return out;
+}
+
+Bytes StreamFramer::frame(BytesView message) {
+  Bytes out;
+  out.reserve(message.size() + 2);
+  out.push_back(static_cast<std::uint8_t>(message.size() >> 8));
+  out.push_back(static_cast<std::uint8_t>(message.size()));
+  out.insert(out.end(), message.begin(), message.end());
+  return out;
+}
+
+}  // namespace dnsguard::tcp

@@ -1,0 +1,185 @@
+// A miniature TCP implementation sufficient for DNS-over-TCP.
+//
+// Scope (deliberate): three-way handshake with optional SYN cookies,
+// in-order reliable data transfer of small segments, FIN/RST teardown,
+// idle reaping. Links in the simulator never reorder and only drop at
+// saturated receive queues, so there is no retransmission machinery —
+// a stalled connection is reclaimed by the owner's idle/duration policy,
+// matching the DNS guard's "connection older than 5×RTT is removed" rule
+// (§III.C).
+//
+// The stack is transport only: it owns no sockets and charges no CPU. The
+// owning simulation Node feeds packets in via handle_packet() and provides
+// a send function; CPU costs are charged by the node's cost model.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/bytes.h"
+#include "common/time.h"
+#include "net/packet.h"
+#include "tcp/syn_cookie.h"
+
+namespace dnsguard::tcp {
+
+using ConnId = std::uint64_t;
+
+enum class TcpState : std::uint8_t {
+  SynSent,
+  SynReceived,
+  Established,
+  FinWait,    // we sent FIN, waiting for peer's ACK/FIN
+  CloseWait,  // peer sent FIN, we have not closed yet
+  LastAck,    // peer finned, we sent our FIN
+  Closed,
+};
+
+[[nodiscard]] std::string tcp_state_name(TcpState s);
+
+struct TcpStackStats {
+  std::uint64_t syns_received = 0;
+  std::uint64_t syn_cookies_sent = 0;
+  std::uint64_t syn_cookies_accepted = 0;
+  std::uint64_t syn_cookies_rejected = 0;
+  std::uint64_t connections_established = 0;
+  std::uint64_t connections_closed = 0;
+  std::uint64_t connections_aborted = 0;
+  std::uint64_t resets_sent = 0;
+  std::uint64_t segments_in = 0;
+  std::uint64_t segments_out = 0;
+};
+
+class TcpStack {
+ public:
+  struct Callbacks {
+    /// Connection fully established (either role).
+    std::function<void(ConnId)> on_established;
+    /// In-order stream data arrived.
+    std::function<void(ConnId, BytesView)> on_data;
+    /// Connection gone (normal close or abort).
+    std::function<void(ConnId)> on_closed;
+  };
+
+  struct Options {
+    /// Serve incoming SYNs statelessly with SYN cookies.
+    bool syn_cookies = false;
+    std::uint64_t syn_cookie_secret = 0x5ce7a11db01dfaceULL;
+  };
+
+  using SendFn = std::function<void(net::Packet)>;
+  using ClockFn = std::function<SimTime()>;
+
+  TcpStack(SendFn send, ClockFn clock, Callbacks callbacks, Options options);
+
+  /// Accepts connections to this local port.
+  void listen(std::uint16_t port);
+
+  /// Initiates a client connection; returns the connection handle.
+  ConnId connect(net::SocketAddr local, net::SocketAddr remote);
+
+  /// Queues stream data on an established connection (sent immediately as
+  /// one PSH segment; DNS messages always fit one segment here).
+  bool send_data(ConnId id, BytesView data);
+
+  /// Graceful close (FIN).
+  void close(ConnId id);
+  /// Abortive close (RST to peer, state dropped).
+  void abort(ConnId id);
+
+  /// Feeds one TCP packet addressed to this stack. Returns false if the
+  /// packet did not belong to any connection or listener (caller may then
+  /// RST or ignore).
+  bool handle_packet(const net::Packet& packet);
+
+  /// Drops every connection idle longer than `max_idle` or alive longer
+  /// than `max_lifetime` (zero duration disables the respective check).
+  /// Returns how many were reaped.
+  std::size_t reap(SimDuration max_idle, SimDuration max_lifetime);
+
+  [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
+  [[nodiscard]] const TcpStackStats& stats() const { return stats_; }
+
+  struct ConnectionInfo {
+    ConnId id;
+    net::SocketAddr local;
+    net::SocketAddr remote;
+    TcpState state;
+    SimTime opened_at;
+    SimTime last_activity;
+  };
+  [[nodiscard]] std::vector<ConnectionInfo> connections() const;
+  [[nodiscard]] std::optional<ConnectionInfo> connection(ConnId id) const;
+  [[nodiscard]] std::optional<net::SocketAddr> remote_of(ConnId id) const;
+
+ private:
+  struct Connection {
+    ConnId id;
+    net::SocketAddr local;
+    net::SocketAddr remote;
+    TcpState state = TcpState::Closed;
+    std::uint32_t snd_nxt = 0;  // next sequence number we will send
+    std::uint32_t rcv_nxt = 0;  // next sequence number we expect
+    SimTime opened_at;
+    SimTime last_activity;
+  };
+
+  // Key: (local, remote) — enough because IPs are unique per node here.
+  struct ConnKey {
+    net::SocketAddr local;
+    net::SocketAddr remote;
+    bool operator==(const ConnKey&) const = default;
+  };
+  struct ConnKeyHash {
+    std::size_t operator()(const ConnKey& k) const {
+      std::size_t h1 = std::hash<net::SocketAddr>{}(k.local);
+      std::size_t h2 = std::hash<net::SocketAddr>{}(k.remote);
+      return h1 ^ (h2 * 0x9e3779b97f4a7c15ULL);
+    }
+  };
+
+  Connection* find(const ConnKey& key);
+  Connection& create(net::SocketAddr local, net::SocketAddr remote,
+                     TcpState state);
+  void destroy(Connection& c, bool deliver_closed);
+  void emit(net::SocketAddr from, net::SocketAddr to, net::TcpFlags flags,
+            std::uint32_t seq, std::uint32_t ack, Bytes payload = {});
+  void send_rst(const net::Packet& to_packet);
+  std::uint32_t next_isn();
+
+  SendFn send_;
+  ClockFn clock_;
+  Callbacks callbacks_;
+  Options options_;
+  SynCookieGenerator syn_cookies_;
+
+  std::unordered_map<ConnKey, Connection, ConnKeyHash> conns_;
+  std::unordered_map<ConnId, ConnKey> by_id_;
+  std::vector<std::uint16_t> listen_ports_;
+  ConnId next_id_ = 1;
+  std::uint32_t isn_counter_ = 0x1000;
+  TcpStackStats stats_;
+};
+
+/// DNS-over-TCP framing (RFC 1035 §4.2.2): each message is preceded by a
+/// 2-byte big-endian length. StreamFramer buffers stream bytes and yields
+/// complete DNS message payloads.
+class StreamFramer {
+ public:
+  /// Appends stream data; returns any complete messages now available.
+  std::vector<Bytes> push(BytesView data);
+
+  [[nodiscard]] static Bytes frame(BytesView message);
+
+  [[nodiscard]] std::size_t buffered() const { return buf_.size(); }
+
+ private:
+  Bytes buf_;
+};
+
+}  // namespace dnsguard::tcp

@@ -1,0 +1,441 @@
+#include "workload/lrs_driver.h"
+
+#include "guard/cookie_engine.h"
+
+namespace dnsguard::workload {
+
+std::string drive_mode_name(DriveMode m) {
+  switch (m) {
+    case DriveMode::PlainUdp: return "plain-udp";
+    case DriveMode::NsNameMiss: return "ns-name/miss";
+    case DriveMode::NsNameHit: return "ns-name/hit";
+    case DriveMode::FabricatedMiss: return "fabricated-ns-ip/miss";
+    case DriveMode::FabricatedHit: return "fabricated-ns-ip/hit";
+    case DriveMode::ModifiedMiss: return "modified-dns/miss";
+    case DriveMode::ModifiedHit: return "modified-dns/hit";
+    case DriveMode::TcpDirect: return "tcp/direct";
+    case DriveMode::TcpWithRedirect: return "tcp/redirect";
+  }
+  return "?";
+}
+
+LrsSimulatorNode::LrsSimulatorNode(sim::Simulator& sim, std::string name,
+                                   Config config)
+    : sim::Node(sim, std::move(name), /*rx_queue_capacity=*/16384),
+      config_(std::move(config)),
+      rng_(config_.seed) {
+  qname_ = dns::DomainName::parse(config_.qname).value_or(dns::DomainName{});
+  zone_ = dns::DomainName::parse(config_.zone).value_or(dns::DomainName{});
+  tcp_ = std::make_unique<tcp::TcpStack>(
+      [this](net::Packet p) { send(std::move(p)); },
+      [this] { return now(); },
+      tcp::TcpStack::Callbacks{
+          .on_established =
+              [this](tcp::ConnId id) {
+                auto it = conn_to_worker_.find(id);
+                if (it == conn_to_worker_.end()) return;
+                Worker& w = workers_[static_cast<std::size_t>(it->second)];
+                if (!w.tcp_query.empty()) {
+                  tcp_->send_data(id, BytesView(w.tcp_query));
+                }
+              },
+          .on_data = [this](tcp::ConnId id,
+                            BytesView data) { on_tcp_data(id, data); },
+          .on_closed =
+              [this](tcp::ConnId id) {
+                framers_.erase(id);
+                conn_to_worker_.erase(id);
+              },
+      },
+      tcp::TcpStack::Options{});
+}
+
+void LrsSimulatorNode::start() {
+  if (running_) return;
+  running_ = true;
+  workers_.assign(static_cast<std::size_t>(config_.concurrency), Worker{});
+  // Stagger worker start-up (~10 us apart) so thousands of workers don't
+  // fire one synchronized burst that overflows queues before steady state
+  // — the paper's simulator likewise "first starts up the specified
+  // number of TCP connections".
+  for (int w = 0; w < config_.concurrency; ++w) {
+    schedule_in(microseconds(10 * w), [this, w] {
+      if (running_) begin_request(w);
+    });
+  }
+}
+
+void LrsSimulatorNode::stop() {
+  running_ = false;
+  qid_to_worker_.clear();
+}
+
+dns::Message LrsSimulatorNode::make_query(std::uint16_t id,
+                                          const dns::DomainName& name,
+                                          dns::RrType type) const {
+  return dns::Message::query(id, name, type, /*recursion_desired=*/false);
+}
+
+void LrsSimulatorNode::begin_request(int w) {
+  if (!running_) return;
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+  worker.request_started = now();
+
+  switch (config_.mode) {
+    case DriveMode::PlainUdp: {
+      worker.stage = 0;
+      send_exchange(w, make_query(0, qname_), config_.target);
+      return;
+    }
+    case DriveMode::NsNameMiss:
+    case DriveMode::FabricatedMiss: {
+      worker.stage = 0;
+      send_exchange(w, make_query(0, qname_), config_.target);
+      return;
+    }
+    case DriveMode::NsNameHit: {
+      if (!worker.primed) {
+        worker.stage = 0;
+        send_exchange(w, make_query(0, qname_), config_.target);
+      } else {
+        worker.stage = 1;
+        send_exchange(w, make_query(0, worker.fabricated_name),
+                      config_.target);
+      }
+      return;
+    }
+    case DriveMode::FabricatedHit: {
+      if (!worker.primed) {
+        worker.stage = 0;
+        send_exchange(w, make_query(0, qname_), config_.target);
+      } else {
+        worker.stage = 2;
+        send_exchange(w, make_query(0, qname_),
+                      {worker.cookie2_address, net::kDnsPort});
+      }
+      return;
+    }
+    case DriveMode::ModifiedMiss:
+    case DriveMode::ModifiedHit: {
+      if (config_.mode == DriveMode::ModifiedHit && worker.primed) {
+        worker.stage = 1;
+        dns::Message q = make_query(0, qname_);
+        guard::CookieEngine::attach_txt_cookie(q, worker.cookie, 0);
+        send_exchange(w, std::move(q), config_.target);
+      } else {
+        worker.stage = 0;
+        dns::Message q = make_query(0, qname_);
+        guard::CookieEngine::attach_txt_cookie(q, crypto::Cookie{}, 0);
+        send_exchange(w, std::move(q), config_.target);
+      }
+      return;
+    }
+    case DriveMode::TcpDirect: {
+      worker.stage = 1;
+      start_tcp(w);
+      arm_timeout(w);
+      return;
+    }
+    case DriveMode::TcpWithRedirect: {
+      worker.stage = 0;
+      send_exchange(w, make_query(0, qname_), config_.target);
+      return;
+    }
+  }
+}
+
+void LrsSimulatorNode::send_exchange(int w, dns::Message query,
+                                     net::SocketAddr to) {
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+  // Allocate a fresh query id not in flight.
+  std::uint16_t qid;
+  do {
+    qid = next_qid_++;
+  } while (qid == 0 || qid_to_worker_.count(qid) > 0);
+  // Forget the previous exchange's id, if any.
+  if (worker.pending_qid != 0) qid_to_worker_.erase(worker.pending_qid);
+  worker.pending_qid = qid;
+  qid_to_worker_[qid] = w;
+  query.header.id = qid;
+
+  stats_.exchanges_sent++;
+  send(net::Packet::make_udp({config_.address, 32000}, to, query.encode()));
+  arm_timeout(w);
+}
+
+void LrsSimulatorNode::arm_timeout(int w) {
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+  std::uint64_t gen = ++worker.timer_generation;
+  schedule_in(config_.timeout, [this, w, gen] { on_timeout(w, gen); });
+}
+
+void LrsSimulatorNode::on_timeout(int w, std::uint64_t generation) {
+  if (!running_) return;
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+  if (worker.timer_generation != generation) return;
+  stats_.timeouts++;
+  if (worker.pending_qid != 0) {
+    qid_to_worker_.erase(worker.pending_qid);
+    worker.pending_qid = 0;
+  }
+  if (worker.conn != 0) {
+    tcp_->abort(worker.conn);
+    worker.conn = 0;
+  }
+  // A timed-out exchange may mean the learned cookie state went stale
+  // (e.g. the guard rotated keys twice): re-learn from scratch.
+  worker.primed = false;
+  // §IV.D: "sends in the next request if it receives a response or the
+  // timer expires."
+  if (config_.think_time.ns > 0) {
+    schedule_in(config_.think_time, [this, w] {
+      if (running_) begin_request(w);
+    });
+  } else {
+    begin_request(w);
+  }
+}
+
+void LrsSimulatorNode::complete(int w) {
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+  worker.timer_generation++;  // disarm
+  if (worker.pending_qid != 0) {
+    qid_to_worker_.erase(worker.pending_qid);
+    worker.pending_qid = 0;
+  }
+  bool was_priming = false;
+  if ((config_.mode == DriveMode::NsNameHit ||
+       config_.mode == DriveMode::FabricatedHit ||
+       config_.mode == DriveMode::ModifiedHit) &&
+      !worker.primed) {
+    worker.primed = true;
+    was_priming = true;  // priming exchange: not counted as steady state
+  }
+  if (!was_priming) {
+    stats_.completed++;
+    latencies_.add((now() - worker.request_started).millis());
+  }
+  if (config_.think_time.ns > 0 && !was_priming) {
+    schedule_in(config_.think_time, [this, w] {
+      if (running_) begin_request(w);
+    });
+  } else {
+    begin_request(w);
+  }
+}
+
+void LrsSimulatorNode::restart(int w) {
+  // A response that does not fit the expected dance (e.g. the guard just
+  // switched between pass-through and active): back off briefly instead
+  // of busy-looping at wire speed.
+  stats_.unexpected++;
+  SimDuration backoff = config_.think_time.ns > 0 ? config_.think_time
+                                                  : milliseconds(1);
+  schedule_in(backoff, [this, w] {
+    if (running_) begin_request(w);
+  });
+}
+
+void LrsSimulatorNode::advance(int w, const dns::Message& response,
+                               net::Ipv4Address from_ip) {
+  (void)from_ip;
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+
+  switch (config_.mode) {
+    case DriveMode::PlainUdp:
+      complete(w);
+      return;
+
+    case DriveMode::NsNameMiss:
+    case DriveMode::NsNameHit: {
+      if (worker.stage == 0) {
+        // Expect the fabricated referral (msg 2). A direct full answer
+        // means no guard is active (pass-through below the activation
+        // threshold): the request is simply served.
+        if (!response.is_referral()) {
+          if (!response.answers.empty()) {
+            complete(w);
+            return;
+          }
+          restart(w);
+          return;
+        }
+        const auto& ns =
+            std::get<dns::NsRdata>(response.authority.front().rdata);
+        worker.fabricated_name = ns.nsdname;
+        worker.stage = 1;
+        send_exchange(w, make_query(0, worker.fabricated_name),
+                      config_.target);
+        return;
+      }
+      // Stage 1: expect the A answer (msg 6).
+      if (response.answers.empty()) {
+        worker.primed = false;  // cookie may have rotated; re-learn
+        restart(w);
+        return;
+      }
+      complete(w);
+      return;
+    }
+
+    case DriveMode::FabricatedMiss:
+    case DriveMode::FabricatedHit: {
+      if (worker.stage == 0) {
+        if (!response.is_referral()) {
+          if (!response.answers.empty()) {
+            complete(w);  // served directly by a pass-through guard
+            return;
+          }
+          restart(w);
+          return;
+        }
+        const auto& ns =
+            std::get<dns::NsRdata>(response.authority.front().rdata);
+        worker.fabricated_name = ns.nsdname;
+        worker.stage = 1;
+        send_exchange(w, make_query(0, worker.fabricated_name),
+                      config_.target);
+        return;
+      }
+      if (worker.stage == 1) {
+        // msg 6: COOKIE2 address.
+        const dns::ARdata* a = nullptr;
+        for (const auto& rr : response.answers) {
+          if (rr.type == dns::RrType::A) {
+            a = &std::get<dns::ARdata>(rr.rdata);
+            break;
+          }
+        }
+        if (a == nullptr) {
+          worker.primed = false;
+          restart(w);
+          return;
+        }
+        worker.cookie2_address = a->address;
+        worker.stage = 2;
+        send_exchange(w, make_query(0, qname_),
+                      {worker.cookie2_address, net::kDnsPort});
+        return;
+      }
+      // Stage 2: the real answer (msg 10).
+      if (response.answers.empty()) {
+        worker.primed = false;
+        restart(w);
+        return;
+      }
+      complete(w);
+      return;
+    }
+
+    case DriveMode::ModifiedMiss:
+    case DriveMode::ModifiedHit: {
+      if (worker.stage == 0) {
+        // msg 3: the cookie reply.
+        auto cookie = guard::CookieEngine::extract_txt_cookie(response);
+        if (!cookie || guard::CookieEngine::is_zero_cookie(*cookie)) {
+          restart(w);
+          return;
+        }
+        worker.cookie = *cookie;
+        worker.stage = 1;
+        dns::Message q = make_query(0, qname_);
+        guard::CookieEngine::attach_txt_cookie(q, worker.cookie, 0);
+        send_exchange(w, std::move(q), config_.target);
+        return;
+      }
+      // Stage 1: the real answer.
+      if (response.answers.empty() &&
+          response.header.rcode != dns::Rcode::NoError) {
+        worker.primed = false;
+        restart(w);
+        return;
+      }
+      complete(w);
+      return;
+    }
+
+    case DriveMode::TcpWithRedirect: {
+      if (worker.stage == 0) {
+        if (!response.header.tc) {
+          // No redirect: the server (or a pass-through guard) answered
+          // directly over UDP — the request is served.
+          complete(w);
+          return;
+        }
+        worker.stage = 1;
+        start_tcp(w);
+        return;
+      }
+      complete(w);
+      return;
+    }
+
+    case DriveMode::TcpDirect:
+      complete(w);
+      return;
+  }
+}
+
+void LrsSimulatorNode::start_tcp(int w) {
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+  std::uint16_t port = next_port_++;
+  if (next_port_ < 30000) next_port_ = 30000;
+
+  std::uint16_t qid;
+  do {
+    qid = next_qid_++;
+  } while (qid == 0 || qid_to_worker_.count(qid) > 0);
+  if (worker.pending_qid != 0) qid_to_worker_.erase(worker.pending_qid);
+  worker.pending_qid = qid;
+  qid_to_worker_[qid] = w;
+
+  dns::Message q = make_query(qid, qname_);
+  worker.tcp_query = tcp::StreamFramer::frame(q.encode());
+  stats_.exchanges_sent++;
+  worker.conn = tcp_->connect({config_.address, port}, config_.target);
+  conn_to_worker_[worker.conn] = w;
+}
+
+void LrsSimulatorNode::on_tcp_data(tcp::ConnId conn, BytesView data) {
+  auto it = conn_to_worker_.find(conn);
+  if (it == conn_to_worker_.end()) return;
+  int w = it->second;
+  auto& framer = framers_[conn];
+  for (Bytes& msg : framer.push(data)) {
+    auto m = dns::Message::decode(BytesView(msg));
+    if (!m || !m->header.qr) continue;
+    Worker& worker = workers_[static_cast<std::size_t>(w)];
+    tcp_->close(conn);
+    worker.conn = 0;
+    advance(w, *m, net::Ipv4Address{});
+    return;
+  }
+}
+
+SimDuration LrsSimulatorNode::process(const net::Packet& packet) {
+  if (packet.is_tcp()) {
+    tcp_->handle_packet(packet);
+    return config_.per_packet_cost;
+  }
+  auto m = dns::Message::decode(BytesView(packet.payload));
+  if (!m || !m->header.qr) return config_.per_packet_cost;
+  auto it = qid_to_worker_.find(m->header.id);
+  if (it == qid_to_worker_.end()) {
+    stats_.unexpected++;
+    return config_.per_packet_cost;
+  }
+  int w = it->second;
+  Worker& worker = workers_[static_cast<std::size_t>(w)];
+  if (worker.pending_qid != m->header.id) {
+    stats_.unexpected++;
+    return config_.per_packet_cost;
+  }
+  // This exchange is resolved; disarm its timer.
+  worker.timer_generation++;
+  qid_to_worker_.erase(it);
+  worker.pending_qid = 0;
+  advance(w, *m, packet.src_ip);
+  return config_.per_packet_cost;
+}
+
+}  // namespace dnsguard::workload

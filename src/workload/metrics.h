@@ -1,0 +1,71 @@
+// Experiment metrics & reporting helpers shared by the bench binaries.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "common/time.h"
+#include "sim/simulator.h"
+
+namespace dnsguard::workload {
+
+/// Fixed-width text table, used by every bench to print paper-style rows.
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> headers, int width = 14);
+
+  void print_header() const;
+  void print_row(const std::vector<std::string>& cells) const;
+
+  [[nodiscard]] static std::string num(double v, int decimals = 1);
+  [[nodiscard]] static std::string kilo(double v, int decimals = 1);
+  [[nodiscard]] static std::string percent(double v, int decimals = 1);
+
+ private:
+  std::vector<std::string> headers_;
+  int width_;
+};
+
+/// An open-loop driver: invokes `fn` at a fixed rate until stopped.
+/// Used for the Fig. 5 legitimate LRSs ("constant rate of 1K requests/sec").
+class RateDriver {
+ public:
+  RateDriver(sim::Simulator& sim, double rate_per_sec,
+             std::function<void()> fn)
+      : sim_(sim), rate_(rate_per_sec), fn_(std::move(fn)) {}
+
+  void start();
+  void stop() { running_ = false; }
+  void set_rate(double r) { rate_ = r; }
+  [[nodiscard]] std::uint64_t fired() const { return fired_; }
+
+ private:
+  void tick();
+
+  sim::Simulator& sim_;
+  double rate_;
+  std::function<void()> fn_;
+  bool running_ = false;
+  std::uint64_t fired_ = 0;
+  std::uint64_t epoch_ = 0;
+};
+
+/// Counts events within a measurement window; throughput = count/window.
+class ThroughputMeter {
+ public:
+  void record(std::uint64_t n = 1) { count_ += n; }
+  void reset() { count_ = 0; }
+  [[nodiscard]] std::uint64_t count() const { return count_; }
+  [[nodiscard]] double per_second(SimDuration window) const {
+    return window.ns > 0 ? static_cast<double>(count_) / window.seconds()
+                         : 0.0;
+  }
+
+ private:
+  std::uint64_t count_ = 0;
+};
+
+}  // namespace dnsguard::workload

@@ -1,0 +1,244 @@
+// Attack-generator module: rates, spoofing ranges, payload shapes.
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "attack/attackers.h"
+#include "guard/cookie_engine.h"
+#include "sim/simulator.h"
+
+namespace dnsguard::attack {
+namespace {
+
+using net::Ipv4Address;
+using net::Packet;
+
+class CollectorNode : public sim::Node {
+ public:
+  CollectorNode(sim::Simulator& s) : sim::Node(s, "collector", 1 << 20) {}
+  std::vector<Packet> packets;
+
+ protected:
+  SimDuration process(const Packet& p) override {
+    packets.push_back(p);
+    return SimDuration{};
+  }
+};
+
+constexpr Ipv4Address kTarget(10, 1, 1, 254);
+
+struct Bed {
+  sim::Simulator sim;
+  CollectorNode collector{sim};
+  Bed() { sim.add_host_route(kTarget, &collector); }
+};
+
+TEST(SpoofedFlood, HoldsConfiguredRate) {
+  Bed bed;
+  SpoofedFloodNode flood(bed.sim, "flood",
+                         FloodNodeBase::Config{
+                             .own_address = Ipv4Address(10, 9, 9, 9),
+                             .target = {kTarget, net::kDnsPort},
+                             .rate = 5000});
+  flood.start();
+  bed.sim.run_for(seconds(2));
+  flood.stop();
+  bed.sim.run_for(milliseconds(10));  // drain in-flight packets
+  EXPECT_NEAR(static_cast<double>(flood.flood_stats().sent), 10000.0, 10.0);
+  EXPECT_EQ(bed.collector.packets.size(), flood.flood_stats().sent);
+}
+
+TEST(SpoofedFlood, StopActuallyStops) {
+  Bed bed;
+  SpoofedFloodNode flood(bed.sim, "flood",
+                         FloodNodeBase::Config{
+                             .own_address = Ipv4Address(10, 9, 9, 9),
+                             .target = {kTarget, net::kDnsPort},
+                             .rate = 1000});
+  flood.start();
+  bed.sim.run_for(milliseconds(100));
+  flood.stop();
+  std::uint64_t at_stop = flood.flood_stats().sent;
+  bed.sim.run_for(seconds(1));
+  EXPECT_EQ(flood.flood_stats().sent, at_stop);
+}
+
+TEST(SpoofedFlood, SourcesSpreadAcrossRange) {
+  Bed bed;
+  SpoofedFloodNode flood(
+      bed.sim, "flood",
+      FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
+                            .target = {kTarget, net::kDnsPort},
+                            .rate = 100000},
+      SpoofedFloodNode::SpoofConfig{.spoof_base = Ipv4Address(10, 200, 0, 0),
+                                    .spoof_range = 256});
+  flood.start();
+  bed.sim.run_for(milliseconds(100));
+  flood.stop();
+  std::set<std::uint32_t> sources;
+  for (const auto& p : bed.collector.packets) {
+    EXPECT_TRUE(p.src_ip.in_subnet(Ipv4Address(10, 200, 0, 0), 24));
+    sources.insert(p.src_ip.value());
+  }
+  // ~10K packets over a 256-address pool: nearly all addresses used.
+  EXPECT_GT(sources.size(), 200u);
+}
+
+TEST(SpoofedFlood, FixedVictimModeUsesOneSource) {
+  Bed bed;
+  SpoofedFloodNode flood(
+      bed.sim, "flood",
+      FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
+                            .target = {kTarget, net::kDnsPort},
+                            .rate = 10000},
+      SpoofedFloodNode::SpoofConfig{.spoof_base = Ipv4Address(10, 99, 0, 7),
+                                    .spoof_range = 1});
+  flood.start();
+  bed.sim.run_for(milliseconds(50));
+  flood.stop();
+  for (const auto& p : bed.collector.packets) {
+    EXPECT_EQ(p.src_ip, Ipv4Address(10, 99, 0, 7));
+  }
+}
+
+TEST(SpoofedFlood, PacketsAreWellFormedQueries) {
+  Bed bed;
+  SpoofedFloodNode flood(bed.sim, "flood",
+                         FloodNodeBase::Config{
+                             .own_address = Ipv4Address(10, 9, 9, 9),
+                             .target = {kTarget, net::kDnsPort},
+                             .rate = 1000,
+                             .qname_base = "evil.example."});
+  flood.start();
+  bed.sim.run_for(milliseconds(20));
+  flood.stop();
+  ASSERT_FALSE(bed.collector.packets.empty());
+  for (const auto& p : bed.collector.packets) {
+    auto m = dns::Message::decode(BytesView(p.payload));
+    ASSERT_TRUE(m.has_value());
+    EXPECT_FALSE(m->header.qr);
+    ASSERT_NE(m->question(), nullptr);
+    EXPECT_EQ(m->question()->qname.to_string(), "evil.example.");
+  }
+}
+
+TEST(SpoofedFlood, RandomTxtCookieOptionAttaches) {
+  Bed bed;
+  SpoofedFloodNode flood(
+      bed.sim, "flood",
+      FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
+                            .target = {kTarget, net::kDnsPort},
+                            .rate = 1000},
+      SpoofedFloodNode::SpoofConfig{.random_txt_cookie = true});
+  flood.start();
+  bed.sim.run_for(milliseconds(20));
+  flood.stop();
+  ASSERT_FALSE(bed.collector.packets.empty());
+  std::set<crypto::Cookie> cookies;
+  for (const auto& p : bed.collector.packets) {
+    auto m = dns::Message::decode(BytesView(p.payload));
+    auto c = guard::CookieEngine::extract_txt_cookie(*m);
+    ASSERT_TRUE(c.has_value());
+    EXPECT_FALSE(guard::CookieEngine::is_zero_cookie(*c));
+    cookies.insert(*c);
+  }
+  EXPECT_GT(cookies.size(), bed.collector.packets.size() / 2);  // random
+}
+
+TEST(CookieGuess, NsNameLabelsLookValid) {
+  Bed bed;
+  CookieGuessNode guess(
+      bed.sim, "guess",
+      FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
+                            .target = {kTarget, net::kDnsPort},
+                            .rate = 1000},
+      CookieGuessNode::GuessConfig{.mode = CookieGuessNode::Mode::NsNameLabel,
+                                   .victim = Ipv4Address(10, 99, 0, 1),
+                                   .zone = dns::DomainName{}});
+  guess.start();
+  bed.sim.run_for(milliseconds(20));
+  guess.stop();
+  ASSERT_FALSE(bed.collector.packets.empty());
+  for (const auto& p : bed.collector.packets) {
+    auto m = dns::Message::decode(BytesView(p.payload));
+    ASSERT_TRUE(m.has_value());
+    // Each guess must structurally parse as a cookie label (otherwise the
+    // guard would reject it before even computing MD5).
+    auto parsed = guard::CookieEngine::parse_cookie_label(
+        m->question()->qname.first_label());
+    EXPECT_TRUE(parsed.has_value());
+    EXPECT_EQ(p.src_ip, Ipv4Address(10, 99, 0, 1));
+  }
+}
+
+TEST(CookieGuess, SubnetModeCoversRange) {
+  Bed bed;
+  bed.sim.add_route(Ipv4Address(10, 1, 1, 0), 24, &bed.collector);
+  CookieGuessNode guess(
+      bed.sim, "guess",
+      FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
+                            .target = {kTarget, net::kDnsPort},
+                            .rate = 100000},
+      CookieGuessNode::GuessConfig{
+          .mode = CookieGuessNode::Mode::SubnetAddress,
+          .victim = Ipv4Address(10, 99, 0, 1),
+          .subnet_base = Ipv4Address(10, 1, 1, 0),
+          .r_y = 100});
+  guess.start();
+  bed.sim.run_for(milliseconds(100));
+  guess.stop();
+  std::set<std::uint32_t> dsts;
+  for (const auto& p : bed.collector.packets) dsts.insert(p.dst_ip.value());
+  EXPECT_GT(dsts.size(), 90u);  // nearly all of the 100 offsets probed
+}
+
+TEST(ZombieFlood, UsesRealSource) {
+  Bed bed;
+  ZombieFloodNode zombie(bed.sim, "zombie",
+                         FloodNodeBase::Config{
+                             .own_address = Ipv4Address(10, 7, 7, 7),
+                             .target = {kTarget, net::kDnsPort},
+                             .rate = 1000});
+  zombie.start();
+  bed.sim.run_for(milliseconds(20));
+  zombie.stop();
+  for (const auto& p : bed.collector.packets) {
+    EXPECT_EQ(p.src_ip, Ipv4Address(10, 7, 7, 7));
+  }
+}
+
+TEST(Victim, CountsBytesAndPackets) {
+  sim::Simulator sim;
+  VictimNode victim(sim, "victim", Ipv4Address(10, 99, 0, 1));
+  sim.add_host_route(Ipv4Address(10, 99, 0, 1), &victim);
+  CollectorNode sender(sim);
+  Packet p = Packet::make_udp({Ipv4Address(1, 1, 1, 1), 53},
+                              {Ipv4Address(10, 99, 0, 1), 53}, Bytes(72, 0));
+  sim.send_packet(&sender, p);
+  sim.send_packet(&sender, p);
+  sim.run_all();
+  EXPECT_EQ(victim.packets_received(), 2u);
+  EXPECT_EQ(victim.bytes_received(), 2 * (20 + 8 + 72));
+}
+
+TEST(FloodRestart, StartAfterStopResumesCleanly) {
+  Bed bed;
+  SpoofedFloodNode flood(bed.sim, "flood",
+                         FloodNodeBase::Config{
+                             .own_address = Ipv4Address(10, 9, 9, 9),
+                             .target = {kTarget, net::kDnsPort},
+                             .rate = 1000});
+  flood.start();
+  bed.sim.run_for(milliseconds(100));
+  flood.stop();
+  bed.sim.run_for(milliseconds(100));
+  flood.start();
+  bed.sim.run_for(milliseconds(100));
+  flood.stop();
+  bed.sim.run_for(seconds(1));
+  // ~100 + ~100 packets; no double-rate overlap from stale timers.
+  EXPECT_NEAR(static_cast<double>(flood.flood_stats().sent), 200.0, 6.0);
+}
+
+}  // namespace
+}  // namespace dnsguard::attack

@@ -1,0 +1,127 @@
+// TTL-honoring resource record cache.
+#include <gtest/gtest.h>
+
+#include "server/cache.h"
+
+namespace dnsguard::server {
+namespace {
+
+using dns::DomainName;
+using dns::ResourceRecord;
+using dns::RrType;
+
+ResourceRecord a_record(const char* name, std::uint32_t ttl,
+                        std::uint8_t last_octet = 1) {
+  return ResourceRecord::a(*DomainName::parse(name),
+                           net::Ipv4Address(10, 0, 0, last_octet), ttl);
+}
+
+TEST(RrCache, PutGetRoundTrip) {
+  RrCache cache;
+  cache.put(a_record("www.foo.com", 60), SimTime{});
+  auto hit = cache.get(*DomainName::parse("www.foo.com"), RrType::A,
+                       SimTime{} + seconds(30));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size(), 1u);
+}
+
+TEST(RrCache, ExpiresAfterTtl) {
+  RrCache cache;
+  cache.put(a_record("www.foo.com", 60), SimTime{});
+  EXPECT_FALSE(cache.get(*DomainName::parse("www.foo.com"), RrType::A,
+                         SimTime{} + seconds(61))
+                   .has_value());
+}
+
+TEST(RrCache, TtlZeroNeverCached) {
+  // Fig. 5's testbed sets response TTL to 0 "to disable DNS caching";
+  // RFC semantics: such records are transaction-scoped only.
+  RrCache cache;
+  cache.put(a_record("www.foo.com", 0), SimTime{});
+  EXPECT_FALSE(cache.get(*DomainName::parse("www.foo.com"), RrType::A,
+                         SimTime{})
+                   .has_value());
+  EXPECT_EQ(cache.size(), 0u);
+}
+
+TEST(RrCache, CaseInsensitiveKeys) {
+  RrCache cache;
+  cache.put(a_record("WWW.Foo.COM", 60), SimTime{});
+  EXPECT_TRUE(cache.get(*DomainName::parse("www.foo.com"), RrType::A,
+                        SimTime{} + seconds(1))
+                  .has_value());
+}
+
+TEST(RrCache, TypeSeparation) {
+  RrCache cache;
+  cache.put(a_record("foo.com", 60), SimTime{});
+  EXPECT_FALSE(cache.get(*DomainName::parse("foo.com"), RrType::NS,
+                         SimTime{} + seconds(1))
+                   .has_value());
+}
+
+TEST(RrCache, MergesDistinctRecordsSameKey) {
+  RrCache cache;
+  cache.put(a_record("foo.com", 60, 1), SimTime{});
+  cache.put(a_record("foo.com", 60, 2), SimTime{});
+  auto hit = cache.get(*DomainName::parse("foo.com"), RrType::A,
+                       SimTime{} + seconds(1));
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->size(), 2u);
+}
+
+TEST(RrCache, DuplicateRecordNotDoubled) {
+  RrCache cache;
+  cache.put(a_record("foo.com", 60, 1), SimTime{});
+  cache.put(a_record("foo.com", 60, 1), SimTime{});
+  EXPECT_EQ(cache.get(*DomainName::parse("foo.com"), RrType::A,
+                      SimTime{} + seconds(1))
+                ->size(),
+            1u);
+}
+
+TEST(RrCache, MergeKeepsEarliestExpiry) {
+  RrCache cache;
+  cache.put(a_record("foo.com", 100, 1), SimTime{});
+  cache.put(a_record("foo.com", 10, 2), SimTime{});
+  // After 11s the merged set must be gone (no record outlives its TTL).
+  EXPECT_FALSE(cache.get(*DomainName::parse("foo.com"), RrType::A,
+                         SimTime{} + seconds(11))
+                   .has_value());
+}
+
+TEST(RrCache, ExpiredEntryReplacedNotMerged) {
+  RrCache cache;
+  cache.put(a_record("foo.com", 10, 1), SimTime{});
+  cache.put(a_record("foo.com", 60, 2), SimTime{} + seconds(20));
+  auto hit = cache.get(*DomainName::parse("foo.com"), RrType::A,
+                       SimTime{} + seconds(21));
+  ASSERT_TRUE(hit.has_value());
+  ASSERT_EQ(hit->size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>((*hit)[0].rdata).address,
+            net::Ipv4Address(10, 0, 0, 2));
+}
+
+TEST(RrCache, EvictRemovesEntry) {
+  RrCache cache;
+  cache.put(a_record("foo.com", 60), SimTime{});
+  cache.evict(*DomainName::parse("foo.com"), RrType::A);
+  EXPECT_FALSE(cache.get(*DomainName::parse("foo.com"), RrType::A,
+                         SimTime{} + seconds(1))
+                   .has_value());
+}
+
+TEST(RrCache, StatsCountHitsAndMisses) {
+  RrCache cache;
+  cache.put(a_record("foo.com", 60), SimTime{});
+  (void)cache.get(*DomainName::parse("foo.com"), RrType::A,
+                  SimTime{} + seconds(1));
+  (void)cache.get(*DomainName::parse("bar.com"), RrType::A,
+                  SimTime{} + seconds(1));
+  EXPECT_EQ(cache.stats().hits, 1u);
+  EXPECT_EQ(cache.stats().misses, 1u);
+  EXPECT_EQ(cache.stats().inserts, 1u);
+}
+
+}  // namespace
+}  // namespace dnsguard::server

@@ -1,0 +1,184 @@
+// Domain name parsing, limits, relations and wire codec incl. compression.
+#include <gtest/gtest.h>
+
+#include "dns/name.h"
+
+namespace dnsguard::dns {
+namespace {
+
+TEST(DomainName, ParseBasics) {
+  auto n = DomainName::parse("www.foo.com");
+  ASSERT_TRUE(n.has_value());
+  EXPECT_EQ(n->label_count(), 3u);
+  EXPECT_EQ(n->to_string(), "www.foo.com.");
+  EXPECT_EQ(n->first_label(), "www");
+}
+
+TEST(DomainName, TrailingDotOptional) {
+  EXPECT_EQ(DomainName::parse("foo.com")->to_string(),
+            DomainName::parse("foo.com.")->to_string());
+}
+
+TEST(DomainName, RootName) {
+  auto root = DomainName::parse(".");
+  ASSERT_TRUE(root.has_value());
+  EXPECT_TRUE(root->is_root());
+  EXPECT_EQ(root->to_string(), ".");
+  EXPECT_EQ(root->wire_length(), 1u);
+}
+
+TEST(DomainName, RejectsEmptyAndBadLabels) {
+  EXPECT_FALSE(DomainName::parse("").has_value());
+  EXPECT_FALSE(DomainName::parse("..").has_value());
+  EXPECT_FALSE(DomainName::parse("a..b").has_value());
+  EXPECT_FALSE(DomainName::parse(std::string(64, 'x') + ".com").has_value());
+  EXPECT_TRUE(DomainName::parse(std::string(63, 'x') + ".com").has_value());
+}
+
+TEST(DomainName, RejectsOversizeName) {
+  // 5 labels of 63 bytes = 320 wire bytes > 255.
+  std::string big;
+  for (int i = 0; i < 5; ++i) big += std::string(63, 'a') + ".";
+  EXPECT_FALSE(DomainName::parse(big).has_value());
+}
+
+TEST(DomainName, CaseInsensitiveEquality) {
+  EXPECT_EQ(*DomainName::parse("WWW.Foo.COM"), *DomainName::parse("www.foo.com"));
+}
+
+TEST(DomainName, SubdomainRelation) {
+  auto www = *DomainName::parse("www.foo.com");
+  auto foo = *DomainName::parse("foo.com");
+  auto com = *DomainName::parse("com");
+  auto bar = *DomainName::parse("bar.com");
+  EXPECT_TRUE(www.is_subdomain_of(foo));
+  EXPECT_TRUE(www.is_subdomain_of(com));
+  EXPECT_TRUE(www.is_subdomain_of(DomainName{}));  // root
+  EXPECT_TRUE(www.is_subdomain_of(www));
+  EXPECT_FALSE(www.is_subdomain_of(bar));
+  EXPECT_FALSE(foo.is_subdomain_of(www));
+}
+
+TEST(DomainName, ParentAndSuffix) {
+  auto www = *DomainName::parse("www.foo.com");
+  EXPECT_EQ(www.parent().to_string(), "foo.com.");
+  EXPECT_EQ(www.suffix(1).to_string(), "com.");
+  EXPECT_EQ(www.suffix(2).to_string(), "foo.com.");
+  EXPECT_EQ(www.suffix(5).to_string(), "www.foo.com.");
+  EXPECT_TRUE(DomainName{}.parent().is_root());
+}
+
+TEST(DomainName, WithPrefixLabel) {
+  auto com = *DomainName::parse("com");
+  auto prefixed = com.with_prefix_label("PRa1b2c3d4foo");
+  ASSERT_TRUE(prefixed.has_value());
+  EXPECT_EQ(prefixed->to_string(), "PRa1b2c3d4foo.com.");
+  EXPECT_FALSE(com.with_prefix_label("").has_value());
+  EXPECT_FALSE(com.with_prefix_label(std::string(64, 'x')).has_value());
+}
+
+TEST(NameWire, UncompressedRoundTrip) {
+  auto n = *DomainName::parse("a.bc.def.example");
+  ByteWriter w;
+  write_name_uncompressed(w, n);
+  EXPECT_EQ(w.size(), n.wire_length());
+  ByteReader r(w.view());
+  auto d = read_name(r);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, n);
+  EXPECT_EQ(r.remaining(), 0u);
+}
+
+TEST(NameWire, CompressionReusesSuffix) {
+  auto a = *DomainName::parse("www.foo.com");
+  auto b = *DomainName::parse("mail.foo.com");
+  ByteWriter w;
+  NameCompressor compressor;
+  compressor.write(w, a);
+  std::size_t first = w.size();
+  compressor.write(w, b);
+  // Second name should be "mail" label (5 bytes) + 2-byte pointer.
+  EXPECT_EQ(w.size() - first, 5u + 2u);
+
+  ByteReader r(w.view());
+  auto da = read_name(r);
+  auto db = read_name(r);
+  ASSERT_TRUE(da.has_value());
+  ASSERT_TRUE(db.has_value());
+  EXPECT_EQ(*da, a);
+  EXPECT_EQ(*db, b);
+}
+
+TEST(NameWire, IdenticalNameBecomesPurePointer) {
+  auto a = *DomainName::parse("www.foo.com");
+  ByteWriter w;
+  NameCompressor compressor;
+  compressor.write(w, a);
+  std::size_t first = w.size();
+  compressor.write(w, a);
+  EXPECT_EQ(w.size() - first, 2u);  // a single pointer
+}
+
+TEST(NameWire, PointerLoopRejected) {
+  // A name whose pointer points at itself.
+  Bytes evil{0xc0, 0x00};
+  ByteReader r{BytesView(evil)};
+  EXPECT_FALSE(read_name(r).has_value());
+}
+
+TEST(NameWire, ForwardPointerRejected) {
+  // Pointer to offset beyond itself (forward reference).
+  Bytes evil{0xc0, 0x05, 0, 0, 0, 3, 'a', 'b', 'c', 0};
+  ByteReader r{BytesView(evil)};
+  EXPECT_FALSE(read_name(r).has_value());
+}
+
+TEST(NameWire, ReservedLabelTypesRejected) {
+  Bytes evil{0x80, 'x', 0};  // 10-prefixed label type is reserved
+  ByteReader r{BytesView(evil)};
+  EXPECT_FALSE(read_name(r).has_value());
+}
+
+TEST(NameWire, TruncatedNameRejected) {
+  Bytes evil{5, 'a', 'b'};  // label promises 5 bytes, only 2 present
+  ByteReader r{BytesView(evil)};
+  EXPECT_FALSE(read_name(r).has_value());
+}
+
+TEST(NameWire, OversizeAssembledNameRejected) {
+  // Chain of labels totalling more than 255 bytes via direct encoding.
+  ByteWriter w;
+  for (int i = 0; i < 6; ++i) {
+    w.u8(50);
+    for (int j = 0; j < 50; ++j) w.u8('a');
+  }
+  w.u8(0);
+  ByteReader r(w.view());
+  EXPECT_FALSE(read_name(r).has_value());
+}
+
+// Property: parse -> wire -> parse is identity for many realistic names.
+class NameRoundTrip : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(NameRoundTrip, Identity) {
+  auto n = DomainName::parse(GetParam());
+  ASSERT_TRUE(n.has_value());
+  ByteWriter w;
+  NameCompressor c;
+  c.write(w, *n);
+  ByteReader r(w.view());
+  auto d = read_name(r);
+  ASSERT_TRUE(d.has_value());
+  EXPECT_EQ(*d, *n);
+  EXPECT_EQ(d->to_string(), n->to_string());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Names, NameRoundTrip,
+    ::testing::Values(".", "com", "foo.com", "www.foo.com",
+                      "a.b.c.d.e.f.g.h.i.j", "xn--bcher-kva.example",
+                      "PRa1b2c3d4com", "PRdeadbeefwww.foo.com",
+                      "a.root-servers.net", "_sip._tcp.example.org"));
+
+}  // namespace
+}  // namespace dnsguard::dns

@@ -1,0 +1,161 @@
+// LrsSimulatorNode (the paper's LRS simulator) behaviour.
+#include <gtest/gtest.h>
+
+#include "guard/remote_guard.h"
+#include "server/authoritative_node.h"
+#include "sim/simulator.h"
+#include "workload/lrs_driver.h"
+#include "workload/metrics.h"
+
+namespace dnsguard::workload {
+namespace {
+
+using net::Ipv4Address;
+
+constexpr Ipv4Address kAnsIp(10, 1, 1, 254);
+constexpr Ipv4Address kDriverIp(10, 0, 1, 1);
+
+struct Bed {
+  sim::Simulator sim;
+  server::AnsSimulatorNode ans{sim, "ans", {.address = kAnsIp}};
+  std::unique_ptr<guard::RemoteGuardNode> guard;
+  std::unique_ptr<LrsSimulatorNode> driver;
+
+  void with_guard(guard::Scheme scheme) {
+    guard::RemoteGuardNode::Config gc;
+    gc.guard_address = Ipv4Address(10, 1, 1, 253);
+    gc.ans_address = kAnsIp;
+    gc.protected_zone = dns::DomainName{};
+    gc.subnet_base = Ipv4Address(10, 1, 1, 0);
+    gc.scheme = scheme;
+    gc.rl1.per_address_rate = 1e7;
+    gc.rl1.per_address_burst = 1e6;
+    gc.rl2.per_host_rate = 1e7;
+    gc.rl2.per_host_burst = 1e6;
+    gc.proxy_conn_rate = 1e7;
+    gc.proxy_conn_burst = 1e6;
+    guard = std::make_unique<guard::RemoteGuardNode>(sim, "guard", gc, &ans);
+    guard->install();
+  }
+  void without_guard() { sim.add_host_route(kAnsIp, &ans); }
+
+  LrsSimulatorNode* make_driver(LrsSimulatorNode::Config cfg) {
+    cfg.address = kDriverIp;
+    cfg.target = {kAnsIp, net::kDnsPort};
+    driver = std::make_unique<LrsSimulatorNode>(sim, "driver", cfg);
+    sim.add_host_route(kDriverIp, driver.get());
+    return driver.get();
+  }
+};
+
+TEST(Driver, PlainUdpClosedLoopThroughputScalesWithConcurrency) {
+  double tput1 = 0, tput8 = 0;
+  for (int conc : {1, 8}) {
+    Bed bed;
+    bed.without_guard();
+    auto* d = bed.make_driver({.mode = DriveMode::PlainUdp,
+                               .concurrency = conc});
+    d->start();
+    bed.sim.run_for(seconds(1));
+    d->stop();
+    double tput = static_cast<double>(d->driver_stats().completed);
+    (conc == 1 ? tput1 : tput8) = tput;
+  }
+  // 1 worker is latency-bound (~1/0.41ms); 8 workers ~8x until service
+  // limits kick in.
+  EXPECT_GT(tput8, tput1 * 4);
+}
+
+TEST(Driver, ThinkTimePacesLoad) {
+  Bed bed;
+  bed.without_guard();
+  auto* d = bed.make_driver({.mode = DriveMode::PlainUdp,
+                             .concurrency = 10,
+                             .think_time = milliseconds(9)});
+  d->start();
+  bed.sim.run_for(seconds(2));
+  d->stop();
+  // 10 workers / (0.4ms latency + 9.0ms think + 0.1ms stagger amortized)
+  // ~ 1060/s.
+  double rate = static_cast<double>(d->driver_stats().completed) / 2.0;
+  EXPECT_GT(rate, 900.0);
+  EXPECT_LT(rate, 1200.0);
+}
+
+TEST(Driver, TimeoutCountedWhenServerDead) {
+  Bed bed;  // no route to the ANS at all
+  auto* d = bed.make_driver({.mode = DriveMode::PlainUdp,
+                             .concurrency = 2,
+                             .timeout = milliseconds(10)});
+  d->start();
+  bed.sim.run_for(milliseconds(105));
+  d->stop();
+  EXPECT_EQ(d->driver_stats().completed, 0u);
+  // ~2 workers x ~10 timeouts each.
+  EXPECT_GE(d->driver_stats().timeouts, 16u);
+}
+
+TEST(Driver, LatenciesRecordedPerRequest) {
+  Bed bed;
+  bed.without_guard();
+  auto* d = bed.make_driver({.mode = DriveMode::PlainUdp, .concurrency = 1});
+  d->start();
+  bed.sim.run_for(milliseconds(100));
+  d->stop();
+  ASSERT_GT(d->latencies().count(), 10u);
+  // One exchange over a 0.4 ms RTT plus ANS service time.
+  EXPECT_NEAR(d->latencies().mean(), 0.41, 0.1);
+}
+
+TEST(Driver, HitModesPrimeExactlyOnce) {
+  Bed bed;
+  bed.with_guard(guard::Scheme::ModifiedDns);
+  auto* d = bed.make_driver({.mode = DriveMode::ModifiedHit,
+                             .concurrency = 4});
+  d->start();
+  bed.sim.run_for(milliseconds(200));
+  d->stop();
+  // 4 workers each prime once (not counted), then loop 1-exchange hits.
+  const auto& s = d->driver_stats();
+  EXPECT_GT(s.completed, 100u);
+  // Each of the 4 primings is 2 exchanges, plus up to 4 in flight at
+  // stop; steady state is 1 exchange per request.
+  EXPECT_LE(s.exchanges_sent, s.completed + 13);
+  EXPECT_EQ(bed.guard->guard_stats().cookies_minted, 4u);
+}
+
+TEST(Driver, ModeNamesAreStable) {
+  EXPECT_EQ(drive_mode_name(DriveMode::PlainUdp), "plain-udp");
+  EXPECT_EQ(drive_mode_name(DriveMode::NsNameMiss), "ns-name/miss");
+  EXPECT_EQ(drive_mode_name(DriveMode::TcpWithRedirect), "tcp/redirect");
+}
+
+TEST(RateDriver, FiresAtConfiguredRate) {
+  sim::Simulator sim;
+  int fired = 0;
+  RateDriver driver(sim, 500.0, [&] { fired++; });
+  driver.start();
+  sim.run_for(seconds(2));
+  driver.stop();
+  sim.run_for(seconds(1));
+  EXPECT_NEAR(fired, 1000, 5);
+}
+
+TEST(ThroughputMeter, CountsAndConverts) {
+  ThroughputMeter m;
+  m.record(10);
+  m.record();
+  EXPECT_EQ(m.count(), 11u);
+  EXPECT_DOUBLE_EQ(m.per_second(seconds(2)), 5.5);
+  m.reset();
+  EXPECT_EQ(m.count(), 0u);
+}
+
+TEST(TablePrinterFormat, Numbers) {
+  EXPECT_EQ(TablePrinter::num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::kilo(84200), "84.2K");
+  EXPECT_EQ(TablePrinter::percent(0.256), "25.6%");
+}
+
+}  // namespace
+}  // namespace dnsguard::workload

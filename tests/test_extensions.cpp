@@ -1,0 +1,165 @@
+// Protocol extensions layered on the base reproduction: EDNS0 payload
+// negotiation (RFC 6891) and negative caching (RFC 2308).
+#include <gtest/gtest.h>
+
+#include "server/authoritative_node.h"
+#include "server/resolver_node.h"
+#include "server/zone.h"
+#include "sim/simulator.h"
+
+namespace dnsguard::server {
+namespace {
+
+using dns::DomainName;
+using dns::RrType;
+using net::Ipv4Address;
+
+constexpr Ipv4Address kRootIp(10, 0, 0, 1);
+constexpr Ipv4Address kLrsIp(10, 0, 1, 1);
+
+struct Bed {
+  sim::Simulator sim;
+  std::unique_ptr<AuthoritativeServerNode> ans;
+  std::unique_ptr<RecursiveResolverNode> lrs;
+
+  explicit Bed(std::uint16_t edns_size = 0) {
+    ans = std::make_unique<AuthoritativeServerNode>(
+        sim, "ans", AuthoritativeServerNode::Config{.address = kRootIp});
+    Zone zone(DomainName{});
+    zone.add_soa();
+    zone.add_a("small.example.", Ipv4Address(192, 0, 2, 1));
+    // ~40 A records: > 512 B but < 4096 B encoded.
+    for (int i = 0; i < 40; ++i) {
+      zone.add_a("big.example.",
+                 Ipv4Address(192, 0, 3, static_cast<std::uint8_t>(i)));
+    }
+    ans->add_zone(std::move(zone));
+
+    RecursiveResolverNode::Config rc;
+    rc.address = kLrsIp;
+    rc.root_hints = {kRootIp};
+    rc.retry_timeout = milliseconds(50);
+    rc.edns_payload_size = edns_size;
+    lrs = std::make_unique<RecursiveResolverNode>(sim, "lrs", rc);
+    sim.add_host_route(kRootIp, ans.get());
+    sim.add_host_route(kLrsIp, lrs.get());
+  }
+
+  RecursiveResolverNode::Result resolve(const char* name) {
+    RecursiveResolverNode::Result out;
+    bool done = false;
+    lrs->resolve(*DomainName::parse(name), RrType::A,
+                 [&](const RecursiveResolverNode::Result& r) {
+                   out = r;
+                   done = true;
+                 });
+    sim.run_for(seconds(5));
+    EXPECT_TRUE(done);
+    return out;
+  }
+};
+
+TEST(Edns, WithoutEdnsLargeAnswerFallsBackToTcp) {
+  Bed bed(/*edns_size=*/0);
+  auto r = bed.resolve("big.example");
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(r.answers.size(), 40u);
+  EXPECT_EQ(bed.lrs->resolver_stats().tcp_fallbacks, 1u);
+  EXPECT_EQ(bed.ans->ans_stats().truncated, 1u);
+}
+
+TEST(Edns, AdvertisedPayloadAvoidsTruncation) {
+  Bed bed(/*edns_size=*/4096);
+  auto r = bed.resolve("big.example");
+  ASSERT_TRUE(r.ok);
+  EXPECT_GE(r.answers.size(), 40u);
+  // The whole answer fit in one UDP datagram: no TCP, no truncation.
+  EXPECT_EQ(bed.lrs->resolver_stats().tcp_fallbacks, 0u);
+  EXPECT_EQ(bed.ans->ans_stats().truncated, 0u);
+  EXPECT_EQ(bed.ans->ans_stats().tcp_queries, 0u);
+}
+
+TEST(Edns, ServerClampsAbsurdAdvertisement) {
+  // Direct engine-level check: a 64000-byte advertisement is clamped to
+  // the server's maximum (4096 default).
+  Bed bed;
+  dns::Message q = dns::Message::query(1, *DomainName::parse("big.example"),
+                                       RrType::A, false);
+  q.additional.push_back(dns::ResourceRecord{
+      DomainName{}, RrType::OPT, dns::RrClass::IN, 0, dns::OptRdata{64000}});
+  dns::Message resp = bed.ans->answer(q, /*via_tcp=*/false);
+  // Fits in 4096: answered, not truncated, with an OPT mirror.
+  EXPECT_FALSE(resp.header.tc);
+  bool has_opt = false;
+  for (const auto& rr : resp.additional) {
+    if (rr.type == RrType::OPT) has_opt = true;
+  }
+  EXPECT_TRUE(has_opt);
+}
+
+TEST(Edns, SmallAnswersUnaffected) {
+  Bed bed(/*edns_size=*/4096);
+  auto r = bed.resolve("small.example");
+  ASSERT_TRUE(r.ok);
+  ASSERT_GE(r.answers.size(), 1u);
+}
+
+TEST(NegativeCache, NxDomainCachedPerSoaMinimum) {
+  Bed bed;
+  (void)bed.resolve("missing.example");
+  std::uint64_t q1 = bed.lrs->resolver_stats().iterative_queries;
+  auto r = bed.resolve("missing.example");
+  EXPECT_EQ(r.rcode, dns::Rcode::NxDomain);
+  // Second lookup answered from the negative cache: no new queries.
+  EXPECT_EQ(bed.lrs->resolver_stats().iterative_queries, q1);
+  EXPECT_GE(bed.lrs->cache().negative_size(), 1u);
+}
+
+TEST(NegativeCache, ExpiresAfterSoaMinimum) {
+  Bed bed;
+  (void)bed.resolve("missing.example");
+  std::uint64_t q1 = bed.lrs->resolver_stats().iterative_queries;
+  // The example SOA minimum is 300 s; after 301 s the entry must expire.
+  bed.sim.run_for(seconds(301));
+  (void)bed.resolve("missing.example");
+  EXPECT_GT(bed.lrs->resolver_stats().iterative_queries, q1);
+}
+
+TEST(NegativeCache, NoDataCachedSeparatelyPerType) {
+  Bed bed;
+  // small.example has an A record but no TXT: TXT lookups are NODATA.
+  RecursiveResolverNode::Result out;
+  bool done = false;
+  bed.lrs->resolve(*DomainName::parse("small.example"), RrType::TXT,
+                   [&](const RecursiveResolverNode::Result& r) {
+                     out = r;
+                     done = true;
+                   });
+  bed.sim.run_for(seconds(5));
+  ASSERT_TRUE(done);
+  EXPECT_EQ(out.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(out.answers.empty());
+  std::uint64_t q1 = bed.lrs->resolver_stats().iterative_queries;
+
+  // Repeat TXT: negative-cached. A lookup of type A must still work.
+  done = false;
+  bed.lrs->resolve(*DomainName::parse("small.example"), RrType::TXT,
+                   [&](const RecursiveResolverNode::Result&) { done = true; });
+  bed.sim.run_for(seconds(5));
+  EXPECT_TRUE(done);
+  EXPECT_EQ(bed.lrs->resolver_stats().iterative_queries, q1);
+
+  auto r = bed.resolve("small.example");
+  EXPECT_TRUE(r.ok);
+  EXPECT_FALSE(r.answers.empty());
+}
+
+TEST(NegativeCache, EvictClearsNegativeEntries) {
+  Bed bed;
+  (void)bed.resolve("missing.example");
+  bed.lrs->cache().evict(*DomainName::parse("missing.example"), RrType::A);
+  EXPECT_EQ(bed.lrs->cache().negative_size(), 0u);
+}
+
+}  // namespace
+}  // namespace dnsguard::server

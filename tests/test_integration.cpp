@@ -1,0 +1,354 @@
+// Whole-stack integration: stub resolver -> unmodified recursive resolver
+// -> DNS guard -> real authoritative hierarchy (Fig. 1 + Fig. 4).
+//
+// These tests substantiate the paper's central transparency claim: a
+// standard LRS, knowing nothing about cookies, transparently completes
+// the NS-name dance (Fig. 2(a)), the fabricated NS+IP dance (Fig. 2(b))
+// and the TCP redirect (§III.C), while spoofed floods die at the guard.
+// The modified-DNS scheme (Fig. 3) additionally uses the local guard.
+#include <gtest/gtest.h>
+
+#include "attack/attackers.h"
+#include "guard/local_guard.h"
+#include "guard/remote_guard.h"
+#include "server/authoritative_node.h"
+#include "server/resolver_node.h"
+#include "server/zone.h"
+#include "sim/simulator.h"
+
+namespace dnsguard {
+namespace {
+
+using guard::LocalGuardNode;
+using guard::RemoteGuardNode;
+using guard::Scheme;
+using net::Ipv4Address;
+using server::AuthoritativeServerNode;
+using server::RecursiveResolverNode;
+
+constexpr Ipv4Address kRootIp(10, 1, 1, 254);   // inside the guard subnet
+constexpr Ipv4Address kComIp(10, 0, 0, 2);
+constexpr Ipv4Address kFooIp(10, 2, 2, 254);    // inside foo guard subnet
+constexpr Ipv4Address kLrsIp(10, 0, 1, 1);
+constexpr Ipv4Address kRootGuardIp(10, 1, 1, 253);
+constexpr Ipv4Address kFooGuardIp(10, 2, 2, 253);
+
+struct FullStack {
+  sim::Simulator sim;
+  std::unique_ptr<AuthoritativeServerNode> root, com, foo;
+  std::unique_ptr<RecursiveResolverNode> lrs;
+  std::unique_ptr<RemoteGuardNode> root_guard, foo_guard;
+  std::unique_ptr<LocalGuardNode> local_guard;
+
+  FullStack() {
+    auto h = server::make_example_hierarchy(kRootIp, kComIp, kFooIp);
+    root = std::make_unique<AuthoritativeServerNode>(
+        sim, "root", AuthoritativeServerNode::Config{.address = kRootIp});
+    com = std::make_unique<AuthoritativeServerNode>(
+        sim, "com", AuthoritativeServerNode::Config{.address = kComIp});
+    foo = std::make_unique<AuthoritativeServerNode>(
+        sim, "foo", AuthoritativeServerNode::Config{.address = kFooIp});
+    root->add_zone(std::move(h.root));
+    com->add_zone(std::move(h.com));
+    foo->add_zone(std::move(h.foo_com));
+
+    RecursiveResolverNode::Config cfg;
+    cfg.address = kLrsIp;
+    cfg.root_hints = {kRootIp};
+    cfg.retry_timeout = milliseconds(100);
+    lrs = std::make_unique<RecursiveResolverNode>(sim, "lrs", cfg);
+
+    sim.add_host_route(kRootIp, root.get());
+    sim.add_host_route(kComIp, com.get());
+    sim.add_host_route(kFooIp, foo.get());
+    sim.add_host_route(kLrsIp, lrs.get());
+    sim.set_default_latency(microseconds(200));
+  }
+
+  RemoteGuardNode::Config guard_config(Scheme scheme, Ipv4Address guard_ip,
+                                       Ipv4Address ans_ip,
+                                       const char* zone,
+                                       Ipv4Address subnet_base) {
+    RemoteGuardNode::Config gc;
+    gc.guard_address = guard_ip;
+    gc.ans_address = ans_ip;
+    gc.protected_zone = *dns::DomainName::parse(zone);
+    gc.subnet_base = subnet_base;
+    gc.r_y = 250;
+    gc.scheme = scheme;
+    gc.rl1.per_address_rate = 1e6;
+    gc.rl1.per_address_burst = 1e5;
+    gc.rl2.per_host_rate = 1e6;
+    gc.rl2.per_host_burst = 1e5;
+    return gc;
+  }
+
+  void guard_root(Scheme scheme) {
+    sim.remove_routes_to(root.get());
+    root_guard = std::make_unique<RemoteGuardNode>(
+        sim, "root-guard",
+        guard_config(scheme, kRootGuardIp, kRootIp, ".",
+                     Ipv4Address(10, 1, 1, 0)),
+        root.get());
+    root_guard->install(24);
+  }
+
+  void guard_foo(Scheme scheme) {
+    sim.remove_routes_to(foo.get());
+    foo_guard = std::make_unique<RemoteGuardNode>(
+        sim, "foo-guard",
+        guard_config(scheme, kFooGuardIp, kFooIp, "foo.com.",
+                     Ipv4Address(10, 2, 2, 0)),
+        foo.get());
+    foo_guard->install(24);
+  }
+
+  void add_local_guard() {
+    local_guard = std::make_unique<LocalGuardNode>(
+        sim, "local-guard",
+        LocalGuardNode::Config{.lrs_address = kLrsIp,
+                               .cookie_request_timeout = milliseconds(100)},
+        lrs.get());
+    sim.remove_routes_to(lrs.get());
+    local_guard->install();
+  }
+
+  RecursiveResolverNode::Result resolve(const char* name) {
+    RecursiveResolverNode::Result out;
+    bool done = false;
+    lrs->resolve(*dns::DomainName::parse(name), dns::RrType::A,
+                 [&](const RecursiveResolverNode::Result& r) {
+                   out = r;
+                   done = true;
+                 });
+    sim.run_for(seconds(20));
+    EXPECT_TRUE(done) << "resolution incomplete for " << name;
+    return out;
+  }
+
+  static bool has_address(const RecursiveResolverNode::Result& r,
+                          Ipv4Address expect) {
+    for (const auto& rr : r.answers) {
+      if (rr.type == dns::RrType::A &&
+          std::get<dns::ARdata>(rr.rdata).address == expect) {
+        return true;
+      }
+    }
+    return false;
+  }
+};
+
+TEST(FullStackNsName, UnmodifiedResolverCompletesCookieDance) {
+  FullStack fs;
+  fs.guard_root(Scheme::NsName);
+  auto r = fs.resolve("www.foo.com");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(r.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(FullStack::has_address(r, Ipv4Address(192, 0, 2, 80)));
+  // The resolver performed the cookie dance: one glue subtask for the
+  // fabricated NS name.
+  EXPECT_GE(fs.lrs->resolver_stats().glue_subtasks, 1u);
+  EXPECT_GE(fs.root_guard->guard_stats().fabricated_referrals, 1u);
+  EXPECT_GE(fs.root_guard->guard_stats().cookie_checks, 1u);
+  EXPECT_EQ(fs.root_guard->guard_stats().spoofs_dropped, 0u);
+  // The root ANS saw exactly one (rewritten) query.
+  EXPECT_EQ(fs.root->ans_stats().udp_queries, 1u);
+}
+
+TEST(FullStackNsName, CachedCookieSkipsFabrication) {
+  FullStack fs;
+  fs.guard_root(Scheme::NsName);
+  (void)fs.resolve("www.foo.com");
+  std::uint64_t fabricated =
+      fs.root_guard->guard_stats().fabricated_referrals;
+  std::uint64_t root_queries = fs.root->ans_stats().udp_queries;
+  // A sibling name under the same TLD: the com delegation (fabricated NS
+  // + its address) is cached, so neither the guard nor the root is asked
+  // anything new.
+  auto r = fs.resolve("mail.foo.com");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(FullStack::has_address(r, Ipv4Address(192, 0, 2, 25)));
+  EXPECT_EQ(fs.root_guard->guard_stats().fabricated_referrals, fabricated);
+  EXPECT_EQ(fs.root->ans_stats().udp_queries, root_queries);
+}
+
+TEST(FullStackNsName, ExpiredGlueRefreshedWithOneExchange) {
+  // §III.B.1: when the fabricated NS record is cached but the server
+  // address expired, the LRS re-queries using the cookie name directly —
+  // messages 1 and 2 are skipped.
+  FullStack fs;
+  fs.guard_root(Scheme::NsName);
+  (void)fs.resolve("www.foo.com");
+  std::uint64_t fabricated =
+      fs.root_guard->guard_stats().fabricated_referrals;
+  std::uint64_t checks = fs.root_guard->guard_stats().cookie_checks;
+
+  // Expire the fabricated name's address and the deeper caches so the
+  // next lookup must go through the root again.
+  auto ns_set = fs.lrs->cache().get(*dns::DomainName::parse("com."),
+                                    dns::RrType::NS, fs.sim.now());
+  ASSERT_TRUE(ns_set.has_value());
+  const auto& fabricated_name =
+      std::get<dns::NsRdata>(ns_set->front().rdata).nsdname;
+  fs.lrs->cache().evict(fabricated_name, dns::RrType::A);
+  fs.lrs->cache().evict(*dns::DomainName::parse("foo.com."),
+                        dns::RrType::NS);
+  fs.lrs->cache().evict(*dns::DomainName::parse("www.foo.com."),
+                        dns::RrType::A);
+
+  auto r = fs.resolve("www.foo.com");
+  ASSERT_TRUE(r.ok);
+  // No new fabricated referral; exactly one more cookie check (the direct
+  // cookie-name query).
+  EXPECT_EQ(fs.root_guard->guard_stats().fabricated_referrals, fabricated);
+  EXPECT_EQ(fs.root_guard->guard_stats().cookie_checks, checks + 1);
+}
+
+TEST(FullStackNsName, ResolutionSurvivesHeavyFlood) {
+  FullStack fs;
+  fs.guard_root(Scheme::NsName);
+  attack::SpoofedFloodNode attacker(
+      fs.sim, "attacker",
+      attack::FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
+                                    .target = {kRootIp, net::kDnsPort},
+                                    .rate = 50000,
+                                    .qname_base = "victim.test."});
+  attacker.start();
+  fs.sim.run_for(milliseconds(50));  // flood already in full swing
+  auto r = fs.resolve("www.foo.com");
+  attacker.stop();
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(FullStack::has_address(r, Ipv4Address(192, 0, 2, 80)));
+  // The flood never reached the protected root server.
+  EXPECT_EQ(fs.root->ans_stats().udp_queries, 1u);
+  EXPECT_GT(fs.root_guard->guard_stats().requests_seen, 2000u);
+}
+
+TEST(FullStackFabricated, UnmodifiedResolverCompletesTwoCookieDance) {
+  FullStack fs;
+  fs.guard_foo(Scheme::FabricatedNsIp);
+  auto r = fs.resolve("www.foo.com");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(FullStack::has_address(r, Ipv4Address(192, 0, 2, 80)));
+  // Both cookies were exercised: the NS-name check (msg 3) and the
+  // destination-address check (msg 7).
+  EXPECT_GE(fs.foo_guard->guard_stats().cookie_checks, 2u);
+  EXPECT_GE(fs.foo_guard->guard_stats().cookie_replies, 1u);
+  EXPECT_EQ(fs.foo_guard->guard_stats().spoofs_dropped, 0u);
+  EXPECT_EQ(fs.foo->ans_stats().udp_queries, 1u);
+}
+
+TEST(FullStackFabricated, SecondLookupUsesCookieAddressDirectly) {
+  FullStack fs;
+  fs.guard_foo(Scheme::FabricatedNsIp);
+  (void)fs.resolve("www.foo.com");
+  std::uint64_t referrals = fs.foo_guard->guard_stats().fabricated_referrals;
+  // The same name again (cache evicted so a query must happen, but the
+  // fabricated delegation + COOKIE2 address are still cached): 1 RTT to
+  // the cookie address, no new fabrication.
+  fs.lrs->cache().evict(*dns::DomainName::parse("www.foo.com."),
+                        dns::RrType::A);
+  auto r = fs.resolve("www.foo.com");
+  ASSERT_TRUE(r.ok);
+  EXPECT_EQ(fs.foo_guard->guard_stats().fabricated_referrals, referrals);
+  EXPECT_EQ(fs.foo->ans_stats().udp_queries, 2u);
+}
+
+TEST(FullStackTcp, TruncationRedirectsResolverToProxy) {
+  FullStack fs;
+  fs.guard_foo(Scheme::TcpRedirect);
+  auto r = fs.resolve("www.foo.com");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(FullStack::has_address(r, Ipv4Address(192, 0, 2, 80)));
+  EXPECT_EQ(fs.lrs->resolver_stats().tcp_fallbacks, 1u);
+  EXPECT_GE(fs.foo_guard->guard_stats().tc_redirects, 1u);
+  EXPECT_EQ(fs.foo_guard->guard_stats().proxy_queries, 1u);
+  // The ANS was spared the TCP processing: it saw a UDP query.
+  EXPECT_EQ(fs.foo->ans_stats().udp_queries, 1u);
+  EXPECT_EQ(fs.foo->ans_stats().tcp_queries, 0u);
+}
+
+TEST(FullStackModified, LocalGuardAddsCookiesTransparently) {
+  FullStack fs;
+  fs.guard_foo(Scheme::ModifiedDns);
+  fs.add_local_guard();
+  auto r = fs.resolve("www.foo.com");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(FullStack::has_address(r, Ipv4Address(192, 0, 2, 80)));
+  // The local guard probed each of the three ANSs once; only the guarded
+  // foo server answered with a cookie.
+  EXPECT_EQ(fs.local_guard->local_stats().cookie_requests, 3u);
+  EXPECT_EQ(fs.local_guard->local_stats().cookies_cached, 1u);
+  EXPECT_GE(fs.local_guard->local_stats().queries_with_cookie, 1u);
+  EXPECT_GE(fs.foo_guard->guard_stats().cookie_checks, 1u);
+  EXPECT_EQ(fs.foo_guard->guard_stats().spoofs_dropped, 0u);
+  EXPECT_TRUE(fs.local_guard->has_cookie_for(kFooIp));
+}
+
+TEST(FullStackModified, UnguardedServersStillServed) {
+  // Incremental deployment (§V): with a local guard installed, queries to
+  // unguarded ANSs (root, com here) must still resolve.
+  FullStack fs;
+  fs.guard_foo(Scheme::ModifiedDns);
+  fs.add_local_guard();
+  auto r = fs.resolve("www.foo.com");
+  ASSERT_TRUE(r.ok);
+  // root and com answered plainly; the local guard marked them
+  // not-cookie-capable after their first response.
+  EXPECT_GE(fs.local_guard->local_stats().responses_delivered, 2u);
+  EXPECT_EQ(fs.root->ans_stats().udp_queries, 1u);
+  EXPECT_EQ(fs.com->ans_stats().udp_queries, 1u);
+}
+
+TEST(FullStackModified, CachedCookieReused) {
+  FullStack fs;
+  fs.guard_foo(Scheme::ModifiedDns);
+  fs.add_local_guard();
+  (void)fs.resolve("www.foo.com");
+  auto before = fs.local_guard->local_stats().cookie_requests;
+  auto r = fs.resolve("mail.foo.com");
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(FullStack::has_address(r, Ipv4Address(192, 0, 2, 25)));
+  // Table I: one cookie per ANS — no second cookie request.
+  EXPECT_EQ(fs.local_guard->local_stats().cookie_requests, before);
+}
+
+TEST(FullStackModified, FloodDroppedLegitServed) {
+  FullStack fs;
+  fs.guard_foo(Scheme::ModifiedDns);
+  fs.add_local_guard();
+  attack::SpoofedFloodNode attacker(
+      fs.sim, "attacker",
+      attack::FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
+                                    .target = {kFooIp, net::kDnsPort},
+                                    .rate = 50000,
+                                    .qname_base = "www.foo.com."});
+  attacker.start();
+  fs.sim.run_for(milliseconds(50));
+  auto r = fs.resolve("www.foo.com");
+  attacker.stop();
+  ASSERT_TRUE(r.ok);
+  EXPECT_TRUE(FullStack::has_address(r, Ipv4Address(192, 0, 2, 80)));
+  // Spoofed requests carry no cookie: under the ModifiedDns scheme they
+  // fall back to the NS-name dance they never complete, so the protected
+  // server only saw the one legitimate query.
+  EXPECT_EQ(fs.foo->ans_stats().udp_queries, 1u);
+}
+
+TEST(FullStackGuardRemoval, UninstallRestoresDirectPath) {
+  FullStack fs;
+  fs.guard_root(Scheme::NsName);
+  (void)fs.resolve("www.foo.com");
+  EXPECT_GT(fs.root_guard->guard_stats().requests_seen, 0u);
+
+  fs.root_guard->uninstall();
+  fs.lrs->cache().clear();
+  std::uint64_t seen = fs.root_guard->guard_stats().requests_seen;
+  auto r = fs.resolve("www.foo.com");
+  ASSERT_TRUE(r.ok);
+  // The guard saw nothing new.
+  EXPECT_EQ(fs.root_guard->guard_stats().requests_seen, seen);
+}
+
+}  // namespace
+}  // namespace dnsguard

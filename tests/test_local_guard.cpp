@@ -1,0 +1,237 @@
+// LocalGuardNode unit behaviour (modified-DNS scheme, LRS side).
+//
+// Uses a bare probe node as the "LRS" and a scripted peer as the "ANS
+// side" so each message of Fig. 3 can be asserted individually.
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "guard/cookie_engine.h"
+#include "guard/local_guard.h"
+#include "sim/simulator.h"
+
+namespace dnsguard::guard {
+namespace {
+
+using net::Ipv4Address;
+using net::Packet;
+
+constexpr Ipv4Address kLrsIp(10, 0, 1, 1);
+constexpr Ipv4Address kAnsIp(10, 5, 5, 5);
+
+/// Captures everything delivered to it.
+class SinkNode : public sim::Node {
+ public:
+  SinkNode(sim::Simulator& s, std::string name)
+      : sim::Node(s, std::move(name)) {}
+  std::vector<Packet> received;
+
+ protected:
+  SimDuration process(const Packet& p) override {
+    received.push_back(p);
+    return SimDuration{};
+  }
+};
+
+struct Bed {
+  sim::Simulator sim;
+  SinkNode lrs{sim, "lrs"};
+  SinkNode ans{sim, "ans"};
+  std::unique_ptr<LocalGuardNode> lg;
+
+  explicit Bed(LocalGuardNode::Config cfg = {}) {
+    cfg.lrs_address = kLrsIp;
+    lg = std::make_unique<LocalGuardNode>(sim, "local-guard", cfg, &lrs);
+    lg->install();
+    sim.add_host_route(kAnsIp, &ans);
+  }
+
+  /// The LRS emits a query toward the ANS (passes through the guard via
+  /// the LRS gateway).
+  void lrs_sends_query(std::uint16_t id) {
+    dns::Message q = dns::Message::query(
+        id, *dns::DomainName::parse("www.foo.com"), dns::RrType::A, false);
+    sim.send_packet(&lrs, Packet::make_udp({kLrsIp, net::kDnsPort},
+                                           {kAnsIp, net::kDnsPort},
+                                           q.encode()));
+    sim.run_for(milliseconds(5));
+  }
+
+  /// The ANS side answers with `m` (addressed to the LRS).
+  void ans_sends(const dns::Message& m) {
+    sim.send_packet(&ans, Packet::make_udp({kAnsIp, net::kDnsPort},
+                                           {kLrsIp, net::kDnsPort},
+                                           m.encode()));
+    sim.run_for(milliseconds(5));
+  }
+
+  static dns::Message decode(const Packet& p) {
+    auto m = dns::Message::decode(BytesView(p.payload));
+    EXPECT_TRUE(m.has_value());
+    return m.value_or(dns::Message{});
+  }
+};
+
+TEST(LocalGuard, FirstQueryHeldAndProbeSent) {
+  Bed bed;
+  bed.lrs_sends_query(100);
+  // Exactly one packet reached the ANS: the zero-cookie probe (msg 2).
+  ASSERT_EQ(bed.ans.received.size(), 1u);
+  auto probe = Bed::decode(bed.ans.received[0]);
+  auto cookie = CookieEngine::extract_txt_cookie(probe);
+  ASSERT_TRUE(cookie.has_value());
+  EXPECT_TRUE(CookieEngine::is_zero_cookie(*cookie));
+  EXPECT_EQ(bed.lg->local_stats().queries_held, 1u);
+}
+
+TEST(LocalGuard, CookieReplyReleasesHeldQueriesWithCookie) {
+  Bed bed;
+  bed.lrs_sends_query(100);
+  ASSERT_EQ(bed.ans.received.size(), 1u);
+  auto probe = Bed::decode(bed.ans.received[0]);
+
+  // The remote guard's msg 3: same id, cookie TXT, no answers.
+  CookieEngine engine(9);
+  dns::Message msg3 = dns::Message::response_to(probe);
+  CookieEngine::strip_txt_cookie(msg3);
+  CookieEngine::attach_txt_cookie(msg3, engine.mint(kLrsIp), 3600);
+  bed.ans_sends(msg3);
+
+  // The held query went out with the real cookie (msg 4).
+  ASSERT_EQ(bed.ans.received.size(), 2u);
+  auto msg4 = Bed::decode(bed.ans.received[1]);
+  auto cookie = CookieEngine::extract_txt_cookie(msg4);
+  ASSERT_TRUE(cookie.has_value());
+  EXPECT_EQ(*cookie, engine.mint(kLrsIp));
+  EXPECT_EQ(msg4.header.id, 100);
+  // msg 3 itself was consumed, not delivered to the LRS.
+  EXPECT_TRUE(bed.lrs.received.empty());
+  EXPECT_TRUE(bed.lg->has_cookie_for(kAnsIp));
+}
+
+TEST(LocalGuard, SubsequentQueriesGetCookieImmediately) {
+  Bed bed;
+  bed.lrs_sends_query(100);
+  auto probe = Bed::decode(bed.ans.received[0]);
+  CookieEngine engine(9);
+  dns::Message msg3 = dns::Message::response_to(probe);
+  CookieEngine::strip_txt_cookie(msg3);
+  CookieEngine::attach_txt_cookie(msg3, engine.mint(kLrsIp), 3600);
+  bed.ans_sends(msg3);
+  std::size_t before = bed.ans.received.size();
+
+  bed.lrs_sends_query(101);
+  ASSERT_EQ(bed.ans.received.size(), before + 1);
+  auto direct = Bed::decode(bed.ans.received.back());
+  EXPECT_TRUE(CookieEngine::extract_txt_cookie(direct).has_value());
+  EXPECT_EQ(bed.lg->local_stats().cookie_requests, 1u);
+}
+
+TEST(LocalGuard, CookieExpiryTriggersNewExchange) {
+  LocalGuardNode::Config cfg;
+  Bed bed(cfg);
+  bed.lrs_sends_query(100);
+  auto probe = Bed::decode(bed.ans.received[0]);
+  CookieEngine engine(9);
+  dns::Message msg3 = dns::Message::response_to(probe);
+  CookieEngine::strip_txt_cookie(msg3);
+  CookieEngine::attach_txt_cookie(msg3, engine.mint(kLrsIp), /*ttl=*/1);
+  bed.ans_sends(msg3);
+
+  bed.sim.run_for(seconds(2));  // cookie TTL elapses
+  bed.lrs_sends_query(101);
+  EXPECT_EQ(bed.lg->local_stats().cookie_requests, 2u);
+}
+
+TEST(LocalGuard, UnguardedAnsAnsweredPlainlyAndRemembered) {
+  Bed bed;
+  bed.lrs_sends_query(100);
+  auto probe = Bed::decode(bed.ans.received[0]);
+
+  // An unguarded ANS answers the probe like a normal query (no cookie).
+  dns::Message plain = dns::Message::response_to(probe);
+  plain.answers.push_back(dns::ResourceRecord::a(
+      *dns::DomainName::parse("www.foo.com"), Ipv4Address(192, 0, 2, 80),
+      60));
+  bed.ans_sends(plain);
+
+  // Delivered straight to the LRS; the server is marked not-capable.
+  ASSERT_EQ(bed.lrs.received.size(), 1u);
+  EXPECT_EQ(Bed::decode(bed.lrs.received[0]).header.id, 100);
+
+  // The next query flows through WITHOUT a probe or held state.
+  bed.lrs_sends_query(101);
+  ASSERT_EQ(bed.ans.received.size(), 2u);
+  auto next = Bed::decode(bed.ans.received[1]);
+  EXPECT_FALSE(CookieEngine::extract_txt_cookie(next).has_value());
+  EXPECT_EQ(bed.lg->local_stats().cookie_requests, 1u);
+}
+
+TEST(LocalGuard, TimeoutReleasesHeldQueriesPlainly) {
+  LocalGuardNode::Config cfg;
+  cfg.cookie_request_timeout = milliseconds(50);
+  Bed bed(cfg);
+  bed.lrs_sends_query(100);
+  EXPECT_EQ(bed.ans.received.size(), 1u);  // only the probe so far
+  // Nobody ever answers; after the timeout the original goes out bare.
+  bed.sim.run_for(milliseconds(100));
+  ASSERT_EQ(bed.ans.received.size(), 2u);
+  auto released = Bed::decode(bed.ans.received[1]);
+  EXPECT_FALSE(CookieEngine::extract_txt_cookie(released).has_value());
+  EXPECT_EQ(bed.lg->local_stats().released_without_cookie, 1u);
+}
+
+TEST(LocalGuard, AnswerWithRefreshedCookieIsStrippedAndCached) {
+  Bed bed;
+  // Prime a cookie.
+  bed.lrs_sends_query(100);
+  auto probe = Bed::decode(bed.ans.received[0]);
+  CookieEngine engine(9);
+  dns::Message msg3 = dns::Message::response_to(probe);
+  CookieEngine::strip_txt_cookie(msg3);
+  CookieEngine::attach_txt_cookie(msg3, engine.mint(kLrsIp), 3600);
+  bed.ans_sends(msg3);
+  bed.lrs.received.clear();
+
+  // A real answer carrying a refreshed cookie comes back.
+  dns::Message answer;
+  answer.header.id = 100;
+  answer.header.qr = true;
+  answer.answers.push_back(dns::ResourceRecord::a(
+      *dns::DomainName::parse("www.foo.com"), Ipv4Address(192, 0, 2, 80),
+      60));
+  engine.rotate(10);
+  CookieEngine::attach_txt_cookie(answer, engine.mint(kLrsIp), 3600);
+  bed.ans_sends(answer);
+
+  ASSERT_EQ(bed.lrs.received.size(), 1u);
+  auto delivered = Bed::decode(bed.lrs.received[0]);
+  // The LRS never sees the cookie extension.
+  EXPECT_FALSE(CookieEngine::extract_txt_cookie(delivered).has_value());
+  EXPECT_EQ(delivered.answers.size(), 1u);
+  EXPECT_TRUE(bed.lg->has_cookie_for(kAnsIp));
+}
+
+TEST(LocalGuard, HeldQueueBounded) {
+  LocalGuardNode::Config cfg;
+  cfg.max_held_per_ans = 4;
+  Bed bed(cfg);
+  for (std::uint16_t i = 0; i < 10; ++i) bed.lrs_sends_query(200 + i);
+  EXPECT_EQ(bed.lg->local_stats().queries_held, 4u);
+}
+
+TEST(LocalGuard, StubQueriesToLrsPassThrough) {
+  Bed bed;
+  // A stub's recursive query addressed TO the LRS must reach it.
+  dns::Message q = dns::Message::query(
+      55, *dns::DomainName::parse("www.foo.com"), dns::RrType::A, true);
+  bed.sim.send_packet(&bed.ans, Packet::make_udp({kAnsIp, 34000},
+                                                 {kLrsIp, net::kDnsPort},
+                                                 q.encode()));
+  bed.sim.run_for(milliseconds(5));
+  ASSERT_EQ(bed.lrs.received.size(), 1u);
+  EXPECT_EQ(Bed::decode(bed.lrs.received[0]).header.id, 55);
+}
+
+}  // namespace
+}  // namespace dnsguard::guard

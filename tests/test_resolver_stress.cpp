@@ -1,0 +1,155 @@
+// Resolver stress: many concurrent resolutions, mixed hit/miss/negative
+// outcomes, loss, and stub fan-in — the LRS must complete everything and
+// leak nothing.
+#include <gtest/gtest.h>
+
+#include "server/authoritative_node.h"
+#include "server/resolver_node.h"
+#include "server/stub_node.h"
+#include "server/zone.h"
+#include "sim/simulator.h"
+
+namespace dnsguard::server {
+namespace {
+
+using dns::DomainName;
+using dns::RrType;
+using net::Ipv4Address;
+
+constexpr Ipv4Address kRootIp(10, 0, 0, 1);
+constexpr Ipv4Address kComIp(10, 0, 0, 2);
+constexpr Ipv4Address kFooIp(10, 0, 0, 3);
+constexpr Ipv4Address kLrsIp(10, 0, 1, 1);
+
+struct Bed {
+  sim::Simulator sim;
+  std::unique_ptr<AuthoritativeServerNode> root, com, foo;
+  std::unique_ptr<RecursiveResolverNode> lrs;
+
+  Bed() {
+    auto h = make_example_hierarchy(kRootIp, kComIp, kFooIp);
+    root = std::make_unique<AuthoritativeServerNode>(
+        sim, "root", AuthoritativeServerNode::Config{.address = kRootIp});
+    com = std::make_unique<AuthoritativeServerNode>(
+        sim, "com", AuthoritativeServerNode::Config{.address = kComIp});
+    foo = std::make_unique<AuthoritativeServerNode>(
+        sim, "foo", AuthoritativeServerNode::Config{.address = kFooIp});
+    root->add_zone(std::move(h.root));
+    com->add_zone(std::move(h.com));
+    foo->add_zone(std::move(h.foo_com));
+    // A wide zone with many real names.
+    Zone wide(*DomainName::parse("foo.com"));
+    for (int i = 0; i < 100; ++i) {
+      wide.add_a("host" + std::to_string(i) + ".foo.com.",
+                 Ipv4Address(192, 0, 2, static_cast<std::uint8_t>(i)));
+    }
+    foo->add_zone(std::move(wide));
+
+    RecursiveResolverNode::Config rc;
+    rc.address = kLrsIp;
+    rc.root_hints = {kRootIp};
+    rc.retry_timeout = milliseconds(50);
+    rc.max_retries = 5;
+    lrs = std::make_unique<RecursiveResolverNode>(sim, "lrs", rc);
+    sim.add_host_route(kRootIp, root.get());
+    sim.add_host_route(kComIp, com.get());
+    sim.add_host_route(kFooIp, foo.get());
+    sim.add_host_route(kLrsIp, lrs.get());
+  }
+};
+
+TEST(ResolverStress, TwoHundredConcurrentMixedLookups) {
+  Bed bed;
+  int done = 0, positive = 0, negative = 0;
+  // Fire 200 resolutions at once: 100 existing hosts, 60 missing names,
+  // 40 duplicates of the same name.
+  auto cb = [&](const RecursiveResolverNode::Result& r) {
+    done++;
+    if (r.rcode == dns::Rcode::NoError && !r.answers.empty()) positive++;
+    if (r.rcode == dns::Rcode::NxDomain) negative++;
+  };
+  for (int i = 0; i < 100; ++i) {
+    bed.lrs->resolve(*DomainName::parse("host" + std::to_string(i) +
+                                        ".foo.com"),
+                     RrType::A, cb);
+  }
+  for (int i = 0; i < 60; ++i) {
+    bed.lrs->resolve(*DomainName::parse("gone" + std::to_string(i) +
+                                        ".foo.com"),
+                     RrType::A, cb);
+  }
+  for (int i = 0; i < 40; ++i) {
+    bed.lrs->resolve(*DomainName::parse("www.foo.com"), RrType::A, cb);
+  }
+  bed.sim.run_for(seconds(30));
+  EXPECT_EQ(done, 200);
+  EXPECT_EQ(positive, 140);  // 100 hosts + 40 www duplicates
+  EXPECT_EQ(negative, 60);
+  EXPECT_EQ(bed.lrs->inflight_tasks(), 0u) << "task leak";
+}
+
+TEST(ResolverStress, ConcurrentLookupsUnderLoss) {
+  Bed bed;
+  bed.sim.set_loss_rate(0.1, 77);
+  int done = 0, ok = 0;
+  for (int i = 0; i < 50; ++i) {
+    bed.lrs->resolve(*DomainName::parse("host" + std::to_string(i) +
+                                        ".foo.com"),
+                     RrType::A, [&](const RecursiveResolverNode::Result& r) {
+                       done++;
+                       if (r.ok) ok++;
+                     });
+  }
+  bed.sim.run_for(seconds(60));
+  EXPECT_EQ(done, 50);
+  EXPECT_GE(ok, 48);  // retransmission absorbs the loss
+  EXPECT_EQ(bed.lrs->inflight_tasks(), 0u);
+}
+
+TEST(ResolverStress, StubFanInThroughOneLrs) {
+  Bed bed;
+  std::vector<std::unique_ptr<StubResolverNode>> stubs;
+  int answered = 0;
+  for (int i = 0; i < 20; ++i) {
+    Ipv4Address addr(10, 0, 3, static_cast<std::uint8_t>(i + 1));
+    stubs.push_back(std::make_unique<StubResolverNode>(
+        bed.sim, "stub" + std::to_string(i),
+        StubResolverNode::Config{.address = addr, .lrs_address = kLrsIp}));
+    bed.sim.add_host_route(addr, stubs.back().get());
+  }
+  for (int i = 0; i < 20; ++i) {
+    stubs[static_cast<std::size_t>(i)]->lookup(
+        *DomainName::parse("host" + std::to_string(i) + ".foo.com"),
+        RrType::A, [&](const StubResolverNode::Result& r) {
+          if (r.ok) answered++;
+        });
+  }
+  bed.sim.run_for(seconds(10));
+  EXPECT_EQ(answered, 20);
+  EXPECT_EQ(bed.lrs->resolver_stats().client_responses, 20u);
+}
+
+TEST(ResolverStress, CacheConvergesToOneQueryPerName) {
+  Bed bed;
+  // Warm up the delegation chain.
+  bool done = false;
+  bed.lrs->resolve(*DomainName::parse("host0.foo.com"), RrType::A,
+                   [&](const auto&) { done = true; });
+  bed.sim.run_for(seconds(5));
+  ASSERT_TRUE(done);
+  std::uint64_t q0 = bed.lrs->resolver_stats().iterative_queries;
+
+  // 50 fresh names: exactly one iterative query each (straight to foo).
+  int completions = 0;
+  for (int i = 1; i <= 50; ++i) {
+    bed.lrs->resolve(*DomainName::parse("host" + std::to_string(i) +
+                                        ".foo.com"),
+                     RrType::A, [&](const auto&) { completions++; });
+  }
+  bed.sim.run_for(seconds(5));
+  EXPECT_EQ(completions, 50);
+  EXPECT_EQ(bed.lrs->resolver_stats().iterative_queries, q0 + 50);
+}
+
+}  // namespace
+}  // namespace dnsguard::server

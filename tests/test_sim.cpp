@@ -1,0 +1,245 @@
+// Discrete-event simulator: ordering, routing, latency, CPU model,
+// queue overflow, gateways, and packet conservation.
+#include <gtest/gtest.h>
+
+#include "sim/node.h"
+#include "sim/simulator.h"
+
+namespace dnsguard::sim {
+namespace {
+
+using net::Ipv4Address;
+using net::Packet;
+using net::SocketAddr;
+
+/// Test node: fixed per-packet cost, records arrival times, optional echo.
+class ProbeNode : public Node {
+ public:
+  ProbeNode(Simulator& sim, std::string name, SimDuration cost,
+            std::size_t queue_cap = 4096)
+      : Node(sim, std::move(name), queue_cap), cost_(cost) {}
+
+  std::vector<SimTime> arrivals;
+  bool echo = false;
+
+ protected:
+  SimDuration process(const Packet& p) override {
+    arrivals.push_back(now());
+    if (echo) {
+      send(Packet::make_udp(p.dst(), p.src(), p.payload));
+    }
+    return cost_;
+  }
+
+ private:
+  SimDuration cost_;
+};
+
+Packet make_pkt(Ipv4Address from, Ipv4Address to, std::size_t n = 10) {
+  return Packet::make_udp({from, 1000}, {to, 53}, Bytes(n, 0));
+}
+
+TEST(EventQueue, FiresInTimeOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(milliseconds(3), [&] { order.push_back(3); });
+  sim.schedule_in(milliseconds(1), [&] { order.push_back(1); });
+  sim.schedule_in(milliseconds(2), [&] { order.push_back(2); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{1, 2, 3}));
+}
+
+TEST(EventQueue, TiesFireInScheduleOrder) {
+  Simulator sim;
+  std::vector<int> order;
+  for (int i = 0; i < 10; ++i) {
+    sim.schedule_in(milliseconds(1), [&order, i] { order.push_back(i); });
+  }
+  sim.run_all();
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, RunUntilStopsAtBoundary) {
+  Simulator sim;
+  int fired = 0;
+  sim.schedule_in(milliseconds(1), [&] { fired++; });
+  sim.schedule_in(milliseconds(10), [&] { fired++; });
+  sim.run_until(SimTime{} + milliseconds(5));
+  EXPECT_EQ(fired, 1);
+  EXPECT_EQ(sim.now().ns, milliseconds(5).ns);
+  sim.run_all();
+  EXPECT_EQ(fired, 2);
+}
+
+TEST(Routing, LongestPrefixWins) {
+  Simulator sim;
+  ProbeNode subnet_owner(sim, "subnet", SimDuration{});
+  ProbeNode host_owner(sim, "host", SimDuration{});
+  ProbeNode sender(sim, "sender", SimDuration{});
+  sim.add_route(Ipv4Address(10, 0, 0, 0), 24, &subnet_owner);
+  sim.add_host_route(Ipv4Address(10, 0, 0, 7), &host_owner);
+
+  sim.send_packet(&sender, make_pkt(Ipv4Address(1, 1, 1, 1),
+                                    Ipv4Address(10, 0, 0, 7)));
+  sim.send_packet(&sender, make_pkt(Ipv4Address(1, 1, 1, 1),
+                                    Ipv4Address(10, 0, 0, 8)));
+  sim.run_all();
+  EXPECT_EQ(host_owner.arrivals.size(), 1u);
+  EXPECT_EQ(subnet_owner.arrivals.size(), 1u);
+}
+
+TEST(Routing, NoRouteCountsDrop) {
+  Simulator sim;
+  ProbeNode sender(sim, "sender", SimDuration{});
+  sim.send_packet(&sender, make_pkt(Ipv4Address(1, 1, 1, 1),
+                                    Ipv4Address(9, 9, 9, 9)));
+  sim.run_all();
+  EXPECT_EQ(sim.stats().packets_dropped_no_route, 1u);
+  EXPECT_EQ(sim.stats().packets_delivered, 0u);
+}
+
+TEST(Latency, PerPairOverridesDefault) {
+  Simulator sim;
+  sim.set_default_latency(microseconds(200));
+  ProbeNode a(sim, "a", SimDuration{});
+  ProbeNode b(sim, "b", SimDuration{});
+  sim.add_host_route(Ipv4Address(10, 0, 0, 1), &a);
+  sim.add_host_route(Ipv4Address(10, 0, 0, 2), &b);
+  sim.set_latency(&a, &b, milliseconds(5));
+
+  sim.send_packet(&a, make_pkt(Ipv4Address(10, 0, 0, 1),
+                               Ipv4Address(10, 0, 0, 2)));
+  sim.run_all();
+  ASSERT_EQ(b.arrivals.size(), 1u);
+  EXPECT_EQ(b.arrivals[0].ns, milliseconds(5).ns);
+}
+
+TEST(CpuModel, ServiceTimesSerialize) {
+  // Two packets arriving together at a 1 ms/packet server: the second is
+  // serviced 1 ms after the first.
+  Simulator sim;
+  ProbeNode server(sim, "server", milliseconds(1));
+  server.echo = true;
+  ProbeNode client(sim, "client", SimDuration{});
+  sim.add_host_route(Ipv4Address(10, 0, 0, 1), &server);
+  sim.add_host_route(Ipv4Address(10, 0, 0, 9), &client);
+  sim.set_default_latency(SimDuration{});  // isolate service time
+
+  sim.send_packet(&client, make_pkt(Ipv4Address(10, 0, 0, 9),
+                                    Ipv4Address(10, 0, 0, 1)));
+  sim.send_packet(&client, make_pkt(Ipv4Address(10, 0, 0, 9),
+                                    Ipv4Address(10, 0, 0, 1)));
+  sim.run_all();
+  // Echo responses leave at end-of-service: t=1ms and t=2ms.
+  ASSERT_EQ(client.arrivals.size(), 2u);
+  EXPECT_EQ(client.arrivals[0].ns, milliseconds(1).ns);
+  EXPECT_EQ(client.arrivals[1].ns, milliseconds(2).ns);
+  EXPECT_EQ(server.stats().busy.ns, milliseconds(2).ns);
+}
+
+TEST(CpuModel, UtilizationMatchesLoad) {
+  // 100 req/s at 1 ms each => 10% utilization.
+  Simulator sim;
+  ProbeNode server(sim, "server", milliseconds(1));
+  ProbeNode client(sim, "client", SimDuration{});
+  sim.add_host_route(Ipv4Address(10, 0, 0, 1), &server);
+
+  for (int i = 0; i < 100; ++i) {
+    sim.schedule_in(milliseconds(10 * i), [&] {
+      sim.send_packet(&client, make_pkt(Ipv4Address(10, 0, 0, 9),
+                                        Ipv4Address(10, 0, 0, 1)));
+    });
+  }
+  sim.run_until(SimTime{} + seconds(1));
+  EXPECT_NEAR(server.utilization(seconds(1)), 0.1, 0.01);
+}
+
+TEST(CpuModel, SaturationDropsAtFullQueue) {
+  // A server with 1 ms service and a 4-packet queue hit with 100 packets
+  // at once: 4 queued + 1 in service progression; most are dropped.
+  Simulator sim;
+  ProbeNode server(sim, "server", milliseconds(1), /*queue_cap=*/4);
+  ProbeNode client(sim, "client", SimDuration{});
+  sim.add_host_route(Ipv4Address(10, 0, 0, 1), &server);
+
+  for (int i = 0; i < 100; ++i) {
+    sim.send_packet(&client, make_pkt(Ipv4Address(10, 0, 0, 9),
+                                      Ipv4Address(10, 0, 0, 1)));
+  }
+  sim.run_all();
+  EXPECT_GT(server.stats().dropped_queue_full, 90u);
+  EXPECT_EQ(server.stats().rx + server.stats().dropped_queue_full, 100u);
+}
+
+TEST(Conservation, SentEqualsDeliveredPlusDropped) {
+  Simulator sim;
+  ProbeNode server(sim, "server", microseconds(100), /*queue_cap=*/8);
+  ProbeNode client(sim, "client", SimDuration{});
+  sim.add_host_route(Ipv4Address(10, 0, 0, 1), &server);
+
+  for (int i = 0; i < 500; ++i) {
+    sim.schedule_in(microseconds(i * 7), [&] {
+      sim.send_packet(&client, make_pkt(Ipv4Address(10, 0, 0, 9),
+                                        Ipv4Address(10, 0, 0, 1)));
+    });
+    sim.schedule_in(microseconds(i * 11), [&] {
+      sim.send_packet(&client, make_pkt(Ipv4Address(10, 0, 0, 9),
+                                        Ipv4Address(7, 7, 7, 7)));  // no route
+    });
+  }
+  sim.run_all();
+  const auto& s = sim.stats();
+  EXPECT_EQ(s.packets_sent, s.packets_delivered +
+                                s.packets_dropped_no_route +
+                                s.packets_dropped_queue_full);
+  EXPECT_EQ(s.packets_sent, 1000u);
+}
+
+TEST(Gateway, RedirectsAllTraffic) {
+  Simulator sim;
+  ProbeNode ans(sim, "ans", SimDuration{});
+  ProbeNode guard(sim, "guard", SimDuration{});
+  ProbeNode lrs(sim, "lrs", SimDuration{});
+  sim.add_host_route(Ipv4Address(10, 0, 0, 100), &lrs);
+  sim.set_gateway(&ans, &guard);
+
+  // ANS "responds" toward the LRS; the packet must land on the guard.
+  sim.send_packet(&ans, make_pkt(Ipv4Address(10, 0, 0, 1),
+                                 Ipv4Address(10, 0, 0, 100)));
+  sim.run_all();
+  EXPECT_EQ(guard.arrivals.size(), 1u);
+  EXPECT_EQ(lrs.arrivals.size(), 0u);
+
+  sim.clear_gateway(&ans);
+  sim.send_packet(&ans, make_pkt(Ipv4Address(10, 0, 0, 1),
+                                 Ipv4Address(10, 0, 0, 100)));
+  sim.run_all();
+  EXPECT_EQ(lrs.arrivals.size(), 1u);
+}
+
+TEST(Gateway, SendDirectBypassesRouting) {
+  Simulator sim;
+  ProbeNode a(sim, "a", SimDuration{});
+  ProbeNode b(sim, "b", SimDuration{});
+  // No routes at all: direct delivery must still work.
+  sim.send_direct(&a, &b, make_pkt(Ipv4Address(1, 1, 1, 1),
+                                   Ipv4Address(2, 2, 2, 2)));
+  sim.run_all();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST(RemoveRoutes, StopsDelivery) {
+  Simulator sim;
+  ProbeNode a(sim, "a", SimDuration{});
+  ProbeNode sender(sim, "s", SimDuration{});
+  sim.add_host_route(Ipv4Address(10, 0, 0, 1), &a);
+  sim.remove_routes_to(&a);
+  sim.send_packet(&sender, make_pkt(Ipv4Address(9, 9, 9, 9),
+                                    Ipv4Address(10, 0, 0, 1)));
+  sim.run_all();
+  EXPECT_EQ(a.arrivals.size(), 0u);
+  EXPECT_EQ(sim.stats().packets_dropped_no_route, 1u);
+}
+
+}  // namespace
+}  // namespace dnsguard::sim

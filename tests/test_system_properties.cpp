@@ -1,0 +1,233 @@
+// System-level properties: determinism (bit-identical reruns), multi-LRS
+// fairness through the guard, and the Table I profile metadata checked
+// against live behaviour.
+#include <gtest/gtest.h>
+
+#include "attack/attackers.h"
+#include "guard/comparison.h"
+#include "guard/remote_guard.h"
+#include "server/authoritative_node.h"
+#include "sim/simulator.h"
+#include "workload/lrs_driver.h"
+
+namespace dnsguard {
+namespace {
+
+using guard::RemoteGuardNode;
+using guard::Scheme;
+using net::Ipv4Address;
+using workload::DriveMode;
+using workload::LrsSimulatorNode;
+
+constexpr Ipv4Address kAnsIp(10, 1, 1, 254);
+
+struct Bed {
+  sim::Simulator sim;
+  server::AnsSimulatorNode ans{sim, "ans", {.address = kAnsIp}};
+  std::unique_ptr<RemoteGuardNode> guard;
+  std::vector<std::unique_ptr<LrsSimulatorNode>> drivers;
+  std::vector<std::unique_ptr<attack::SpoofedFloodNode>> floods;
+
+  void make_guard(Scheme scheme) {
+    RemoteGuardNode::Config gc;
+    gc.guard_address = Ipv4Address(10, 1, 1, 253);
+    gc.ans_address = kAnsIp;
+    gc.protected_zone = dns::DomainName{};
+    gc.subnet_base = Ipv4Address(10, 1, 1, 0);
+    gc.scheme = scheme;
+    gc.rl1.per_address_rate = 1e7;
+    gc.rl1.per_address_burst = 1e6;
+    gc.rl2.per_host_rate = 1e7;
+    gc.rl2.per_host_burst = 1e6;
+    guard = std::make_unique<RemoteGuardNode>(sim, "guard", gc, &ans);
+    guard->install();
+  }
+
+  LrsSimulatorNode* add_driver(DriveMode mode, int conc, Ipv4Address addr,
+                               std::uint64_t seed = 7) {
+    LrsSimulatorNode::Config dc;
+    dc.address = addr;
+    dc.target = {kAnsIp, net::kDnsPort};
+    dc.mode = mode;
+    dc.concurrency = conc;
+    dc.seed = seed;
+    drivers.push_back(std::make_unique<LrsSimulatorNode>(
+        sim, "driver-" + addr.to_string(), dc));
+    sim.add_host_route(addr, drivers.back().get());
+    return drivers.back().get();
+  }
+
+  void add_flood(double rate, std::uint64_t seed) {
+    floods.push_back(std::make_unique<attack::SpoofedFloodNode>(
+        sim, "flood",
+        attack::FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
+                                      .target = {kAnsIp, net::kDnsPort},
+                                      .rate = rate,
+                                      .seed = seed}));
+  }
+};
+
+struct RunResult {
+  std::uint64_t completed = 0;
+  std::uint64_t spoofs_dropped = 0;
+  std::uint64_t packets_sent = 0;
+  std::uint64_t traffic_hash = 0;  // order+content sensitive
+  SimDuration guard_busy{};
+};
+
+RunResult run_mixed_workload(std::uint64_t seed) {
+  Bed bed;
+  bed.make_guard(Scheme::ModifiedDns);
+  auto* d = bed.add_driver(DriveMode::ModifiedHit, 8,
+                           Ipv4Address(10, 0, 1, 1), seed);
+  bed.add_flood(20000, seed + 1);
+  std::uint64_t hash = 0;
+  bed.sim.set_tap([&hash](SimTime t, const sim::Node*, const sim::Node*,
+                          const net::Packet& p) {
+    hash = hash * 0x9e3779b97f4a7c15ULL +
+           (static_cast<std::uint64_t>(p.src_ip.value()) << 16) +
+           p.payload.size() + static_cast<std::uint64_t>(t.ns & 0xffff);
+  });
+  d->start();
+  bed.floods[0]->start();
+  bed.sim.run_for(milliseconds(300));
+  bed.floods[0]->stop();
+  d->stop();
+  bed.sim.run_for(milliseconds(50));
+  return RunResult{d->driver_stats().completed,
+                   bed.guard->guard_stats().spoofs_dropped,
+                   bed.sim.stats().packets_sent, hash,
+                   bed.guard->stats().busy};
+}
+
+TEST(Determinism, IdenticalSeedsGiveIdenticalRuns) {
+  RunResult a = run_mixed_workload(42);
+  RunResult b = run_mixed_workload(42);
+  EXPECT_EQ(a.completed, b.completed);
+  EXPECT_EQ(a.spoofs_dropped, b.spoofs_dropped);
+  EXPECT_EQ(a.packets_sent, b.packets_sent);
+  EXPECT_EQ(a.traffic_hash, b.traffic_hash);
+  EXPECT_EQ(a.guard_busy.ns, b.guard_busy.ns);
+}
+
+TEST(Determinism, DifferentSeedsDiffer) {
+  RunResult a = run_mixed_workload(42);
+  RunResult b = run_mixed_workload(43);
+  // Same workload shape (rates are deterministic, so packet counts can
+  // coincide), but the spoofed addresses and ids — hence the traffic
+  // hash — must differ.
+  EXPECT_NE(a.traffic_hash, b.traffic_hash);
+}
+
+TEST(MultiLrs, ManySourcesEachGetTheirOwnCookie) {
+  Bed bed;
+  bed.make_guard(Scheme::ModifiedDns);
+  const int kLrsCount = 12;
+  for (int i = 0; i < kLrsCount; ++i) {
+    bed.add_driver(DriveMode::ModifiedHit, 1,
+                   Ipv4Address(10, 0, 2, static_cast<std::uint8_t>(i + 1)),
+                   100 + static_cast<std::uint64_t>(i));
+  }
+  for (auto& d : bed.drivers) d->start();
+  bed.sim.run_for(milliseconds(200));
+  for (auto& d : bed.drivers) d->stop();
+
+  // One mint per source, zero drops, everyone served.
+  EXPECT_EQ(bed.guard->guard_stats().cookies_minted,
+            static_cast<std::uint64_t>(kLrsCount));
+  EXPECT_EQ(bed.guard->guard_stats().spoofs_dropped, 0u);
+  for (auto& d : bed.drivers) {
+    EXPECT_GT(d->driver_stats().completed, 50u);
+    EXPECT_EQ(d->driver_stats().timeouts, 0u);
+  }
+}
+
+TEST(MultiLrs, CookiesAreNotTransferableBetweenSources) {
+  // A cookie minted for source A, replayed from source B, is a spoof.
+  Bed bed;
+  bed.make_guard(Scheme::ModifiedDns);
+  crypto::Cookie a_cookie =
+      bed.guard->cookie_engine().mint(Ipv4Address(10, 0, 2, 1));
+
+  class Replayer : public sim::Node {
+   public:
+    Replayer(sim::Simulator& s, crypto::Cookie c)
+        : sim::Node(s, "replayer"), cookie_(c) {}
+    void fire() {
+      dns::Message q = dns::Message::query(
+          1, *dns::DomainName::parse("www.foo.com"), dns::RrType::A, false);
+      guard::CookieEngine::attach_txt_cookie(q, cookie_, 0);
+      send(net::Packet::make_udp({Ipv4Address(10, 0, 2, 2), 33000},
+                                 {kAnsIp, net::kDnsPort}, q.encode()));
+    }
+
+   protected:
+    SimDuration process(const net::Packet&) override { return {}; }
+
+   private:
+    crypto::Cookie cookie_;
+  } replayer(bed.sim, a_cookie);
+
+  replayer.fire();
+  bed.sim.run_for(milliseconds(5));
+  EXPECT_EQ(bed.guard->guard_stats().spoofs_dropped, 1u);
+  EXPECT_EQ(bed.guard->guard_stats().forwarded_to_ans, 0u);
+}
+
+// Table I metadata vs live behaviour: packet counts per request measured
+// through the network tap must match the profile table's claims.
+struct ProfileCase {
+  Scheme scheme;
+  DriveMode miss_mode;
+  DriveMode hit_mode;
+};
+
+class ProfilePacketCounts : public ::testing::TestWithParam<ProfileCase> {};
+
+TEST_P(ProfilePacketCounts, MatchComparisonTable) {
+  auto param = GetParam();
+  auto profiles = guard::scheme_profiles();
+  const guard::SchemeProfile* profile = nullptr;
+  for (const auto& p : profiles) {
+    if (p.scheme == param.scheme) profile = &p;
+  }
+  ASSERT_NE(profile, nullptr);
+
+  for (bool hit : {false, true}) {
+    Bed bed;
+    bed.make_guard(param.scheme);
+    auto* d = bed.add_driver(hit ? param.hit_mode : param.miss_mode, 1,
+                             Ipv4Address(10, 0, 1, 1));
+    // Count packets touching the guard node per completed request.
+    std::uint64_t guard_packets = 0;
+    bed.sim.set_tap([&](SimTime, const sim::Node* from, const sim::Node* to,
+                        const net::Packet&) {
+      if (from == bed.guard.get() || to == bed.guard.get()) guard_packets++;
+    });
+    d->start();
+    bed.sim.run_for(milliseconds(400));
+    d->stop();
+    bed.sim.run_for(milliseconds(10));
+
+    std::uint64_t completed = d->driver_stats().completed;
+    ASSERT_GT(completed, 50u);
+    double per_request = static_cast<double>(guard_packets) /
+                         static_cast<double>(completed);
+    int expected = hit ? profile->packets_hit : profile->packets_miss;
+    EXPECT_NEAR(per_request, expected, 0.35)
+        << guard::scheme_name(param.scheme) << (hit ? " hit" : " miss");
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Schemes, ProfilePacketCounts,
+    ::testing::Values(
+        ProfileCase{Scheme::NsName, DriveMode::NsNameMiss,
+                    DriveMode::NsNameHit},
+        ProfileCase{Scheme::FabricatedNsIp, DriveMode::FabricatedMiss,
+                    DriveMode::FabricatedHit},
+        ProfileCase{Scheme::ModifiedDns, DriveMode::ModifiedMiss,
+                    DriveMode::ModifiedHit}));
+
+}  // namespace
+}  // namespace dnsguard

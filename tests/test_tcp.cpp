@@ -1,0 +1,308 @@
+// Mini-TCP: handshake, data transfer, teardown, SYN cookies, framing.
+//
+// Two TcpStacks are wired back-to-back through an in-memory "wire" that
+// delivers packets synchronously (loopback) or through a queue the test
+// drains manually (to model loss).
+#include <gtest/gtest.h>
+
+#include <deque>
+
+#include "tcp/tcp_stack.h"
+
+namespace dnsguard::tcp {
+namespace {
+
+using net::Ipv4Address;
+using net::Packet;
+using net::SocketAddr;
+
+struct Harness {
+  SimTime clock{};
+  std::deque<Packet> wire_to_server;
+  std::deque<Packet> wire_to_client;
+  std::unique_ptr<TcpStack> client;
+  std::unique_ptr<TcpStack> server;
+
+  std::vector<ConnId> client_established, server_established;
+  std::vector<std::pair<ConnId, Bytes>> client_data, server_data;
+  std::vector<ConnId> client_closed, server_closed;
+
+  explicit Harness(bool syn_cookies = false) {
+    client = std::make_unique<TcpStack>(
+        [this](Packet p) { wire_to_server.push_back(std::move(p)); },
+        [this] { return clock; },
+        TcpStack::Callbacks{
+            [this](ConnId c) { client_established.push_back(c); },
+            [this](ConnId c, BytesView d) {
+              client_data.emplace_back(c, Bytes(d.begin(), d.end()));
+            },
+            [this](ConnId c) { client_closed.push_back(c); }},
+        TcpStack::Options{});
+    server = std::make_unique<TcpStack>(
+        [this](Packet p) { wire_to_client.push_back(std::move(p)); },
+        [this] { return clock; },
+        TcpStack::Callbacks{
+            [this](ConnId c) { server_established.push_back(c); },
+            [this](ConnId c, BytesView d) {
+              server_data.emplace_back(c, Bytes(d.begin(), d.end()));
+            },
+            [this](ConnId c) { server_closed.push_back(c); }},
+        TcpStack::Options{.syn_cookies = syn_cookies});
+    server->listen(53);
+  }
+
+  /// Delivers queued packets until both directions are quiet.
+  void pump(int max_rounds = 64) {
+    for (int i = 0; i < max_rounds; ++i) {
+      if (wire_to_server.empty() && wire_to_client.empty()) return;
+      while (!wire_to_server.empty()) {
+        Packet p = std::move(wire_to_server.front());
+        wire_to_server.pop_front();
+        server->handle_packet(p);
+      }
+      while (!wire_to_client.empty()) {
+        Packet p = std::move(wire_to_client.front());
+        wire_to_client.pop_front();
+        client->handle_packet(p);
+      }
+    }
+  }
+
+  static SocketAddr client_addr() { return {Ipv4Address(10, 0, 0, 2), 4000}; }
+  static SocketAddr server_addr() { return {Ipv4Address(10, 0, 0, 1), 53}; }
+};
+
+TEST(TcpHandshake, EstablishesBothSides) {
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  ASSERT_EQ(h.client_established.size(), 1u);
+  EXPECT_EQ(h.client_established[0], c);
+  ASSERT_EQ(h.server_established.size(), 1u);
+  EXPECT_EQ(h.client->connection_count(), 1u);
+  EXPECT_EQ(h.server->connection_count(), 1u);
+}
+
+TEST(TcpHandshake, SynToClosedPortGetsRst) {
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(),
+                               {Ipv4Address(10, 0, 0, 1), 99});
+  h.pump();
+  EXPECT_EQ(h.client_established.size(), 0u);
+  EXPECT_EQ(h.client_closed.size(), 1u);
+  EXPECT_EQ(h.client_closed[0], c);
+  EXPECT_EQ(h.client->connection_count(), 0u);
+}
+
+TEST(TcpData, RoundTripBothDirections) {
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  Bytes req{'h', 'i'};
+  EXPECT_TRUE(h.client->send_data(c, BytesView(req)));
+  h.pump();
+  ASSERT_EQ(h.server_data.size(), 1u);
+  EXPECT_EQ(h.server_data[0].second, req);
+
+  ConnId sc = h.server_established[0];
+  Bytes resp{'y', 'o', '!'};
+  EXPECT_TRUE(h.server->send_data(sc, BytesView(resp)));
+  h.pump();
+  ASSERT_EQ(h.client_data.size(), 1u);
+  EXPECT_EQ(h.client_data[0].second, resp);
+}
+
+TEST(TcpData, SendOnUnestablishedFails) {
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  // No pump: still SYN_SENT.
+  EXPECT_FALSE(h.client->send_data(c, BytesView(Bytes{1})));
+}
+
+TEST(TcpData, SequenceNumbersAdvanceWithData) {
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  h.client->send_data(c, BytesView(Bytes(10, 'a')));
+  h.pump();
+  h.client->send_data(c, BytesView(Bytes(5, 'b')));
+  h.pump();
+  ASSERT_EQ(h.server_data.size(), 2u);
+  EXPECT_EQ(h.server_data[0].second.size(), 10u);
+  EXPECT_EQ(h.server_data[1].second.size(), 5u);
+}
+
+TEST(TcpData, DuplicateSegmentIgnored) {
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  h.client->send_data(c, BytesView(Bytes{1, 2, 3}));
+  ASSERT_FALSE(h.wire_to_server.empty());
+  Packet dup = h.wire_to_server.front();  // copy the data segment
+  h.pump();
+  EXPECT_EQ(h.server_data.size(), 1u);
+  h.server->handle_packet(dup);  // replay
+  h.pump();
+  EXPECT_EQ(h.server_data.size(), 1u);  // not delivered twice
+}
+
+TEST(TcpClose, GracefulFinBothSides) {
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  ConnId sc = h.server_established[0];
+  h.client->close(c);
+  h.pump();
+  // Server saw FIN, is in CLOSE_WAIT; now server closes too.
+  h.server->close(sc);
+  h.pump();
+  EXPECT_EQ(h.client->connection_count(), 0u);
+  EXPECT_EQ(h.server->connection_count(), 0u);
+  EXPECT_EQ(h.client_closed.size(), 1u);
+  EXPECT_EQ(h.server_closed.size(), 1u);
+}
+
+TEST(TcpClose, AbortSendsRst) {
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  h.client->abort(c);
+  h.pump();
+  EXPECT_EQ(h.client->connection_count(), 0u);
+  EXPECT_EQ(h.server->connection_count(), 0u);  // RST tore the peer down
+  EXPECT_GE(h.server_closed.size(), 1u);
+}
+
+TEST(TcpReap, IdleConnectionsRemoved) {
+  Harness h;
+  h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  h.clock = h.clock + seconds(10);
+  EXPECT_EQ(h.server->reap(seconds(5), SimDuration{}), 1u);
+  EXPECT_EQ(h.server->connection_count(), 0u);
+}
+
+TEST(TcpReap, LifetimeLimitEnforced) {
+  // §III.C: connections alive longer than 5x RTT are removed.
+  Harness h;
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  h.clock = h.clock + milliseconds(3);
+  h.client->send_data(c, BytesView(Bytes{1}));  // keep it non-idle
+  h.pump();
+  EXPECT_EQ(h.server->reap(SimDuration{}, milliseconds(2)), 1u);
+}
+
+TEST(SynCookies, StatelessUntilAckArrives) {
+  Harness h(/*syn_cookies=*/true);
+  h.client->connect(Harness::client_addr(), Harness::server_addr());
+  // Deliver only the SYN.
+  ASSERT_EQ(h.wire_to_server.size(), 1u);
+  h.server->handle_packet(h.wire_to_server.front());
+  h.wire_to_server.pop_front();
+  // Server must keep NO state after SYN (that's the whole point).
+  EXPECT_EQ(h.server->connection_count(), 0u);
+  EXPECT_EQ(h.server->stats().syn_cookies_sent, 1u);
+  // Complete the handshake.
+  h.pump();
+  EXPECT_EQ(h.server->connection_count(), 1u);
+  EXPECT_EQ(h.server->stats().syn_cookies_accepted, 1u);
+  ASSERT_EQ(h.server_established.size(), 1u);
+}
+
+TEST(SynCookies, DataFlowsAfterCookieHandshake) {
+  Harness h(/*syn_cookies=*/true);
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  h.client->send_data(c, BytesView(Bytes{'q'}));
+  h.pump();
+  ASSERT_EQ(h.server_data.size(), 1u);
+  EXPECT_EQ(h.server_data[0].second, (Bytes{'q'}));
+}
+
+TEST(SynCookies, ForgedAckRejected) {
+  Harness h(/*syn_cookies=*/true);
+  // An attacker skips the SYN and fires a bare ACK with a made-up ack
+  // number (blind spoofing): must be rejected with a RST, no state.
+  Packet forged = Packet::make_tcp({Ipv4Address(6, 6, 6, 6), 1234},
+                                   Harness::server_addr(),
+                                   net::TcpFlags{.ack = true},
+                                   /*seq=*/1000, /*ack=*/0xdeadbeef);
+  h.server->handle_packet(forged);
+  EXPECT_EQ(h.server->connection_count(), 0u);
+  EXPECT_EQ(h.server->stats().syn_cookies_rejected, 1u);
+  EXPECT_GE(h.server->stats().resets_sent, 1u);
+}
+
+TEST(SynCookies, StaleCookieRejected) {
+  Harness h(/*syn_cookies=*/true);
+  h.client->connect(Harness::client_addr(), Harness::server_addr());
+  // SYN reaches server; SYN-ACK reaches client; client emits final ACK.
+  h.server->handle_packet(h.wire_to_server.front());
+  h.wire_to_server.pop_front();
+  h.client->handle_packet(h.wire_to_client.front());
+  h.wire_to_client.pop_front();
+  ASSERT_FALSE(h.wire_to_server.empty());
+  // Let far more than two cookie time slots pass before the ACK lands.
+  h.clock = h.clock + seconds(60);
+  h.server->handle_packet(h.wire_to_server.front());
+  h.wire_to_server.pop_front();
+  EXPECT_EQ(h.server->connection_count(), 0u);
+  EXPECT_EQ(h.server->stats().syn_cookies_rejected, 1u);
+}
+
+TEST(SynCookieGenerator, ValidatesOwnCookies) {
+  SynCookieGenerator gen(1234);
+  SocketAddr c{Ipv4Address(10, 0, 0, 2), 4000};
+  SocketAddr s{Ipv4Address(10, 0, 0, 1), 53};
+  SimTime t{1000000};
+  std::uint32_t isn = gen.make(c, s, 555, t);
+  EXPECT_TRUE(gen.validate(c, s, 555, isn, t));
+  EXPECT_TRUE(gen.validate(c, s, 555, isn, t + seconds(7)));
+  EXPECT_FALSE(gen.validate(c, s, 556, isn, t));        // wrong client ISN
+  EXPECT_FALSE(gen.validate(c, s, 555, isn ^ 1, t));    // corrupted cookie
+  SocketAddr other{Ipv4Address(10, 0, 0, 3), 4000};
+  EXPECT_FALSE(gen.validate(other, s, 555, isn, t));    // wrong client
+}
+
+TEST(StreamFramer, FrameAndReassemble) {
+  Bytes msg{'a', 'b', 'c', 'd'};
+  Bytes framed = StreamFramer::frame(BytesView(msg));
+  ASSERT_EQ(framed.size(), 6u);
+  EXPECT_EQ(framed[0], 0);
+  EXPECT_EQ(framed[1], 4);
+  StreamFramer f;
+  auto out = f.push(BytesView(framed));
+  ASSERT_EQ(out.size(), 1u);
+  EXPECT_EQ(out[0], msg);
+}
+
+TEST(StreamFramer, HandlesSplitDelivery) {
+  Bytes msg(300, 'x');
+  Bytes framed = StreamFramer::frame(BytesView(msg));
+  StreamFramer f;
+  // Deliver one byte at a time.
+  std::vector<Bytes> all;
+  for (std::uint8_t b : framed) {
+    Bytes one{b};
+    for (auto& m : f.push(BytesView(one))) all.push_back(std::move(m));
+  }
+  ASSERT_EQ(all.size(), 1u);
+  EXPECT_EQ(all[0], msg);
+  EXPECT_EQ(f.buffered(), 0u);
+}
+
+TEST(StreamFramer, HandlesBackToBackMessages) {
+  Bytes a{'1'}, b{'2', '2'};
+  Bytes stream = StreamFramer::frame(BytesView(a));
+  Bytes fb = StreamFramer::frame(BytesView(b));
+  stream.insert(stream.end(), fb.begin(), fb.end());
+  StreamFramer f;
+  auto out = f.push(BytesView(stream));
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0], a);
+  EXPECT_EQ(out[1], b);
+}
+
+}  // namespace
+}  // namespace dnsguard::tcp

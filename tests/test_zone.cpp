@@ -1,0 +1,144 @@
+// Zone database and authoritative answer engine.
+#include <gtest/gtest.h>
+
+#include "server/zone.h"
+
+namespace dnsguard::server {
+namespace {
+
+using dns::DomainName;
+using dns::Message;
+using dns::RrType;
+
+Message query(const char* name, RrType type = RrType::A) {
+  return Message::query(7, *DomainName::parse(name), type, false);
+}
+
+AuthoritativeEngine engine_with_hierarchy_zone(const char* which) {
+  auto h = make_example_hierarchy(net::Ipv4Address(10, 0, 0, 1),
+                                  net::Ipv4Address(10, 0, 0, 2),
+                                  net::Ipv4Address(10, 0, 0, 3));
+  AuthoritativeEngine e;
+  if (std::string(which) == "root") e.add_zone(std::move(h.root));
+  if (std::string(which) == "com") e.add_zone(std::move(h.com));
+  if (std::string(which) == "foo") e.add_zone(std::move(h.foo_com));
+  return e;
+}
+
+TEST(Zone, RejectsOutOfZoneNonGlue) {
+  Zone z(*DomainName::parse("foo.com"));
+  EXPECT_FALSE(z.add(dns::ResourceRecord::ns(*DomainName::parse("bar.org"),
+                                             *DomainName::parse("ns.bar.org"),
+                                             60)));
+  // Out-of-zone A records are accepted as glue.
+  EXPECT_TRUE(z.add(dns::ResourceRecord::a(*DomainName::parse("ns.bar.org"),
+                                           net::Ipv4Address(1, 1, 1, 1), 60)));
+}
+
+TEST(Zone, DelegationDetection) {
+  auto h = make_example_hierarchy(net::Ipv4Address(10, 0, 0, 1),
+                                  net::Ipv4Address(10, 0, 0, 2),
+                                  net::Ipv4Address(10, 0, 0, 3));
+  auto cut = h.com.delegation_for(*DomainName::parse("www.foo.com"));
+  ASSERT_TRUE(cut.has_value());
+  EXPECT_EQ(cut->to_string(), "foo.com.");
+  // The apex NS set is not a delegation.
+  EXPECT_FALSE(h.com.delegation_for(*DomainName::parse("com")).has_value());
+}
+
+TEST(Engine, RootGivesReferralForCom) {
+  auto e = engine_with_hierarchy_zone("root");
+  Answer a = e.answer(query("www.foo.com"));
+  EXPECT_EQ(a.kind, AnswerKind::Referral);
+  EXPECT_TRUE(a.message.is_referral());
+  ASSERT_FALSE(a.message.authority.empty());
+  EXPECT_EQ(a.message.authority[0].name.to_string(), "com.");
+  // Glue A for the delegated server must ride in additional (§III.B
+  // "standard DNS delegation practice").
+  ASSERT_FALSE(a.message.additional.empty());
+  EXPECT_EQ(std::get<dns::ARdata>(a.message.additional[0].rdata).address,
+            net::Ipv4Address(10, 0, 0, 2));
+}
+
+TEST(Engine, ComGivesReferralForFoo) {
+  auto e = engine_with_hierarchy_zone("com");
+  Answer a = e.answer(query("www.foo.com"));
+  EXPECT_EQ(a.kind, AnswerKind::Referral);
+  EXPECT_EQ(a.message.authority[0].name.to_string(), "foo.com.");
+}
+
+TEST(Engine, LeafGivesAuthoritativeAnswer) {
+  auto e = engine_with_hierarchy_zone("foo");
+  Answer a = e.answer(query("www.foo.com"));
+  EXPECT_EQ(a.kind, AnswerKind::Authoritative);
+  EXPECT_TRUE(a.message.header.aa);
+  ASSERT_EQ(a.message.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::ARdata>(a.message.answers[0].rdata).address,
+            net::Ipv4Address(192, 0, 2, 80));
+}
+
+TEST(Engine, CnameChasedInZone) {
+  auto e = engine_with_hierarchy_zone("foo");
+  Answer a = e.answer(query("web.foo.com"));
+  EXPECT_EQ(a.kind, AnswerKind::Authoritative);
+  ASSERT_EQ(a.message.answers.size(), 2u);
+  EXPECT_EQ(a.message.answers[0].type, RrType::CNAME);
+  EXPECT_EQ(a.message.answers[1].type, RrType::A);
+}
+
+TEST(Engine, NxDomainCarriesSoa) {
+  auto e = engine_with_hierarchy_zone("foo");
+  Answer a = e.answer(query("nosuch.foo.com"));
+  EXPECT_EQ(a.kind, AnswerKind::NxDomain);
+  EXPECT_EQ(a.message.header.rcode, dns::Rcode::NxDomain);
+  ASSERT_FALSE(a.message.authority.empty());
+  EXPECT_EQ(a.message.authority[0].type, RrType::SOA);
+}
+
+TEST(Engine, NoDataForWrongType) {
+  auto e = engine_with_hierarchy_zone("foo");
+  Answer a = e.answer(query("www.foo.com", RrType::TXT));
+  EXPECT_EQ(a.kind, AnswerKind::NoData);
+  EXPECT_EQ(a.message.header.rcode, dns::Rcode::NoError);
+  EXPECT_TRUE(a.message.answers.empty());
+}
+
+TEST(Engine, RefusesOutOfZone) {
+  auto e = engine_with_hierarchy_zone("foo");
+  Answer a = e.answer(query("www.bar.org"));
+  EXPECT_EQ(a.kind, AnswerKind::Refused);
+  EXPECT_EQ(a.message.header.rcode, dns::Rcode::Refused);
+}
+
+TEST(Engine, DeepestZoneWins) {
+  auto h = make_example_hierarchy(net::Ipv4Address(10, 0, 0, 1),
+                                  net::Ipv4Address(10, 0, 0, 2),
+                                  net::Ipv4Address(10, 0, 0, 3));
+  AuthoritativeEngine e;
+  e.add_zone(std::move(h.com));
+  e.add_zone(std::move(h.foo_com));
+  // Serving both zones, the query must be answered from foo.com (deepest),
+  // not referred by com.
+  Answer a = e.answer(query("www.foo.com"));
+  EXPECT_EQ(a.kind, AnswerKind::Authoritative);
+}
+
+TEST(Engine, MissingQuestionIsFormErr) {
+  auto e = engine_with_hierarchy_zone("root");
+  Message m;  // no question at all
+  Answer a = e.answer(m);
+  EXPECT_EQ(a.message.header.rcode, dns::Rcode::FormErr);
+}
+
+TEST(Engine, NsQueryAtApexAnswered) {
+  auto e = engine_with_hierarchy_zone("foo");
+  Answer a = e.answer(query("foo.com", RrType::NS));
+  EXPECT_EQ(a.kind, AnswerKind::Authoritative);
+  ASSERT_EQ(a.message.answers.size(), 1u);
+  EXPECT_EQ(std::get<dns::NsRdata>(a.message.answers[0].rdata)
+                .nsdname.to_string(),
+            "ns1.foo.com.");
+}
+
+}  // namespace
+}  // namespace dnsguard::server
