@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_activation.dir/ablation_activation.cpp.o"
+  "CMakeFiles/ablation_activation.dir/ablation_activation.cpp.o.d"
+  "ablation_activation"
+  "ablation_activation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_activation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

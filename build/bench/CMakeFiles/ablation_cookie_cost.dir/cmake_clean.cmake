@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_cookie_cost.dir/ablation_cookie_cost.cpp.o"
+  "CMakeFiles/ablation_cookie_cost.dir/ablation_cookie_cost.cpp.o.d"
+  "ablation_cookie_cost"
+  "ablation_cookie_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_cookie_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ratelimiter.dir/ablation_ratelimiter.cpp.o"
+  "CMakeFiles/ablation_ratelimiter.dir/ablation_ratelimiter.cpp.o.d"
+  "ablation_ratelimiter"
+  "ablation_ratelimiter.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ratelimiter.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

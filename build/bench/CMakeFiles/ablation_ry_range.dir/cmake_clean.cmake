@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ablation_ry_range.dir/ablation_ry_range.cpp.o"
+  "CMakeFiles/ablation_ry_range.dir/ablation_ry_range.cpp.o.d"
+  "ablation_ry_range"
+  "ablation_ry_range.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ablation_ry_range.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

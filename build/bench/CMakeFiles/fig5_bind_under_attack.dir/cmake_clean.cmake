@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig5_bind_under_attack.dir/fig5_bind_under_attack.cpp.o"
+  "CMakeFiles/fig5_bind_under_attack.dir/fig5_bind_under_attack.cpp.o.d"
+  "fig5_bind_under_attack"
+  "fig5_bind_under_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig5_bind_under_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig6_guard_under_attack.dir/fig6_guard_under_attack.cpp.o"
+  "CMakeFiles/fig6_guard_under_attack.dir/fig6_guard_under_attack.cpp.o.d"
+  "fig6_guard_under_attack"
+  "fig6_guard_under_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig6_guard_under_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

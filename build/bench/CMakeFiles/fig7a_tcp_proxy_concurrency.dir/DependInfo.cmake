@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/bench/fig7a_tcp_proxy_concurrency.cpp" "bench/CMakeFiles/fig7a_tcp_proxy_concurrency.dir/fig7a_tcp_proxy_concurrency.cpp.o" "gcc" "bench/CMakeFiles/fig7a_tcp_proxy_concurrency.dir/fig7a_tcp_proxy_concurrency.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dnsguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/crypto/CMakeFiles/dnsguard_crypto.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsguard_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsguard_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsguard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/dnsguard_tcp.dir/DependInfo.cmake"
+  "/root/repo/build/src/server/CMakeFiles/dnsguard_server.dir/DependInfo.cmake"
+  "/root/repo/build/src/ratelimit/CMakeFiles/dnsguard_ratelimit.dir/DependInfo.cmake"
+  "/root/repo/build/src/guard/CMakeFiles/dnsguard_guard.dir/DependInfo.cmake"
+  "/root/repo/build/src/attack/CMakeFiles/dnsguard_attack.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/dnsguard_workload.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7a_tcp_proxy_concurrency.dir/fig7a_tcp_proxy_concurrency.cpp.o"
+  "CMakeFiles/fig7a_tcp_proxy_concurrency.dir/fig7a_tcp_proxy_concurrency.cpp.o.d"
+  "fig7a_tcp_proxy_concurrency"
+  "fig7a_tcp_proxy_concurrency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7a_tcp_proxy_concurrency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

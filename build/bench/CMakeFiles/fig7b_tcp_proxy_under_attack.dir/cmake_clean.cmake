@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/fig7b_tcp_proxy_under_attack.dir/fig7b_tcp_proxy_under_attack.cpp.o"
+  "CMakeFiles/fig7b_tcp_proxy_under_attack.dir/fig7b_tcp_proxy_under_attack.cpp.o.d"
+  "fig7b_tcp_proxy_under_attack"
+  "fig7b_tcp_proxy_under_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/fig7b_tcp_proxy_under_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

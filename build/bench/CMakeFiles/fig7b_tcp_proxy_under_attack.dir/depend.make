@@ -1,0 +1,2 @@
+# Empty dependencies file for fig7b_tcp_proxy_under_attack.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table2_latency.dir/table2_latency.cpp.o"
+  "CMakeFiles/table2_latency.dir/table2_latency.cpp.o.d"
+  "table2_latency"
+  "table2_latency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table2_latency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/table3_guard_throughput.dir/table3_guard_throughput.cpp.o"
+  "CMakeFiles/table3_guard_throughput.dir/table3_guard_throughput.cpp.o.d"
+  "table3_guard_throughput"
+  "table3_guard_throughput.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/table3_guard_throughput.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

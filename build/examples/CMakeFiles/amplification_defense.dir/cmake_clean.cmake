@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/amplification_defense.dir/amplification_defense.cpp.o"
+  "CMakeFiles/amplification_defense.dir/amplification_defense.cpp.o.d"
+  "amplification_defense"
+  "amplification_defense.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/amplification_defense.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dns_cookies_end_to_end.dir/dns_cookies_end_to_end.cpp.o"
+  "CMakeFiles/dns_cookies_end_to_end.dir/dns_cookies_end_to_end.cpp.o.d"
+  "dns_cookies_end_to_end"
+  "dns_cookies_end_to_end.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dns_cookies_end_to_end.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/protect_root_server.dir/protect_root_server.cpp.o"
+  "CMakeFiles/protect_root_server.dir/protect_root_server.cpp.o.d"
+  "protect_root_server"
+  "protect_root_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/protect_root_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for protect_root_server.
+# This may be replaced when dependencies are built.

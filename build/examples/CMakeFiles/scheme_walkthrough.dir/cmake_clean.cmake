@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/scheme_walkthrough.dir/scheme_walkthrough.cpp.o"
+  "CMakeFiles/scheme_walkthrough.dir/scheme_walkthrough.cpp.o.d"
+  "scheme_walkthrough"
+  "scheme_walkthrough.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/scheme_walkthrough.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_attack.dir/attackers.cpp.o"
+  "CMakeFiles/dnsguard_attack.dir/attackers.cpp.o.d"
+  "libdnsguard_attack.a"
+  "libdnsguard_attack.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_attack.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_common.dir/bytes.cpp.o"
+  "CMakeFiles/dnsguard_common.dir/bytes.cpp.o.d"
+  "CMakeFiles/dnsguard_common.dir/hex.cpp.o"
+  "CMakeFiles/dnsguard_common.dir/hex.cpp.o.d"
+  "CMakeFiles/dnsguard_common.dir/log.cpp.o"
+  "CMakeFiles/dnsguard_common.dir/log.cpp.o.d"
+  "CMakeFiles/dnsguard_common.dir/rng.cpp.o"
+  "CMakeFiles/dnsguard_common.dir/rng.cpp.o.d"
+  "CMakeFiles/dnsguard_common.dir/stats.cpp.o"
+  "CMakeFiles/dnsguard_common.dir/stats.cpp.o.d"
+  "CMakeFiles/dnsguard_common.dir/time.cpp.o"
+  "CMakeFiles/dnsguard_common.dir/time.cpp.o.d"
+  "libdnsguard_common.a"
+  "libdnsguard_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

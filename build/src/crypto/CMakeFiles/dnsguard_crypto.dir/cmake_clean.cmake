@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_crypto.dir/cookie_hash.cpp.o"
+  "CMakeFiles/dnsguard_crypto.dir/cookie_hash.cpp.o.d"
+  "CMakeFiles/dnsguard_crypto.dir/md5.cpp.o"
+  "CMakeFiles/dnsguard_crypto.dir/md5.cpp.o.d"
+  "libdnsguard_crypto.a"
+  "libdnsguard_crypto.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_crypto.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

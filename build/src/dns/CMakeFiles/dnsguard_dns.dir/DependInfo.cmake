@@ -1,0 +1,23 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/dns/message.cpp" "src/dns/CMakeFiles/dnsguard_dns.dir/message.cpp.o" "gcc" "src/dns/CMakeFiles/dnsguard_dns.dir/message.cpp.o.d"
+  "/root/repo/src/dns/name.cpp" "src/dns/CMakeFiles/dnsguard_dns.dir/name.cpp.o" "gcc" "src/dns/CMakeFiles/dnsguard_dns.dir/name.cpp.o.d"
+  "/root/repo/src/dns/records.cpp" "src/dns/CMakeFiles/dnsguard_dns.dir/records.cpp.o" "gcc" "src/dns/CMakeFiles/dnsguard_dns.dir/records.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dnsguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsguard_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_dns.dir/message.cpp.o"
+  "CMakeFiles/dnsguard_dns.dir/message.cpp.o.d"
+  "CMakeFiles/dnsguard_dns.dir/name.cpp.o"
+  "CMakeFiles/dnsguard_dns.dir/name.cpp.o.d"
+  "CMakeFiles/dnsguard_dns.dir/records.cpp.o"
+  "CMakeFiles/dnsguard_dns.dir/records.cpp.o.d"
+  "libdnsguard_dns.a"
+  "libdnsguard_dns.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_dns.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_guard.dir/cookie_engine.cpp.o"
+  "CMakeFiles/dnsguard_guard.dir/cookie_engine.cpp.o.d"
+  "CMakeFiles/dnsguard_guard.dir/local_guard.cpp.o"
+  "CMakeFiles/dnsguard_guard.dir/local_guard.cpp.o.d"
+  "CMakeFiles/dnsguard_guard.dir/remote_guard.cpp.o"
+  "CMakeFiles/dnsguard_guard.dir/remote_guard.cpp.o.d"
+  "libdnsguard_guard.a"
+  "libdnsguard_guard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_net.dir/headers.cpp.o"
+  "CMakeFiles/dnsguard_net.dir/headers.cpp.o.d"
+  "CMakeFiles/dnsguard_net.dir/ipv4.cpp.o"
+  "CMakeFiles/dnsguard_net.dir/ipv4.cpp.o.d"
+  "CMakeFiles/dnsguard_net.dir/packet.cpp.o"
+  "CMakeFiles/dnsguard_net.dir/packet.cpp.o.d"
+  "libdnsguard_net.a"
+  "libdnsguard_net.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_net.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

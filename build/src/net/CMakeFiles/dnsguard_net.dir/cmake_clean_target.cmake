@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libdnsguard_net.a"
+)

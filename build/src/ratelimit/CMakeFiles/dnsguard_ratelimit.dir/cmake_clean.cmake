@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_ratelimit.dir/limiters.cpp.o"
+  "CMakeFiles/dnsguard_ratelimit.dir/limiters.cpp.o.d"
+  "CMakeFiles/dnsguard_ratelimit.dir/token_bucket.cpp.o"
+  "CMakeFiles/dnsguard_ratelimit.dir/token_bucket.cpp.o.d"
+  "libdnsguard_ratelimit.a"
+  "libdnsguard_ratelimit.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_ratelimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

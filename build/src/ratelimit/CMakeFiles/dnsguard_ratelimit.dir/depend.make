@@ -1,0 +1,2 @@
+# Empty dependencies file for dnsguard_ratelimit.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/server/authoritative_node.cpp" "src/server/CMakeFiles/dnsguard_server.dir/authoritative_node.cpp.o" "gcc" "src/server/CMakeFiles/dnsguard_server.dir/authoritative_node.cpp.o.d"
+  "/root/repo/src/server/cache.cpp" "src/server/CMakeFiles/dnsguard_server.dir/cache.cpp.o" "gcc" "src/server/CMakeFiles/dnsguard_server.dir/cache.cpp.o.d"
+  "/root/repo/src/server/resolver_node.cpp" "src/server/CMakeFiles/dnsguard_server.dir/resolver_node.cpp.o" "gcc" "src/server/CMakeFiles/dnsguard_server.dir/resolver_node.cpp.o.d"
+  "/root/repo/src/server/stub_node.cpp" "src/server/CMakeFiles/dnsguard_server.dir/stub_node.cpp.o" "gcc" "src/server/CMakeFiles/dnsguard_server.dir/stub_node.cpp.o.d"
+  "/root/repo/src/server/zone.cpp" "src/server/CMakeFiles/dnsguard_server.dir/zone.cpp.o" "gcc" "src/server/CMakeFiles/dnsguard_server.dir/zone.cpp.o.d"
+  "/root/repo/src/server/zone_parser.cpp" "src/server/CMakeFiles/dnsguard_server.dir/zone_parser.cpp.o" "gcc" "src/server/CMakeFiles/dnsguard_server.dir/zone_parser.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dnsguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsguard_net.dir/DependInfo.cmake"
+  "/root/repo/build/src/dns/CMakeFiles/dnsguard_dns.dir/DependInfo.cmake"
+  "/root/repo/build/src/sim/CMakeFiles/dnsguard_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/tcp/CMakeFiles/dnsguard_tcp.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_server.dir/authoritative_node.cpp.o"
+  "CMakeFiles/dnsguard_server.dir/authoritative_node.cpp.o.d"
+  "CMakeFiles/dnsguard_server.dir/cache.cpp.o"
+  "CMakeFiles/dnsguard_server.dir/cache.cpp.o.d"
+  "CMakeFiles/dnsguard_server.dir/resolver_node.cpp.o"
+  "CMakeFiles/dnsguard_server.dir/resolver_node.cpp.o.d"
+  "CMakeFiles/dnsguard_server.dir/stub_node.cpp.o"
+  "CMakeFiles/dnsguard_server.dir/stub_node.cpp.o.d"
+  "CMakeFiles/dnsguard_server.dir/zone.cpp.o"
+  "CMakeFiles/dnsguard_server.dir/zone.cpp.o.d"
+  "CMakeFiles/dnsguard_server.dir/zone_parser.cpp.o"
+  "CMakeFiles/dnsguard_server.dir/zone_parser.cpp.o.d"
+  "libdnsguard_server.a"
+  "libdnsguard_server.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_server.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_sim.dir/event_queue.cpp.o"
+  "CMakeFiles/dnsguard_sim.dir/event_queue.cpp.o.d"
+  "CMakeFiles/dnsguard_sim.dir/node.cpp.o"
+  "CMakeFiles/dnsguard_sim.dir/node.cpp.o.d"
+  "CMakeFiles/dnsguard_sim.dir/simulator.cpp.o"
+  "CMakeFiles/dnsguard_sim.dir/simulator.cpp.o.d"
+  "libdnsguard_sim.a"
+  "libdnsguard_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

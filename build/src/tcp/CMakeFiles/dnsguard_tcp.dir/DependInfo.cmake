@@ -1,0 +1,22 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/tcp/syn_cookie.cpp" "src/tcp/CMakeFiles/dnsguard_tcp.dir/syn_cookie.cpp.o" "gcc" "src/tcp/CMakeFiles/dnsguard_tcp.dir/syn_cookie.cpp.o.d"
+  "/root/repo/src/tcp/tcp_stack.cpp" "src/tcp/CMakeFiles/dnsguard_tcp.dir/tcp_stack.cpp.o" "gcc" "src/tcp/CMakeFiles/dnsguard_tcp.dir/tcp_stack.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/common/CMakeFiles/dnsguard_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/net/CMakeFiles/dnsguard_net.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

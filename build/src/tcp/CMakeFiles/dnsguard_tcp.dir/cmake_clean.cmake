@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_tcp.dir/syn_cookie.cpp.o"
+  "CMakeFiles/dnsguard_tcp.dir/syn_cookie.cpp.o.d"
+  "CMakeFiles/dnsguard_tcp.dir/tcp_stack.cpp.o"
+  "CMakeFiles/dnsguard_tcp.dir/tcp_stack.cpp.o.d"
+  "libdnsguard_tcp.a"
+  "libdnsguard_tcp.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_tcp.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/dnsguard_workload.dir/lrs_driver.cpp.o"
+  "CMakeFiles/dnsguard_workload.dir/lrs_driver.cpp.o.d"
+  "CMakeFiles/dnsguard_workload.dir/metrics.cpp.o"
+  "CMakeFiles/dnsguard_workload.dir/metrics.cpp.o.d"
+  "libdnsguard_workload.a"
+  "libdnsguard_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/dnsguard_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

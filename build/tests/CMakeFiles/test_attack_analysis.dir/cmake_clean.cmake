@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_attack_analysis.dir/test_attack_analysis.cpp.o"
+  "CMakeFiles/test_attack_analysis.dir/test_attack_analysis.cpp.o.d"
+  "test_attack_analysis"
+  "test_attack_analysis.pdb"
+  "test_attack_analysis[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_attack_analysis.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_authoritative.dir/test_authoritative.cpp.o"
+  "CMakeFiles/test_authoritative.dir/test_authoritative.cpp.o.d"
+  "test_authoritative"
+  "test_authoritative.pdb"
+  "test_authoritative[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_authoritative.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

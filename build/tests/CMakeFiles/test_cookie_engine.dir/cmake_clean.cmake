@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_cookie_engine.dir/test_cookie_engine.cpp.o"
+  "CMakeFiles/test_cookie_engine.dir/test_cookie_engine.cpp.o.d"
+  "test_cookie_engine"
+  "test_cookie_engine.pdb"
+  "test_cookie_engine[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_cookie_engine.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

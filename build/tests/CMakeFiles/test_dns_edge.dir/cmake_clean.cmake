@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_edge.dir/test_dns_edge.cpp.o"
+  "CMakeFiles/test_dns_edge.dir/test_dns_edge.cpp.o.d"
+  "test_dns_edge"
+  "test_dns_edge.pdb"
+  "test_dns_edge[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_edge.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

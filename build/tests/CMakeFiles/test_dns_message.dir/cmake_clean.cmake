@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_message.dir/test_dns_message.cpp.o"
+  "CMakeFiles/test_dns_message.dir/test_dns_message.cpp.o.d"
+  "test_dns_message"
+  "test_dns_message.pdb"
+  "test_dns_message[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_message.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_dns_name.dir/test_dns_name.cpp.o"
+  "CMakeFiles/test_dns_name.dir/test_dns_name.cpp.o.d"
+  "test_dns_name"
+  "test_dns_name.pdb"
+  "test_dns_name[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_dns_name.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guard_fuzz.dir/test_guard_fuzz.cpp.o"
+  "CMakeFiles/test_guard_fuzz.dir/test_guard_fuzz.cpp.o.d"
+  "test_guard_fuzz"
+  "test_guard_fuzz.pdb"
+  "test_guard_fuzz[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guard_fuzz.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_guard_schemes.dir/test_guard_schemes.cpp.o"
+  "CMakeFiles/test_guard_schemes.dir/test_guard_schemes.cpp.o.d"
+  "test_guard_schemes"
+  "test_guard_schemes.pdb"
+  "test_guard_schemes[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_guard_schemes.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_local_guard.dir/test_local_guard.cpp.o"
+  "CMakeFiles/test_local_guard.dir/test_local_guard.cpp.o.d"
+  "test_local_guard"
+  "test_local_guard.pdb"
+  "test_local_guard[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_local_guard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_ratelimit.dir/test_ratelimit.cpp.o"
+  "CMakeFiles/test_ratelimit.dir/test_ratelimit.cpp.o.d"
+  "test_ratelimit"
+  "test_ratelimit.pdb"
+  "test_ratelimit[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_ratelimit.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

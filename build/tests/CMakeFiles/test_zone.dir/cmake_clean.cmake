@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zone.dir/test_zone.cpp.o"
+  "CMakeFiles/test_zone.dir/test_zone.cpp.o.d"
+  "test_zone"
+  "test_zone.pdb"
+  "test_zone[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zone.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/test_zone_parser.dir/test_zone_parser.cpp.o"
+  "CMakeFiles/test_zone_parser.dir/test_zone_parser.cpp.o.d"
+  "test_zone_parser"
+  "test_zone_parser.pdb"
+  "test_zone_parser[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/test_zone_parser.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,32 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/test_bytes[1]_include.cmake")
+include("/root/repo/build/tests/test_crypto[1]_include.cmake")
+include("/root/repo/build/tests/test_net[1]_include.cmake")
+include("/root/repo/build/tests/test_dns_name[1]_include.cmake")
+include("/root/repo/build/tests/test_dns_message[1]_include.cmake")
+include("/root/repo/build/tests/test_dns_edge[1]_include.cmake")
+include("/root/repo/build/tests/test_sim[1]_include.cmake")
+include("/root/repo/build/tests/test_tcp[1]_include.cmake")
+include("/root/repo/build/tests/test_zone[1]_include.cmake")
+include("/root/repo/build/tests/test_zone_parser[1]_include.cmake")
+include("/root/repo/build/tests/test_cache[1]_include.cmake")
+include("/root/repo/build/tests/test_resolver[1]_include.cmake")
+include("/root/repo/build/tests/test_resolver_stress[1]_include.cmake")
+include("/root/repo/build/tests/test_ratelimit[1]_include.cmake")
+include("/root/repo/build/tests/test_cookie_engine[1]_include.cmake")
+include("/root/repo/build/tests/test_guard_schemes[1]_include.cmake")
+include("/root/repo/build/tests/test_integration[1]_include.cmake")
+include("/root/repo/build/tests/test_local_guard[1]_include.cmake")
+include("/root/repo/build/tests/test_attack[1]_include.cmake")
+include("/root/repo/build/tests/test_driver[1]_include.cmake")
+include("/root/repo/build/tests/test_authoritative[1]_include.cmake")
+include("/root/repo/build/tests/test_attack_analysis[1]_include.cmake")
+include("/root/repo/build/tests/test_failure_injection[1]_include.cmake")
+include("/root/repo/build/tests/test_extensions[1]_include.cmake")
+include("/root/repo/build/tests/test_system_properties[1]_include.cmake")
+include("/root/repo/build/tests/test_guard_fuzz[1]_include.cmake")
