@@ -6,8 +6,13 @@
 // with the testbed's 0.4 ms LAN RTT.
 #pragma once
 
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
 #include <functional>
 #include <memory>
+#include <string>
+#include <utility>
 #include <vector>
 
 #include "attack/attackers.h"
@@ -19,6 +24,51 @@
 #include "workload/metrics.h"
 
 namespace dnsguard::bench {
+
+/// Machine-readable benchmark results: collects scalar metrics and writes
+/// them as `BENCH_<name>.json` in the working directory (override the
+/// directory with $DNSGUARD_BENCH_DIR). One file per bench per run gives
+/// CI a throughput trajectory across PRs without scraping stdout.
+class JsonResultWriter {
+ public:
+  explicit JsonResultWriter(std::string bench_name)
+      : name_(std::move(bench_name)) {}
+
+  void add(const std::string& key, double value) {
+    char buf[64];
+    std::snprintf(buf, sizeof(buf), "%.6g", value);
+    metrics_.emplace_back(key, buf);
+  }
+  void add(const std::string& key, std::uint64_t value) {
+    metrics_.emplace_back(key, std::to_string(value));
+  }
+
+  /// Writes the file; returns false (and stays silent) on IO failure so a
+  /// read-only CWD never fails a benchmark run.
+  bool write() const {
+    std::string dir;
+    if (const char* env = std::getenv("DNSGUARD_BENCH_DIR")) dir = env;
+    std::string path =
+        (dir.empty() ? "" : dir + "/") + "BENCH_" + name_ + ".json";
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    if (f == nullptr) return false;
+    std::fprintf(f, "{\n  \"bench\": \"%s\",\n  \"metrics\": {\n",
+                 name_.c_str());
+    for (std::size_t i = 0; i < metrics_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %s%s\n", metrics_[i].first.c_str(),
+                   metrics_[i].second.c_str(),
+                   i + 1 < metrics_.size() ? "," : "");
+    }
+    std::fprintf(f, "  }\n}\n");
+    std::fclose(f);
+    std::printf("[json] wrote %s\n", path.c_str());
+    return true;
+  }
+
+ private:
+  std::string name_;
+  std::vector<std::pair<std::string, std::string>> metrics_;
+};
 
 inline constexpr net::Ipv4Address kAnsIp{10, 1, 1, 254};
 inline constexpr net::Ipv4Address kGuardIp{10, 1, 1, 253};

@@ -63,6 +63,7 @@ int main() {
   TablePrinter table(
       {"scheme", "miss(req/s)", "paper", "hit(req/s)", "paper"}, 22);
   table.print_header();
+  JsonResultWriter json("table3_guard_throughput");
   for (const Row& row : rows) {
     double miss = measure_throughput(row.scheme, row.miss, row.conc_miss);
     double hit = measure_throughput(row.scheme, row.hit, row.conc_hit);
@@ -70,7 +71,10 @@ int main() {
                      TablePrinter::kilo(row.paper_miss),
                      TablePrinter::kilo(hit),
                      TablePrinter::kilo(row.paper_hit)});
+    json.add(std::string(row.label) + "_miss_rps", miss);
+    json.add(std::string(row.label) + "_hit_rps", hit);
   }
+  json.write();
   std::printf(
       "\nShape checks: miss ranking modified ~ ns-name > fabricated > tcp;\n"
       "all UDP hit rows capped by the ~110K/s ANS simulator; TCP flat.\n");

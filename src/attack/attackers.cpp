@@ -51,7 +51,8 @@ net::Packet SpoofedFloodNode::next_packet() {
     for (auto& b : c) b = static_cast<std::uint8_t>(rng_.next());
     guard::CookieEngine::attach_txt_cookie(q, c, 0);
   }
-  return net::Packet::make_udp({src, 33000}, config_.target, q.encode());
+  return net::Packet::make_udp({src, 33000}, config_.target,
+                               q.encode_pooled());
 }
 
 net::Packet CookieGuessNode::next_packet() {
@@ -69,7 +70,7 @@ net::Packet CookieGuessNode::next_packet() {
               .value_or(dns::DomainName{}),
           dns::RrType::A, false);
       return net::Packet::make_udp({guess_.victim, 33000},
-                                   {dst, net::kDnsPort}, q.encode());
+                                   {dst, net::kDnsPort}, q.encode_pooled());
     }
     case Mode::NsNameLabel: {
       // Random hex cookie label under the protected zone.
@@ -85,7 +86,7 @@ net::Packet CookieGuessNode::next_packet() {
       dns::Message q = dns::Message::query(
           id, qname.value_or(dns::DomainName{}), dns::RrType::A, false);
       return net::Packet::make_udp({guess_.victim, 33000}, config_.target,
-                                   q.encode());
+                                   q.encode_pooled());
     }
     case Mode::TxtCookie: {
       dns::Message q = dns::Message::query(
@@ -97,7 +98,7 @@ net::Packet CookieGuessNode::next_packet() {
       for (auto& b : c) b = static_cast<std::uint8_t>(rng_.next());
       guard::CookieEngine::attach_txt_cookie(q, c, 0);
       return net::Packet::make_udp({guess_.victim, 33000}, config_.target,
-                                   q.encode());
+                                   q.encode_pooled());
     }
   }
   // Unreachable; keep the compiler satisfied.
@@ -110,7 +111,7 @@ net::Packet ZombieFloodNode::next_packet() {
       dns::DomainName::parse(config_.qname_base).value_or(dns::DomainName{}),
       dns::RrType::A, false);
   return net::Packet::make_udp({config_.own_address, 33000}, config_.target,
-                               q.encode());
+                               q.encode_pooled());
 }
 
 }  // namespace dnsguard::attack

@@ -64,6 +64,11 @@ Cookie RotatingKeys::mint(std::uint32_t ip) const {
   return mint_with(current_, ip, generation_);
 }
 
+std::optional<Cookie> RotatingKeys::mint_previous(std::uint32_t ip) const {
+  if (generation_ == 0) return std::nullopt;
+  return mint_with(previous_, ip, generation_ - 1);
+}
+
 bool RotatingKeys::verify(std::uint32_t ip, const Cookie& presented) const {
   std::uint32_t presented_gen = presented[0] >> 7;
   bool is_current = presented_gen == (generation_ & 1);

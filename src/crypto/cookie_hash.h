@@ -16,6 +16,7 @@
 
 #include <array>
 #include <cstdint>
+#include <optional>
 
 #include "common/bytes.h"
 #include "crypto/md5.h"
@@ -59,6 +60,12 @@ class RotatingKeys {
   /// Mints a cookie for `ip` under the current key, with the first bit
   /// overwritten by the current generation parity.
   [[nodiscard]] Cookie mint(std::uint32_t ip) const;
+
+  /// Mints under the *previous* generation's key, or nullopt at generation
+  /// 0 (no previous exists). Needed by encodings whose transformation
+  /// folds away the generation bit — the fabricated-IP scheme reduces the
+  /// cookie mod R_y, so its verifier must recompute under both keys.
+  [[nodiscard]] std::optional<Cookie> mint_previous(std::uint32_t ip) const;
 
   /// Verifies a presented cookie: the embedded generation bit selects
   /// current vs previous key; exactly one MD5 is computed.

@@ -1,5 +1,7 @@
 #include "dns/message.h"
 
+#include "common/pool.h"
+
 namespace dnsguard::dns {
 
 void Question::encode(ByteWriter& w, NameCompressor& compressor) const {
@@ -24,7 +26,20 @@ std::string Question::to_string() const {
 }
 
 Bytes Message::encode() const {
-  ByteWriter w(kMaxUdpPayload);
+  Bytes out;
+  out.reserve(kMaxUdpPayload);
+  encode_to(out);
+  return out;
+}
+
+Bytes Message::encode_pooled() const {
+  Bytes out = BufferPool::local().acquire(kMaxUdpPayload);
+  encode_to(out);
+  return out;
+}
+
+void Message::encode_to(Bytes& out) const {
+  ByteWriter w(std::move(out));
   NameCompressor compressor;
 
   w.u16(header.id);
@@ -47,7 +62,7 @@ Bytes Message::encode() const {
   for (const auto& rr : answers) rr.encode(w, compressor);
   for (const auto& rr : authority) rr.encode(w, compressor);
   for (const auto& rr : additional) rr.encode(w, compressor);
-  return std::move(w).take();
+  out = std::move(w).take();
 }
 
 std::optional<Message> Message::decode(BytesView wire) {

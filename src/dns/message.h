@@ -63,6 +63,13 @@ struct Message {
   std::vector<ResourceRecord> additional;
 
   [[nodiscard]] Bytes encode() const;
+  /// Serializes into `out`, clearing it first but reusing its capacity —
+  /// the allocation-free path for hot-loop re-serialization.
+  void encode_to(Bytes& out) const;
+  /// Serializes into a buffer drawn from the thread-local BufferPool;
+  /// consumed packets return their payloads there (sim::Node), closing the
+  /// recycle loop for guard/server fast paths.
+  [[nodiscard]] Bytes encode_pooled() const;
   [[nodiscard]] static std::optional<Message> decode(BytesView wire);
 
   /// Builds a standard query (one question, RD set for stub->LRS usage).

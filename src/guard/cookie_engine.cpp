@@ -61,9 +61,14 @@ bool CookieEngine::verify_cookie_address(net::Ipv4Address requester,
   if (r_y == 0 || offset >= r_y) return false;
   // Both current and previous key generation must be checked, mirroring
   // verify_prefix semantics: recompute under the generation the requester
-  // might hold. The IP encoding carries no generation bit, so try both.
+  // might hold. The IP encoding carries no generation bit (mod R_y folds
+  // it away), so try both; otherwise a weekly rotation would silently
+  // drop every legitimate follow-up query holding a pre-rotation address.
   crypto::Cookie current = mint(requester);
   if (crypto::cookie_prefix32(current) % r_y == offset) return true;
+  if (auto prev = keys_.mint_previous(requester.value())) {
+    return crypto::cookie_prefix32(*prev) % r_y == offset;
+  }
   return false;
 }
 

@@ -16,8 +16,21 @@ bool LocalGuardNode::has_cookie_for(net::Ipv4Address ans) const {
   return it != cookies_.end() && it->second.expires > sim().now();
 }
 
+void LocalGuardNode::sweep_expired() {
+  SimTime t = now();
+  std::erase_if(cookies_,
+                [t](const auto& kv) { return kv.second.expires <= t; });
+  std::erase_if(not_capable_until_,
+                [t](const auto& kv) { return kv.second <= t; });
+}
+
 SimDuration LocalGuardNode::process(const net::Packet& packet) {
   cost_ = config_.packet_cost;
+  if (config_.sweep_every_packets > 0 &&
+      ++sweep_counter_ >= config_.sweep_every_packets) {
+    sweep_counter_ = 0;
+    sweep_expired();
+  }
   if (!packet.is_udp()) {
     // TCP traffic (truncation fallback) passes through transparently.
     if (packet.src_ip == config_.lrs_address) {
@@ -58,7 +71,7 @@ void LocalGuardNode::handle_outbound(const net::Packet& packet,
     CookieEngine::attach_txt_cookie(query, cit->second.cookie, 0);
     stats_.queries_with_cookie++;
     net::Packet out = packet;
-    out.payload = query.encode();
+    query.encode_to(out.payload);
     cost_ = cost_ + config_.packet_cost;
     send(std::move(out));
     return;
@@ -91,7 +104,7 @@ void LocalGuardNode::handle_outbound(const net::Packet& packet,
     CookieEngine::attach_txt_cookie(req, crypto::Cookie{}, 0);
     stats_.cookie_requests++;
     net::Packet out = packet;
-    out.payload = req.encode();
+    req.encode_to(out.payload);
     cost_ = cost_ + config_.packet_cost;
     send(std::move(out));
     schedule_in(config_.cookie_request_timeout,
@@ -130,7 +143,7 @@ void LocalGuardNode::handle_inbound(const net::Packet& packet,
     release_held(packet.src_ip, &cookies_[packet.src_ip].cookie);
     CookieEngine::strip_txt_cookie(response);
     net::Packet out = packet;
-    out.payload = response.encode();
+    response.encode_to(out.payload);
     stats_.responses_delivered++;
     cost_ = cost_ + config_.packet_cost;
     send_direct(lrs_, std::move(out));
@@ -174,7 +187,7 @@ void LocalGuardNode::release_held(net::Ipv4Address ans,
     } else {
       stats_.released_without_cookie++;
     }
-    p.payload = m->encode();
+    m->encode_to(p.payload);
     cost_ = cost_ + config_.packet_cost;
     send(std::move(p));
   }

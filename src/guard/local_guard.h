@@ -47,6 +47,10 @@ class LocalGuardNode : public sim::Node {
     /// has no remote guard) before probing again. Incremental deployment:
     /// unguarded ANSs are served plainly with no per-query delay.
     SimDuration not_capable_ttl = seconds(60);
+    /// Lazy sweep cadence: every N processed packets, expired cookie and
+    /// not-capable entries are erased so long runs against many ANSs keep
+    /// the maps bounded by the live working set.
+    std::uint32_t sweep_every_packets = 1024;
   };
 
   LocalGuardNode(sim::Simulator& sim, std::string name, Config config,
@@ -59,6 +63,13 @@ class LocalGuardNode : public sim::Node {
   [[nodiscard]] bool has_cookie_for(net::Ipv4Address ans) const;
   /// Drops a cached cookie (tests: simulate expiry).
   void forget_cookie(net::Ipv4Address ans) { cookies_.erase(ans); }
+  /// Current map sizes (tests assert long runs stay bounded).
+  [[nodiscard]] std::size_t cookie_cache_size() const {
+    return cookies_.size();
+  }
+  [[nodiscard]] std::size_t not_capable_size() const {
+    return not_capable_until_.size();
+  }
 
  protected:
   SimDuration process(const net::Packet& packet) override;
@@ -76,6 +87,7 @@ class LocalGuardNode : public sim::Node {
   void handle_inbound(const net::Packet& packet, dns::Message response);
   void release_held(net::Ipv4Address ans, const crypto::Cookie* cookie);
   void on_cookie_timeout(net::Ipv4Address ans, std::uint64_t generation);
+  void sweep_expired();
 
   Config config_;
   sim::Node* lrs_;
@@ -89,6 +101,7 @@ class LocalGuardNode : public sim::Node {
   std::unordered_map<net::Ipv4Address, HeldBucket> held_;
   LocalGuardStats stats_;
   SimDuration cost_{};
+  std::uint32_t sweep_counter_ = 0;
 };
 
 }  // namespace dnsguard::guard

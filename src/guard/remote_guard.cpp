@@ -117,14 +117,15 @@ void RemoteGuardNode::reply(const net::Packet& to, dns::Message response,
   charge(config_.costs.transform);
   net::Ipv4Address src = src_override.value_or(to.dst_ip);
   emit(net::Packet::make_udp({src, net::kDnsPort}, to.src(),
-                             response.encode()));
+                             response.encode_pooled()));
 }
 
 void RemoteGuardNode::forward_to_ans(const net::Packet& original,
                                      dns::Message query) {
   stats_.forwarded_to_ans++;
   net::Packet p = net::Packet::make_udp(
-      original.src(), {config_.ans_address, net::kDnsPort}, query.encode());
+      original.src(), {config_.ans_address, net::kDnsPort},
+      query.encode_pooled());
   emit_direct(ans_, std::move(p));
 }
 
@@ -468,7 +469,7 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
     emit_direct(ans_, net::Packet::make_udp(
                           {config_.guard_address, port},
                           {config_.ans_address, net::kDnsPort},
-                          query->encode()));
+                          query->encode_pooled()));
   }
 }
 
@@ -539,7 +540,7 @@ void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
       charge(config_.costs.transform);
       stats_.responses_relayed++;
       emit(net::Packet::make_udp({config_.ans_address, net::kDnsPort},
-                                 packet.dst(), resp.encode()));
+                                 packet.dst(), resp.encode_pooled()));
       return;
     }
     case PendingAction::Kind::RelaySourceIp: {

@@ -2,7 +2,14 @@
 
 #include <cstdio>
 
+#include "common/pool.h"
+
 namespace dnsguard::net {
+
+void Packet::release_payload() {
+  BufferPool::local().release(std::move(payload));
+  payload.clear();
+}
 
 std::uint16_t Packet::src_port() const {
   return is_udp() ? udp().src_port : tcp().src_port;

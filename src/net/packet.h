@@ -66,6 +66,12 @@ struct Packet {
                                        TcpFlags flags, std::uint32_t seq,
                                        std::uint32_t ack, Bytes payload = {});
 
+  /// Returns the payload buffer to the thread-local BufferPool (leaving it
+  /// empty). Called by the node service loop once a packet is consumed, so
+  /// dns::Message::encode_pooled() reuses the capacity instead of
+  /// reallocating per packet.
+  void release_payload();
+
   [[nodiscard]] std::string summary() const;
 };
 

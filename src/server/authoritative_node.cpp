@@ -87,7 +87,7 @@ SimDuration AuthoritativeServerNode::process(const net::Packet& packet) {
     if (resp.header.tc) ans_stats_.truncated++;
     ans_stats_.responses++;
     send(net::Packet::make_udp({config_.address, net::kDnsPort}, packet.src(),
-                               resp.encode()));
+                               resp.encode_pooled()));
     return config_.udp_query_cost;
   }
 
@@ -132,7 +132,7 @@ SimDuration AnsSimulatorNode::process(const net::Packet& packet) {
                                                 config_.answer_ttl));
   ans_stats_.responses++;
   send(net::Packet::make_udp({config_.address, net::kDnsPort}, packet.src(),
-                             resp.encode()));
+                             resp.encode_pooled()));
   return config_.query_cost;
 }
 

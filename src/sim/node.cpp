@@ -30,6 +30,9 @@ void Node::service_one() {
   in_process_ = true;
   SimDuration cost = process(packet);
   in_process_ = false;
+  // The packet is consumed: recycle its payload buffer for the encode
+  // paths (handlers that keep the packet copy it, payload included).
+  packet.release_payload();
   if (cost.ns < 0) cost.ns = 0;
 
   stats_.busy = stats_.busy + cost;

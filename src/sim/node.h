@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <deque>
 #include <string>
+#include <utility>
 
 #include "common/time.h"
 #include "net/packet.h"
@@ -70,8 +71,9 @@ class Node {
   void send_direct(Node* to, net::Packet packet);
 
   /// Schedules a timer callback (timers model OS timers: no CPU charge).
-  void schedule_in(SimDuration delay, EventFn fn) {
-    sim_.schedule_in(delay, std::move(fn));
+  template <typename F>
+  void schedule_in(SimDuration delay, F&& fn) {
+    sim_.schedule_in(delay, std::forward<F>(fn));
   }
 
   [[nodiscard]] SimTime now() const { return sim_.now(); }

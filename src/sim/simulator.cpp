@@ -19,32 +19,15 @@ std::uint64_t pair_key(const Node* a, const Node* b) {
 
 }  // namespace
 
-void Simulator::schedule_in(SimDuration delay, EventFn fn) {
-  if (delay.ns < 0) delay.ns = 0;
-  queue_.schedule(now_ + delay, std::move(fn));
-}
-
-void Simulator::schedule_at(SimTime at, EventFn fn) {
-  if (at < now_) at = now_;
-  queue_.schedule(at, std::move(fn));
-}
-
 void Simulator::run_until(SimTime until) {
   while (!queue_.empty() && queue_.next_time() <= until) {
-    SimTime at;
-    EventFn fn = queue_.pop(at);
-    now_ = at;
-    fn();
+    queue_.run_next(now_);
   }
   if (now_ < until) now_ = until;
 }
 
 void Simulator::run_all() {
-  while (!queue_.empty()) {
-    SimTime at;
-    EventFn fn = queue_.pop(at);
-    now_ = at;
-    fn();
+  while (queue_.run_next(now_)) {
   }
 }
 

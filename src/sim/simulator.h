@@ -12,9 +12,11 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <memory>
 #include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/log.h"
@@ -47,8 +49,22 @@ class Simulator {
   [[nodiscard]] SimTime now() const { return now_; }
 
   /// Schedules `fn` after `delay` (clamped to now for non-negative flow).
-  void schedule_in(SimDuration delay, EventFn fn);
-  void schedule_at(SimTime at, EventFn fn);
+  /// Templated so the callable is constructed directly in its event slot
+  /// (EventQueue::schedule) instead of transiting an EventFn temporary.
+  template <typename F>
+  void schedule_in(SimDuration delay, F&& fn) {
+    if (delay.ns < 0) delay.ns = 0;
+    queue_.schedule(now_ + delay, std::forward<F>(fn));
+  }
+  template <typename F>
+  void schedule_at(SimTime at, F&& fn) {
+    if (at < now_) at = now_;
+    queue_.schedule(at, std::forward<F>(fn));
+  }
+
+  /// Number of scheduled-but-not-yet-fired events (observability; also
+  /// how the scheduler benchmark picks a representative standing window).
+  [[nodiscard]] std::size_t pending_events() const { return queue_.size(); }
 
   /// Runs until the queue is empty or `until` is reached.
   void run_until(SimTime until);

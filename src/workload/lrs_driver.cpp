@@ -159,7 +159,8 @@ void LrsSimulatorNode::send_exchange(int w, dns::Message query,
   query.header.id = qid;
 
   stats_.exchanges_sent++;
-  send(net::Packet::make_udp({config_.address, 32000}, to, query.encode()));
+  send(net::Packet::make_udp({config_.address, 32000}, to,
+                             query.encode_pooled()));
   arm_timeout(w);
 }
 

@@ -2,6 +2,8 @@
 // TXT records (§III.E).
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/hex.h"
 #include "guard/cookie_engine.h"
 
@@ -163,6 +165,49 @@ TEST(TxtCookie, MessageSizeSymmetry) {
   EXPECT_EQ(req.encode().size(), resp.encode().size());
 }
 
+TEST(CookieLabel, ParsesExactly63ByteLabel) {
+  CookieEngine e(1);
+  // 2 + 8 + 53 = 63: the maximum legal DNS label.
+  std::string restore(53, 'a');
+  auto label = e.make_cookie_label(Ipv4Address(1, 2, 3, 4), restore);
+  ASSERT_TRUE(label.has_value());
+  ASSERT_EQ(label->size(), 63u);
+  auto parsed = CookieEngine::parse_cookie_label(*label);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->restore_label, restore);
+  EXPECT_TRUE(e.verify_prefix(Ipv4Address(1, 2, 3, 4),
+                              parsed->cookie_prefix));
+}
+
+TEST(CookieLabel, ParseAcceptsUppercaseHex) {
+  // Resolvers may 0x20-randomize or uppercase qnames; the hex cookie value
+  // must decode case-insensitively.
+  auto lower = CookieEngine::parse_cookie_label("PRa1b2c3d4com");
+  auto upper = CookieEngine::parse_cookie_label("PRA1B2C3D4com");
+  ASSERT_TRUE(lower.has_value());
+  ASSERT_TRUE(upper.has_value());
+  EXPECT_EQ(lower->cookie_prefix, upper->cookie_prefix);
+  EXPECT_EQ(upper->cookie_prefix, 0xa1b2c3d4u);
+}
+
+TEST(CookieLabel, CookieShapedRestoreLabelRoundTrips) {
+  // A restore label that is itself cookie-shaped ("PR" + 8 hex) must come
+  // back intact: the parser consumes exactly one cookie layer.
+  CookieEngine e(1);
+  const std::string inner = "PRdeadbeef";
+  auto label = e.make_cookie_label(Ipv4Address(9, 9, 9, 9), inner);
+  ASSERT_TRUE(label.has_value());
+  auto parsed = CookieEngine::parse_cookie_label(*label);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(parsed->restore_label, inner);
+  // The restored label would parse as a cookie again (it is cookie-shaped),
+  // but with the inner hex value — one layer at a time.
+  auto inner_parsed = CookieEngine::parse_cookie_label(parsed->restore_label);
+  ASSERT_TRUE(inner_parsed.has_value());
+  EXPECT_EQ(inner_parsed->cookie_prefix, 0xdeadbeefu);
+  EXPECT_TRUE(inner_parsed->restore_label.empty());
+}
+
 TEST(Rotation, EngineAcceptsPreviousGeneration) {
   CookieEngine e(11);
   Ipv4Address ip(10, 0, 1, 1);
@@ -172,6 +217,45 @@ TEST(Rotation, EngineAcceptsPreviousGeneration) {
   EXPECT_TRUE(e.verify_prefix(ip, parsed->cookie_prefix));
   e.rotate(13);
   EXPECT_FALSE(e.verify_prefix(ip, parsed->cookie_prefix));
+}
+
+TEST(Rotation, CookieAddressSurvivesOneRotationButNotTwo) {
+  // Regression: verify_cookie_address only recomputed under the current
+  // key, so a weekly rotation dropped every legitimate LRS follow-up query
+  // addressed to a pre-rotation cookie address as spoofed.
+  CookieEngine e(11);
+  Ipv4Address base(10, 7, 7, 0);
+  const std::uint32_t r_y = 250;
+  const int n = 100;
+  std::vector<Ipv4Address> addrs;
+  for (int i = 0; i < n; ++i) {
+    addrs.push_back(e.make_cookie_address(
+        Ipv4Address(0x0a000100u + static_cast<std::uint32_t>(i)), base, r_y));
+  }
+
+  e.rotate(12);
+  int after_one = 0;
+  for (int i = 0; i < n; ++i) {
+    if (e.verify_cookie_address(
+            Ipv4Address(0x0a000100u + static_cast<std::uint32_t>(i)),
+            addrs[i], base, r_y)) {
+      after_one++;
+    }
+  }
+  EXPECT_EQ(after_one, n);  // the old code dropped all of these
+
+  // Two rotations age the address out; only mod-R_y collisions with the
+  // two live generations may still pass (~2/R_y per requester).
+  e.rotate(13);
+  int after_two = 0;
+  for (int i = 0; i < n; ++i) {
+    if (e.verify_cookie_address(
+            Ipv4Address(0x0a000100u + static_cast<std::uint32_t>(i)),
+            addrs[i], base, r_y)) {
+      after_two++;
+    }
+  }
+  EXPECT_LT(after_two, n / 5);
 }
 
 }  // namespace

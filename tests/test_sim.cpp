@@ -2,6 +2,12 @@
 // queue overflow, gateways, and packet conservation.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <array>
+#include <utility>
+
+#include "common/rng.h"
+#include "sim/event_queue.h"
 #include "sim/node.h"
 #include "sim/simulator.h"
 
@@ -57,6 +63,81 @@ TEST(EventQueue, TiesFireInScheduleOrder) {
   }
   sim.run_all();
   for (int i = 0; i < 10; ++i) EXPECT_EQ(order[static_cast<std::size_t>(i)], i);
+}
+
+TEST(EventQueue, EmptyQueueIsGuarded) {
+  // Regression: next_time()/pop() used to call heap_.top() on an empty
+  // priority_queue (UB). Now they return well-defined sentinels.
+  EventQueue q;
+  EXPECT_TRUE(q.empty());
+  EXPECT_EQ(q.next_time(), kNoEventTime);
+  SimTime at{-1};
+  EventFn fn = q.pop(at);
+  EXPECT_FALSE(static_cast<bool>(fn));
+  EXPECT_EQ(at, kNoEventTime);
+  // The queue is still usable afterwards.
+  q.schedule(SimTime{5}, [] {});
+  EXPECT_EQ(q.next_time(), SimTime{5});
+}
+
+TEST(EventQueue, RandomizedOrderIsDeterministicTimeThenSeq) {
+  // Drain order must be exactly (time, insertion sequence) — the
+  // determinism contract the 4-ary heap has to preserve, including many
+  // same-instant ties.
+  EventQueue q;
+  Rng rng(0xfeedULL);
+  std::vector<std::pair<std::int64_t, int>> expected;  // (time, insert idx)
+  for (int i = 0; i < 2000; ++i) {
+    auto t = static_cast<std::int64_t>(rng.next() % 64);  // dense ties
+    expected.emplace_back(t, i);
+    q.schedule(SimTime{t}, [] {});
+  }
+  std::stable_sort(expected.begin(), expected.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (const auto& [t, idx] : expected) {
+    SimTime at;
+    EventFn fn = q.pop(at);
+    ASSERT_TRUE(static_cast<bool>(fn));
+    ASSERT_EQ(at.ns, t);
+  }
+  EXPECT_TRUE(q.empty());
+}
+
+TEST(EventQueue, SameInstantFifoAcrossNestedScheduling) {
+  // Events scheduled *while running* at the current instant still fire
+  // after previously scheduled same-instant events.
+  Simulator sim;
+  std::vector<int> order;
+  sim.schedule_in(milliseconds(1), [&] {
+    order.push_back(0);
+    sim.schedule_in(SimDuration{}, [&] { order.push_back(2); });
+  });
+  sim.schedule_in(milliseconds(1), [&] { order.push_back(1); });
+  sim.run_all();
+  EXPECT_EQ(order, (std::vector<int>{0, 1, 2}));
+}
+
+TEST(EventQueue, OversizedCapturesFireCorrectly) {
+  // Captures too big for the inline buffer take the slab path; ordering
+  // and payload integrity must be unaffected.
+  EventQueue q;
+  std::vector<int> fired;
+  for (int i = 0; i < 16; ++i) {
+    std::array<std::uint64_t, 40> big{};  // 320 bytes, beyond inline
+    big[0] = static_cast<std::uint64_t>(i);
+    q.schedule(SimTime{i % 4}, [big, &fired] {
+      fired.push_back(static_cast<int>(big[0]));
+    });
+  }
+  SimTime at;
+  while (!q.empty()) q.pop(at)();
+  ASSERT_EQ(fired.size(), 16u);
+  // Within each instant, FIFO by insertion: i%4==0 first (0,4,8,12), etc.
+  EXPECT_EQ(fired[0], 0);
+  EXPECT_EQ(fired[1], 4);
+  EXPECT_EQ(fired[15], 15);
 }
 
 TEST(EventQueue, RunUntilStopsAtBoundary) {
