@@ -17,6 +17,7 @@
 
 #include "attack/attackers.h"
 #include "guard/remote_guard.h"
+#include "obs/metrics.h"
 #include "server/authoritative_node.h"
 #include "server/zone.h"
 #include "sim/simulator.h"
@@ -24,6 +25,21 @@
 #include "workload/metrics.h"
 
 namespace dnsguard::bench {
+
+/// CI smoke mode: when $DNSGUARD_BENCH_QUICK is set (non-empty), benches
+/// shrink warmup/measurement windows and sweep fewer points so the whole
+/// suite runs in seconds. Virtual-time results stay deterministic, so the
+/// quick numbers are comparable across runs and gate regressions in CI.
+inline bool quick_mode() {
+  const char* env = std::getenv("DNSGUARD_BENCH_QUICK");
+  return env != nullptr && env[0] != '\0';
+}
+
+/// Picks the full-fidelity value or the smoke-test value.
+template <typename T>
+T quick(T full_value, T quick_value) {
+  return quick_mode() ? quick_value : full_value;
+}
 
 /// Machine-readable benchmark results: collects scalar metrics and writes
 /// them as `BENCH_<name>.json` in the working directory (override the
@@ -43,6 +59,23 @@ class JsonResultWriter {
     metrics_.emplace_back(key, std::to_string(value));
   }
 
+  /// Snapshots a metrics registry into the "counters" section. Call after
+  /// the measurement window; last snapshot wins. A `prefix` (e.g. a sweep
+  /// point like "rate_50k.") namespaces repeated snapshots instead.
+  void add_counters(const obs::MetricsRegistry& registry,
+                    const std::string& prefix = "") {
+    for (const auto& [name, value] : registry.snapshot()) {
+      char buf[64];
+      if (value == static_cast<double>(static_cast<std::int64_t>(value))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(value));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.6g", value);
+      }
+      counters_.emplace_back(prefix + name, buf);
+    }
+  }
+
   /// Writes the file; returns false (and stays silent) on IO failure so a
   /// read-only CWD never fails a benchmark run.
   bool write() const {
@@ -59,6 +92,12 @@ class JsonResultWriter {
                    metrics_[i].second.c_str(),
                    i + 1 < metrics_.size() ? "," : "");
     }
+    std::fprintf(f, "  },\n  \"counters\": {\n");
+    for (std::size_t i = 0; i < counters_.size(); ++i) {
+      std::fprintf(f, "    \"%s\": %s%s\n", counters_[i].first.c_str(),
+                   counters_[i].second.c_str(),
+                   i + 1 < counters_.size() ? "," : "");
+    }
     std::fprintf(f, "  }\n}\n");
     std::fclose(f);
     std::printf("[json] wrote %s\n", path.c_str());
@@ -68,6 +107,7 @@ class JsonResultWriter {
  private:
   std::string name_;
   std::vector<std::pair<std::string, std::string>> metrics_;
+  std::vector<std::pair<std::string, std::string>> counters_;
 };
 
 inline constexpr net::Ipv4Address kAnsIp{10, 1, 1, 254};
@@ -193,6 +233,10 @@ struct Testbed {
     for (auto& d : drivers) d->start();
     for (auto& a : attackers) a->start();
     sim.run_for(warmup);
+    // Zero every cell attached to the simulator's registry (guard, TCP
+    // proxy, limiters, drop reasons, ...): the measurement window starts
+    // from a clean metric slate.
+    sim.metrics().reset_values();
     for (auto& d : drivers) d->reset_driver_stats();
     if (bind_ans) {
       bind_ans->reset_ans_stats();

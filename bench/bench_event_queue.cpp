@@ -64,10 +64,14 @@ struct FakePacketCapture {
 // guard, 250K-1M req/s spoofed floods) shows 320-2,800 events pending at
 // steady state, so 1024 sits in the middle of the realistic range.
 constexpr int kWindow = 1024;
-constexpr std::uint64_t kEvents = 4'000'000;  // pops measured per run
+// Pops measured per run; quick mode (CI smoke) runs 10x fewer.
+inline std::uint64_t event_count() {
+  return quick<std::uint64_t>(4'000'000, 400'000);
+}
 
 template <typename Queue>
 double run_events_per_sec(Queue& q) {
+  const std::uint64_t kEvents = event_count();
   Rng rng(0x5eedULL);
   std::uint64_t sink = 0;
   SimTime now{};
@@ -113,13 +117,14 @@ int main() {
 
   std::printf("Event-queue microbench: %llu schedule+pop cycles, window %d, "
               "packet-sized captures\n\n",
-              static_cast<unsigned long long>(kEvents), kWindow);
+              static_cast<unsigned long long>(event_count()), kWindow);
 
   // Interleave runs so CPU frequency ramp and scheduler noise hit both
   // equally; keep the best of five per implementation (best-of, not mean,
   // because interference only ever subtracts throughput).
   double old_best = 0, new_best = 0;
-  for (int round = 0; round < 5; ++round) {
+  const int rounds = quick(5, 2);
+  for (int round = 0; round < rounds; ++round) {
     {
       LegacyEventQueue legacy;
       old_best = std::max(old_best, run_events_per_sec(legacy));
@@ -143,5 +148,8 @@ int main() {
   json.add("new_events_per_sec", new_best);
   json.add("speedup", speedup);
   json.write();
+  // Quick mode (CI smoke on shared runners) reports but does not enforce
+  // the wall-clock gate; noisy neighbours would make it flaky.
+  if (quick_mode()) return 0;
   return speedup >= 2.0 ? 0 : 1;
 }

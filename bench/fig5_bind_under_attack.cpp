@@ -33,7 +33,9 @@ struct Point {
   double ans_cpu;
 };
 
-Point run_point(double attack_rate, bool protection) {
+Point run_point(double attack_rate, bool protection,
+                JsonResultWriter* json = nullptr,
+                const std::string& counter_prefix = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Bind, /*ttl_override=*/0);
 
@@ -63,7 +65,8 @@ Point run_point(double attack_rate, bool protection) {
   if (attack_rate > 0) bed.add_attacker(attack_rate);
 
   // Long window: the 2 s timeout dynamics need time to show.
-  SimDuration window = bed.measure(seconds(3), seconds(8));
+  SimDuration window = bed.measure(quick(seconds(3), seconds(1)),
+                                   quick(seconds(8), seconds(2)));
   double completed = 0;
   for (auto& d : bed.drivers) {
     completed += static_cast<double>(d->driver_stats().completed);
@@ -71,6 +74,7 @@ Point run_point(double attack_rate, bool protection) {
   Point p;
   p.legit_throughput = completed / window.seconds();
   p.ans_cpu = bed.bind_ans->utilization(window);
+  if (json != nullptr) json->add_counters(bed.sim.metrics(), counter_prefix);
   return p;
 }
 
@@ -88,14 +92,28 @@ int main() {
                       "ans_cpu_on(%)", "ans_cpu_off(%)"},
                      16);
   table.print_header();
-  for (double attack : {0.0, 2e3, 4e3, 6e3, 8e3, 10e3, 12e3, 14e3, 16e3}) {
-    Point on = run_point(attack, /*protection=*/true);
+  JsonResultWriter json("fig5_bind_under_attack");
+  std::vector<double> sweep =
+      quick_mode() ? std::vector<double>{0.0, 8e3, 16e3}
+                   : std::vector<double>{0.0, 2e3, 4e3, 6e3, 8e3, 10e3,
+                                         12e3, 14e3, 16e3};
+  for (double attack : sweep) {
+    // Counters only for the last (highest-attack) guarded point: it is
+    // the one that exercises the drop taxonomy.
+    bool last = attack == sweep.back();
+    Point on = run_point(attack, /*protection=*/true, last ? &json : nullptr);
     Point off = run_point(attack, /*protection=*/false);
     table.print_row({TablePrinter::num(attack / 1000, 0),
                      TablePrinter::num(on.legit_throughput, 0),
                      TablePrinter::num(off.legit_throughput, 0),
                      TablePrinter::percent(on.ans_cpu),
                      TablePrinter::percent(off.ans_cpu)});
+    std::string key = "attack_" + TablePrinter::num(attack / 1000, 0) + "k";
+    json.add(key + ".legit_on_per_s", on.legit_throughput);
+    json.add(key + ".legit_off_per_s", off.legit_throughput);
+    json.add(key + ".ans_cpu_on", on.ans_cpu);
+    json.add(key + ".ans_cpu_off", off.ans_cpu);
   }
+  json.write();
   return 0;
 }

@@ -25,7 +25,9 @@ struct Point {
   double guard_cpu;
 };
 
-Point run_point(double attack_rate, bool protection) {
+Point run_point(double attack_rate, bool protection,
+                JsonResultWriter* json = nullptr,
+                const std::string& counter_prefix = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Simulator);
   bed.make_guard(protection ? guard::Scheme::ModifiedDns
@@ -40,12 +42,14 @@ Point run_point(double attack_rate, bool protection) {
                      attack::SpoofedFloodNode::SpoofConfig{
                          .random_txt_cookie = protection});
   }
-  SimDuration window = bed.measure(milliseconds(500), seconds(2));
+  SimDuration window = bed.measure(quick(milliseconds(500), milliseconds(200)),
+                                   quick(seconds(2), milliseconds(500)));
   Point p;
   p.legit_throughput =
       static_cast<double>(bed.drivers[0]->driver_stats().completed) /
       window.seconds();
   p.guard_cpu = bed.guard->utilization(window);
+  if (json != nullptr) json->add_counters(bed.sim.metrics(), counter_prefix);
   return p;
 }
 
@@ -63,15 +67,27 @@ int main() {
                       "cpu_on(%)", "cpu_off(%)"},
                      16);
   table.print_header();
-  for (double attack : {0.0, 25e3, 50e3, 75e3, 100e3, 125e3, 150e3, 175e3,
-                        200e3, 225e3, 250e3}) {
-    Point on = run_point(attack, /*protection=*/true);
+  JsonResultWriter json("fig6_guard_under_attack");
+  std::vector<double> sweep =
+      quick_mode()
+          ? std::vector<double>{0.0, 100e3, 250e3}
+          : std::vector<double>{0.0, 25e3, 50e3, 75e3, 100e3, 125e3,
+                                150e3, 175e3, 200e3, 225e3, 250e3};
+  for (double attack : sweep) {
+    bool last = attack == sweep.back();
+    Point on = run_point(attack, /*protection=*/true, last ? &json : nullptr);
     Point off = run_point(attack, /*protection=*/false);
     table.print_row({TablePrinter::num(attack / 1000, 0),
                      TablePrinter::kilo(on.legit_throughput),
                      TablePrinter::kilo(off.legit_throughput),
                      TablePrinter::percent(on.guard_cpu),
                      TablePrinter::percent(off.guard_cpu)});
+    std::string key = "attack_" + TablePrinter::num(attack / 1000, 0) + "k";
+    json.add(key + ".legit_on_per_s", on.legit_throughput);
+    json.add(key + ".legit_off_per_s", off.legit_throughput);
+    json.add(key + ".guard_cpu_on", on.guard_cpu);
+    json.add(key + ".guard_cpu_off", off.guard_cpu);
   }
+  json.write();
   return 0;
 }

@@ -21,19 +21,21 @@ struct Point {
   double guard_cpu;
 };
 
-Point run_point(double attack_rate) {
+Point run_point(double attack_rate, JsonResultWriter* json = nullptr) {
   Testbed bed;
   bed.make_ans(AnsKind::Simulator);
   bed.make_guard(guard::Scheme::TcpRedirect);
   bed.add_driver(DriveMode::TcpDirect, /*concurrency=*/50,
                  net::Ipv4Address(10, 0, 1, 1), seconds(5));
   if (attack_rate > 0) bed.add_attacker(attack_rate);
-  SimDuration window = bed.measure(seconds(1), seconds(2));
+  SimDuration window = bed.measure(quick(seconds(1), milliseconds(300)),
+                                   quick(seconds(2), milliseconds(700)));
   Point p;
   p.tcp_throughput =
       static_cast<double>(bed.drivers[0]->driver_stats().completed) /
       window.seconds();
   p.guard_cpu = bed.guard->utilization(window);
+  if (json != nullptr) json->add_counters(bed.sim.metrics());
   return p;
 }
 
@@ -48,11 +50,21 @@ int main() {
       "\xc2\xa7");
   TablePrinter table({"attack(K/s)", "tcp_tput(K/s)", "guard_cpu(%)"}, 16);
   table.print_header();
-  for (double attack : {0.0, 50e3, 100e3, 150e3, 200e3, 250e3}) {
-    Point p = run_point(attack);
+  JsonResultWriter json("fig7b_tcp_proxy_under_attack");
+  std::vector<double> sweep =
+      quick_mode() ? std::vector<double>{0.0, 250e3}
+                   : std::vector<double>{0.0, 50e3, 100e3, 150e3, 200e3,
+                                         250e3};
+  for (double attack : sweep) {
+    bool last = attack == sweep.back();
+    Point p = run_point(attack, last ? &json : nullptr);
     table.print_row({TablePrinter::num(attack / 1000, 0),
                      TablePrinter::kilo(p.tcp_throughput),
                      TablePrinter::percent(p.guard_cpu)});
+    std::string key = "attack_" + TablePrinter::num(attack / 1000, 0) + "k";
+    json.add(key + ".tcp_rps", p.tcp_throughput);
+    json.add(key + ".guard_cpu", p.guard_cpu);
   }
+  json.write();
   return 0;
 }

@@ -20,12 +20,15 @@ using workload::TablePrinter;
 namespace {
 
 double measure_throughput(guard::Scheme scheme, DriveMode mode,
-                          int concurrency) {
+                          int concurrency, JsonResultWriter* json = nullptr,
+                          const std::string& counter_prefix = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Simulator);
   bed.make_guard(scheme);
   auto* driver = bed.add_driver(mode, concurrency);
-  SimDuration window = bed.measure(milliseconds(500), seconds(2));
+  SimDuration window = bed.measure(quick(milliseconds(500), milliseconds(200)),
+                                   quick(seconds(2), milliseconds(500)));
+  if (json != nullptr) json->add_counters(bed.sim.metrics(), counter_prefix);
   return static_cast<double>(driver->driver_stats().completed) /
          window.seconds();
 }
@@ -65,7 +68,12 @@ int main() {
   table.print_header();
   JsonResultWriter json("table3_guard_throughput");
   for (const Row& row : rows) {
-    double miss = measure_throughput(row.scheme, row.miss, row.conc_miss);
+    // Counters snapshot for the first (ns-name miss) run only: one
+    // representative registry dump keeps the JSON bounded.
+    bool first = &row == &rows[0];
+    double miss = measure_throughput(row.scheme, row.miss, row.conc_miss,
+                                     first ? &json : nullptr,
+                                     "ns_name_miss.");
     double hit = measure_throughput(row.scheme, row.hit, row.conc_hit);
     table.print_row({row.label, TablePrinter::kilo(miss),
                      TablePrinter::kilo(row.paper_miss),

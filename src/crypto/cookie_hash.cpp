@@ -69,28 +69,29 @@ std::optional<Cookie> RotatingKeys::mint_previous(std::uint32_t ip) const {
   return mint_with(previous_, ip, generation_ - 1);
 }
 
-bool RotatingKeys::verify(std::uint32_t ip, const Cookie& presented) const {
+VerifyResult RotatingKeys::verify_ex(std::uint32_t ip,
+                                     const Cookie& presented) const {
   std::uint32_t presented_gen = presented[0] >> 7;
   bool is_current = presented_gen == (generation_ & 1);
+  // generation_ == 0 has no valid previous generation.
+  if (!is_current && generation_ == 0) return {false, true};
   const CookieKey& key = is_current ? current_ : previous_;
   std::uint32_t gen = is_current ? generation_ : generation_ - 1;
-  // generation_ == 0 has no valid previous generation.
-  if (!is_current && generation_ == 0) return false;
   Cookie expected = mint_with(key, ip, gen);
-  return cookie_equal(expected, presented);
+  return {cookie_equal(expected, presented), !is_current};
 }
 
-bool RotatingKeys::verify_prefix32(std::uint32_t ip,
-                                   std::uint32_t presented_prefix) const {
+VerifyResult RotatingKeys::verify_prefix32_ex(
+    std::uint32_t ip, std::uint32_t presented_prefix) const {
   std::uint32_t presented_gen = presented_prefix >> 31;
   bool is_current = presented_gen == (generation_ & 1);
-  if (!is_current && generation_ == 0) return false;
+  if (!is_current && generation_ == 0) return {false, true};
   const CookieKey& key = is_current ? current_ : previous_;
   std::uint32_t gen = is_current ? generation_ : generation_ - 1;
   Cookie expected = mint_with(key, ip, gen);
   // Constant-time compare of the 4-byte prefix.
   std::uint32_t exp = cookie_prefix32(expected);
-  return ((exp ^ presented_prefix) == 0);
+  return {(exp ^ presented_prefix) == 0, !is_current};
 }
 
 }  // namespace dnsguard::crypto

@@ -48,6 +48,16 @@ using Cookie = std::array<std::uint8_t, kCookieSize>;
 /// scheme encodes in NS names and, modulo R_y, in fabricated IPs.
 [[nodiscard]] std::uint32_t cookie_prefix32(const Cookie& c);
 
+/// Outcome of a generation-aware verification: `ok` is the accept/reject
+/// decision; `used_previous` says the presented generation bit selected
+/// the previous key — on success, the requester holds a pre-rotation
+/// cookie; on failure, the likeliest story is a cookie minted two or more
+/// rotations ago (a *stale key*) rather than a random guess.
+struct VerifyResult {
+  bool ok = false;
+  bool used_previous = false;
+};
+
 /// Rotating key schedule: holds the current and previous generation keys.
 class RotatingKeys {
  public:
@@ -69,12 +79,22 @@ class RotatingKeys {
 
   /// Verifies a presented cookie: the embedded generation bit selects
   /// current vs previous key; exactly one MD5 is computed.
-  [[nodiscard]] bool verify(std::uint32_t ip, const Cookie& presented) const;
+  [[nodiscard]] bool verify(std::uint32_t ip, const Cookie& presented) const {
+    return verify_ex(ip, presented).ok;
+  }
+  /// As verify(), but also reports which key generation was selected —
+  /// the observability layer counts verifications per generation.
+  [[nodiscard]] VerifyResult verify_ex(std::uint32_t ip,
+                                       const Cookie& presented) const;
 
   /// Verifies only the first 4 bytes (for NS-name / IP encodings, which
   /// truncate the cookie). The generation bit is part of those 4 bytes.
   [[nodiscard]] bool verify_prefix32(std::uint32_t ip,
-                                     std::uint32_t presented_prefix) const;
+                                     std::uint32_t presented_prefix) const {
+    return verify_prefix32_ex(ip, presented_prefix).ok;
+  }
+  [[nodiscard]] VerifyResult verify_prefix32_ex(
+      std::uint32_t ip, std::uint32_t presented_prefix) const;
 
   [[nodiscard]] std::uint32_t generation() const { return generation_; }
 

@@ -52,24 +52,27 @@ net::Ipv4Address CookieEngine::make_cookie_address(
   return net::Ipv4Address(subnet_base.value() + 1 + y);
 }
 
-bool CookieEngine::verify_cookie_address(net::Ipv4Address requester,
-                                         net::Ipv4Address dst,
-                                         net::Ipv4Address subnet_base,
-                                         std::uint32_t r_y) const {
-  if (dst.value() <= subnet_base.value()) return false;
+crypto::VerifyResult CookieEngine::verify_cookie_address_ex(
+    net::Ipv4Address requester, net::Ipv4Address dst,
+    net::Ipv4Address subnet_base, std::uint32_t r_y) const {
+  if (dst.value() <= subnet_base.value()) return {false, false};
   std::uint32_t offset = dst.value() - subnet_base.value() - 1;
-  if (r_y == 0 || offset >= r_y) return false;
+  if (r_y == 0 || offset >= r_y) return {false, false};
   // Both current and previous key generation must be checked, mirroring
   // verify_prefix semantics: recompute under the generation the requester
   // might hold. The IP encoding carries no generation bit (mod R_y folds
   // it away), so try both; otherwise a weekly rotation would silently
   // drop every legitimate follow-up query holding a pre-rotation address.
   crypto::Cookie current = mint(requester);
-  if (crypto::cookie_prefix32(current) % r_y == offset) return true;
-  if (auto prev = keys_.mint_previous(requester.value())) {
-    return crypto::cookie_prefix32(*prev) % r_y == offset;
+  if (crypto::cookie_prefix32(current) % r_y == offset) {
+    return {true, false};
   }
-  return false;
+  if (auto prev = keys_.mint_previous(requester.value())) {
+    if (crypto::cookie_prefix32(*prev) % r_y == offset) {
+      return {true, true};
+    }
+  }
+  return {false, false};
 }
 
 std::optional<crypto::Cookie> CookieEngine::extract_txt_cookie(

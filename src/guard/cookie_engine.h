@@ -45,6 +45,13 @@ class CookieEngine {
     return keys_.verify(requester.value(), presented);
   }
 
+  /// Generation-aware verification (observability: verify counts per key
+  /// generation; failed previous-generation cookies classify as stale).
+  [[nodiscard]] crypto::VerifyResult verify_ex(
+      net::Ipv4Address requester, const crypto::Cookie& presented) const {
+    return keys_.verify_ex(requester.value(), presented);
+  }
+
   /// Rotates to a new key generation (paper: weekly).
   void rotate(std::uint64_t new_seed) { keys_.rotate(new_seed); }
   [[nodiscard]] std::uint32_t generation() const {
@@ -71,6 +78,10 @@ class CookieEngine {
                                    std::uint32_t presented_prefix) const {
     return keys_.verify_prefix32(requester.value(), presented_prefix);
   }
+  [[nodiscard]] crypto::VerifyResult verify_prefix_ex(
+      net::Ipv4Address requester, std::uint32_t presented_prefix) const {
+    return keys_.verify_prefix32_ex(requester.value(), presented_prefix);
+  }
 
   // --- fabricated-IP encoding ----------------------------------------------
 
@@ -85,7 +96,15 @@ class CookieEngine {
   [[nodiscard]] bool verify_cookie_address(net::Ipv4Address requester,
                                            net::Ipv4Address dst,
                                            net::Ipv4Address subnet_base,
-                                           std::uint32_t r_y) const;
+                                           std::uint32_t r_y) const {
+    return verify_cookie_address_ex(requester, dst, subnet_base, r_y).ok;
+  }
+  /// The IP encoding folds the generation bit away (mod R_y), so the
+  /// verifier tries both keys; `used_previous` reports a match under the
+  /// pre-rotation key.
+  [[nodiscard]] crypto::VerifyResult verify_cookie_address_ex(
+      net::Ipv4Address requester, net::Ipv4Address dst,
+      net::Ipv4Address subnet_base, std::uint32_t r_y) const;
 
   // --- TXT encoding (modified-DNS scheme) ----------------------------------
 

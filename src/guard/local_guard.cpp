@@ -4,7 +4,9 @@ namespace dnsguard::guard {
 
 LocalGuardNode::LocalGuardNode(sim::Simulator& sim, std::string name,
                                Config config, sim::Node* lrs)
-    : sim::Node(sim, std::move(name)), config_(config), lrs_(lrs) {}
+    : sim::Node(sim, std::move(name)), config_(config), lrs_(lrs) {
+  stats_.bind(this->sim().metrics(), "local_guard");
+}
 
 void LocalGuardNode::install() {
   sim().add_host_route(config_.lrs_address, this);

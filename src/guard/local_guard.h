@@ -20,17 +20,30 @@
 
 #include "dns/message.h"
 #include "guard/cookie_engine.h"
+#include "obs/metrics.h"
 #include "sim/node.h"
 
 namespace dnsguard::guard {
 
+/// Counter cells; attached to the simulator's registry as "local_guard.*".
 struct LocalGuardStats {
-  std::uint64_t queries_with_cookie = 0;
-  std::uint64_t queries_held = 0;
-  std::uint64_t cookie_requests = 0;
-  std::uint64_t cookies_cached = 0;
-  std::uint64_t released_without_cookie = 0;
-  std::uint64_t responses_delivered = 0;
+  obs::Counter queries_with_cookie;
+  obs::Counter queries_held;
+  obs::Counter cookie_requests;
+  obs::Counter cookies_cached;
+  obs::Counter released_without_cookie;
+  obs::Counter responses_delivered;
+
+  void bind(obs::MetricsRegistry& registry, std::string_view prefix) {
+    std::string p(prefix);
+    registry.attach_counter(p + ".queries_with_cookie", queries_with_cookie);
+    registry.attach_counter(p + ".queries_held", queries_held);
+    registry.attach_counter(p + ".cookie_requests", cookie_requests);
+    registry.attach_counter(p + ".cookies_cached", cookies_cached);
+    registry.attach_counter(p + ".released_without_cookie",
+                            released_without_cookie);
+    registry.attach_counter(p + ".responses_delivered", responses_delivered);
+  }
 };
 
 class LocalGuardNode : public sim::Node {

@@ -15,6 +15,40 @@ std::string scheme_name(Scheme s) {
   return "?";
 }
 
+std::string_view scheme_token(Scheme s) {
+  switch (s) {
+    case Scheme::PassThrough: return "pass_through";
+    case Scheme::NsName: return "ns_name";
+    case Scheme::FabricatedNsIp: return "fabricated_ns_ip";
+    case Scheme::TcpRedirect: return "tcp_redirect";
+    case Scheme::ModifiedDns: return "modified_dns";
+  }
+  return "unknown";
+}
+
+void GuardStats::bind(obs::MetricsRegistry& registry,
+                      std::string_view prefix) {
+  std::string p(prefix);
+  registry.attach_counter(p + ".requests_seen", requests_seen);
+  registry.attach_counter(p + ".forwarded_inactive", forwarded_inactive);
+  registry.attach_counter(p + ".cookies_minted", cookies_minted);
+  registry.attach_counter(p + ".cookie_checks", cookie_checks);
+  registry.attach_counter(p + ".spoofs_dropped", spoofs_dropped);
+  registry.attach_counter(p + ".verified_curr_gen", verified_curr_gen);
+  registry.attach_counter(p + ".verified_prev_gen", verified_prev_gen);
+  registry.attach_counter(p + ".rl1_throttled", rl1_throttled);
+  registry.attach_counter(p + ".rl2_throttled", rl2_throttled);
+  registry.attach_counter(p + ".forwarded_to_ans", forwarded_to_ans);
+  registry.attach_counter(p + ".responses_relayed", responses_relayed);
+  registry.attach_counter(p + ".fabricated_referrals", fabricated_referrals);
+  registry.attach_counter(p + ".cookie_replies", cookie_replies);
+  registry.attach_counter(p + ".tc_redirects", tc_redirects);
+  registry.attach_counter(p + ".proxy_queries", proxy_queries);
+  registry.attach_counter(p + ".proxy_conn_throttled", proxy_conn_throttled);
+  registry.attach_counter(p + ".malformed", malformed);
+  registry.attach_counter(p + ".key_rotations", key_rotations);
+}
+
 RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
                                  Config config, sim::Node* ans)
     : sim::Node(sim, std::move(name), config.rx_queue_capacity),
@@ -42,6 +76,21 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
                              .syn_cookie_secret = config_.key_seed ^
                                                   0xabcdef0123456789ULL});
   tcp_->listen(net::kDnsPort);
+
+  obs::MetricsRegistry& registry = this->sim().metrics();
+  stats_.bind(registry, "guard");
+  drops_.bind(registry, "guard");
+  rl1_.bind_metrics(registry, "guard.rl1");
+  rl2_.bind_metrics(registry, "guard.rl2");
+  tcp_->bind_metrics(registry, "guard.tcp");
+  tcp_->set_drop_counters(&drops_);
+  for (std::size_t i = 0; i < kSchemeCount; ++i) {
+    std::string p =
+        "guard.scheme." + std::string(scheme_token(static_cast<Scheme>(i)));
+    registry.attach_counter(p + ".minted", scheme_counters_[i].minted);
+    registry.attach_counter(p + ".verified", scheme_counters_[i].verified);
+    registry.attach_counter(p + ".dropped", scheme_counters_[i].dropped);
+  }
 
   if (config_.proxy_lifetime_rtt_multiple > 0) {
     schedule_in(config_.estimated_rtt, [this] { proxy_reap_loop(); });
@@ -107,14 +156,34 @@ void RemoteGuardNode::emit_direct(sim::Node* to, net::Packet p) {
   send_direct(to, std::move(p));
 }
 
-void RemoteGuardNode::drop_spoof() {
+void RemoteGuardNode::drop_spoof(const net::Packet& packet, Scheme scheme,
+                                 obs::DropReason reason) {
   stats_.spoofs_dropped++;
+  scheme_cells(scheme).dropped++;
+  drops_.count(reason);
+  trace(obs::TraceEvent::kDrop, packet, reason);
   charge(config_.costs.drop);
+}
+
+void RemoteGuardNode::drop_other(const net::Packet& packet,
+                                 obs::DropReason reason) {
+  drops_.count(reason);
+  trace(obs::TraceEvent::kDrop, packet, reason);
+}
+
+void RemoteGuardNode::note_verified(Scheme scheme, bool used_previous) {
+  if (used_previous) {
+    stats_.verified_prev_gen++;
+  } else {
+    stats_.verified_curr_gen++;
+  }
+  scheme_cells(scheme).verified++;
 }
 
 void RemoteGuardNode::reply(const net::Packet& to, dns::Message response,
                             std::optional<net::Ipv4Address> src_override) {
   charge(config_.costs.transform);
+  trace(obs::TraceEvent::kRewrite, to);
   net::Ipv4Address src = src_override.value_or(to.dst_ip);
   emit(net::Packet::make_udp({src, net::kDnsPort}, to.src(),
                              response.encode_pooled()));
@@ -152,6 +221,7 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
       }
       if (!it->second.try_consume(now())) {
         stats_.proxy_conn_throttled++;
+        drop_other(packet, obs::DropReason::kProxyConnThrottled);
         return cost_;
       }
     }
@@ -174,6 +244,7 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
   auto m = dns::Message::decode(BytesView(packet.payload));
   if (!m || m->header.qr || m->question() == nullptr) {
     stats_.malformed++;
+    drop_other(packet, obs::DropReason::kMalformed);
     charge(config_.costs.drop);
     return cost_;
   }
@@ -185,6 +256,7 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
 void RemoteGuardNode::handle_request(const net::Packet& packet,
                                      const dns::Message& query) {
   stats_.requests_seen++;
+  trace(obs::TraceEvent::kClassify, packet);
   request_rate_.record(now());
 
   bool to_subnet = !(packet.dst_ip == config_.ans_address);
@@ -236,10 +308,12 @@ void RemoteGuardNode::do_modified_dns(const net::Packet& packet,
     // through Rate-Limiter1.
     if (!rl1_.allow(packet.src_ip, now())) {
       stats_.rl1_throttled++;
+      drop_other(packet, obs::DropReason::kRateLimited1);
       return;
     }
     charge(config_.costs.cookie);
     stats_.cookies_minted++;
+    scheme_cells(Scheme::ModifiedDns).minted++;
     dns::Message resp = dns::Message::response_to(query);
     CookieEngine::attach_txt_cookie(resp, engine_.mint(packet.src_ip),
                                     config_.cookie_ttl);
@@ -250,18 +324,24 @@ void RemoteGuardNode::do_modified_dns(const net::Packet& packet,
 
   charge(config_.costs.cookie);
   stats_.cookie_checks++;
-  if (!engine_.verify(packet.src_ip, cookie)) {
-    drop_spoof();
+  crypto::VerifyResult vr = engine_.verify_ex(packet.src_ip, cookie);
+  if (!vr.ok) {
+    drop_spoof(packet, Scheme::ModifiedDns,
+               vr.used_previous ? obs::DropReason::kStaleKey
+                                : obs::DropReason::kBadCookie);
     return;
   }
+  note_verified(Scheme::ModifiedDns, vr.used_previous);
   if (!rl2_.allow(packet.src_ip, now())) {
     stats_.rl2_throttled++;
+    drop_other(packet, obs::DropReason::kRateLimited2);
     return;
   }
   // msg 5: strip the extension; the ANS never sees cookies.
   dns::Message stripped = query;
   CookieEngine::strip_txt_cookie(stripped);
   charge(config_.costs.transform);
+  trace(obs::TraceEvent::kRewrite, packet);
   forward_to_ans(packet, std::move(stripped));
 }
 
@@ -279,22 +359,29 @@ void RemoteGuardNode::do_ns_name(const net::Packet& packet,
     if (auto parsed = CookieEngine::parse_cookie_label(q.qname.first_label())) {
       charge(config_.costs.cookie);
       stats_.cookie_checks++;
-      if (!engine_.verify_prefix(packet.src_ip, parsed->cookie_prefix)) {
-        drop_spoof();
+      crypto::VerifyResult vr =
+          engine_.verify_prefix_ex(packet.src_ip, parsed->cookie_prefix);
+      if (!vr.ok) {
+        drop_spoof(packet, Scheme::NsName,
+                   vr.used_previous ? obs::DropReason::kStaleKey
+                                    : obs::DropReason::kBadCookie);
         return;
       }
+      note_verified(Scheme::NsName, vr.used_previous);
       if (!rl2_.allow(packet.src_ip, now())) {
         stats_.rl2_throttled++;
+        drop_other(packet, obs::DropReason::kRateLimited2);
         return;
       }
       // msg 4: restore the next-level question. "PRxxxxxxxxcom" under the
       // root zone asks the root server about "com.".
       auto restored = zone.with_prefix_label(parsed->restore_label);
       if (!restored) {
-        drop_spoof();
+        drop_spoof(packet, Scheme::NsName, obs::DropReason::kLabelOverflow);
         return;
       }
       charge(config_.costs.transform);
+      trace(obs::TraceEvent::kRewrite, packet);
       PendingAction action;
       action.kind = PendingAction::Kind::RestoreNsName;
       action.fabricated_qname = q.qname;
@@ -321,10 +408,12 @@ void RemoteGuardNode::do_ns_name(const net::Packet& packet,
 
   if (!rl1_.allow(packet.src_ip, now())) {
     stats_.rl1_throttled++;
+    drop_other(packet, obs::DropReason::kRateLimited1);
     return;
   }
   charge(config_.costs.cookie);
   stats_.cookies_minted++;
+  scheme_cells(Scheme::NsName).minted++;
   auto label = engine_.make_cookie_label(packet.src_ip, next_label);
   if (!label) {  // label overflow: oversized original label; fall back
     do_tcp_redirect(packet, query);
@@ -354,13 +443,16 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
     // msg 7: the destination address is the cookie (COOKIE2).
     charge(config_.costs.cookie);
     stats_.cookie_checks++;
-    if (!engine_.verify_cookie_address(packet.src_ip, packet.dst_ip,
-                                       config_.subnet_base, config_.r_y)) {
-      drop_spoof();
+    crypto::VerifyResult vr = engine_.verify_cookie_address_ex(
+        packet.src_ip, packet.dst_ip, config_.subnet_base, config_.r_y);
+    if (!vr.ok) {
+      drop_spoof(packet, Scheme::FabricatedNsIp, obs::DropReason::kBadCookie);
       return;
     }
+    note_verified(Scheme::FabricatedNsIp, vr.used_previous);
     if (!rl2_.allow(packet.src_ip, now())) {
       stats_.rl2_throttled++;
+      drop_other(packet, obs::DropReason::kRateLimited2);
       return;
     }
     PendingAction action;
@@ -377,12 +469,18 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
     if (auto parsed = CookieEngine::parse_cookie_label(q.qname.first_label())) {
       charge(config_.costs.cookie);
       stats_.cookie_checks++;
-      if (!engine_.verify_prefix(packet.src_ip, parsed->cookie_prefix)) {
-        drop_spoof();
+      crypto::VerifyResult vr =
+          engine_.verify_prefix_ex(packet.src_ip, parsed->cookie_prefix);
+      if (!vr.ok) {
+        drop_spoof(packet, Scheme::FabricatedNsIp,
+                   vr.used_previous ? obs::DropReason::kStaleKey
+                                    : obs::DropReason::kBadCookie);
         return;
       }
+      note_verified(Scheme::FabricatedNsIp, vr.used_previous);
       if (!rl2_.allow(packet.src_ip, now())) {
         stats_.rl2_throttled++;
+        drop_other(packet, obs::DropReason::kRateLimited2);
         return;
       }
       // msg 6: answer with the second cookie as the fabricated server's
@@ -403,6 +501,7 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
   // msg 1 -> msg 2: fabricate an ANS for the queried name itself.
   if (!rl1_.allow(packet.src_ip, now())) {
     stats_.rl1_throttled++;
+    drop_other(packet, obs::DropReason::kRateLimited1);
     return;
   }
   if (q.qname.is_root()) {
@@ -411,6 +510,7 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
   }
   charge(config_.costs.cookie);
   stats_.cookies_minted++;
+  scheme_cells(Scheme::FabricatedNsIp).minted++;
   auto label = engine_.make_cookie_label(packet.src_ip,
                                          std::string(q.qname.first_label()));
   if (!label) {
@@ -435,6 +535,7 @@ void RemoteGuardNode::do_tcp_redirect(const net::Packet& packet,
                                       const dns::Message& query) {
   if (!rl1_.allow(packet.src_ip, now())) {
     stats_.rl1_throttled++;
+    drop_other(packet, obs::DropReason::kRateLimited1);
     return;
   }
   dns::Message resp = dns::Message::response_to(query);
@@ -449,6 +550,7 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
     auto query = dns::Message::decode(BytesView(msg));
     if (!query || query->header.qr || query->question() == nullptr) {
       stats_.malformed++;
+      drops_.count(obs::DropReason::kMalformed);
       continue;
     }
     auto remote = tcp_->remote_of(conn);
@@ -457,6 +559,7 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
     // apply Rate-Limiter2 like any verified requester.
     if (!rl2_.allow(remote->ip, now())) {
       stats_.rl2_throttled++;
+      drops_.count(obs::DropReason::kRateLimited2);
       continue;
     }
     stats_.proxy_queries++;
@@ -538,6 +641,7 @@ void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
         resp.answers = std::move(addresses);
       }
       charge(config_.costs.transform);
+      trace(obs::TraceEvent::kRewrite, packet);
       stats_.responses_relayed++;
       emit(net::Packet::make_udp({config_.ans_address, net::kDnsPort},
                                  packet.dst(), resp.encode_pooled()));
@@ -547,6 +651,7 @@ void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
       // msg 9 -> msg 10: the LRS asked COOKIE2, so the answer must come
       // from COOKIE2 (Fig. 2(b)).
       charge(config_.costs.transform);
+      trace(obs::TraceEvent::kRewrite, packet);
       stats_.responses_relayed++;
       net::Packet out = packet;
       out.src_ip = action.reply_src;

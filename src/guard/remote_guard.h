@@ -25,6 +25,7 @@
 // below it the guard is a plain forwarder.
 #pragma once
 
+#include <array>
 #include <memory>
 #include <optional>
 #include <string>
@@ -32,6 +33,8 @@
 
 #include "dns/message.h"
 #include "guard/cookie_engine.h"
+#include "obs/drop_reason.h"
+#include "obs/metrics.h"
 #include "ratelimit/limiters.h"
 #include "ratelimit/token_bucket.h"
 #include "sim/node.h"
@@ -48,24 +51,32 @@ enum class Scheme : std::uint8_t {
 };
 
 [[nodiscard]] std::string scheme_name(Scheme s);
+/// Snake-case metric token ("ns_name", "tcp_redirect", ...).
+[[nodiscard]] std::string_view scheme_token(Scheme s);
+inline constexpr std::size_t kSchemeCount = 5;
 
+/// Counter cells; attached to the simulator's registry under "guard.*".
 struct GuardStats {
-  std::uint64_t requests_seen = 0;
-  std::uint64_t forwarded_inactive = 0;
-  std::uint64_t cookies_minted = 0;
-  std::uint64_t cookie_checks = 0;
-  std::uint64_t spoofs_dropped = 0;
-  std::uint64_t rl1_throttled = 0;
-  std::uint64_t rl2_throttled = 0;
-  std::uint64_t forwarded_to_ans = 0;
-  std::uint64_t responses_relayed = 0;
-  std::uint64_t fabricated_referrals = 0;
-  std::uint64_t cookie_replies = 0;   // modified-DNS msg3 + fabricated-IP msg6
-  std::uint64_t tc_redirects = 0;
-  std::uint64_t proxy_queries = 0;
-  std::uint64_t proxy_conn_throttled = 0;
-  std::uint64_t malformed = 0;
-  std::uint64_t key_rotations = 0;
+  obs::Counter requests_seen;
+  obs::Counter forwarded_inactive;
+  obs::Counter cookies_minted;
+  obs::Counter cookie_checks;
+  obs::Counter spoofs_dropped;
+  obs::Counter verified_curr_gen;  // cookie verified against current key
+  obs::Counter verified_prev_gen;  // cookie verified against previous key
+  obs::Counter rl1_throttled;
+  obs::Counter rl2_throttled;
+  obs::Counter forwarded_to_ans;
+  obs::Counter responses_relayed;
+  obs::Counter fabricated_referrals;
+  obs::Counter cookie_replies;   // modified-DNS msg3 + fabricated-IP msg6
+  obs::Counter tc_redirects;
+  obs::Counter proxy_queries;
+  obs::Counter proxy_conn_throttled;
+  obs::Counter malformed;
+  obs::Counter key_rotations;
+
+  void bind(obs::MetricsRegistry& registry, std::string_view prefix);
 };
 
 class RemoteGuardNode : public sim::Node {
@@ -152,6 +163,19 @@ class RemoteGuardNode : public sim::Node {
 
   [[nodiscard]] const GuardStats& guard_stats() const { return stats_; }
   void reset_guard_stats() { stats_ = GuardStats{}; }
+  /// Per-reason drop tallies ("guard.drop.bad_cookie", ...).
+  [[nodiscard]] const obs::DropCounters& drop_counters() const {
+    return drops_;
+  }
+  /// Per-scheme mint/verify/drop tallies.
+  struct SchemeCounters {
+    obs::Counter minted;
+    obs::Counter verified;
+    obs::Counter dropped;
+  };
+  [[nodiscard]] const SchemeCounters& scheme_counters(Scheme s) const {
+    return scheme_counters_[static_cast<std::size_t>(s)];
+  }
   [[nodiscard]] const Config& config() const { return config_; }
   [[nodiscard]] CookieEngine& cookie_engine() { return engine_; }
   [[nodiscard]] bool protection_active() const;
@@ -210,7 +234,15 @@ class RemoteGuardNode : public sim::Node {
   void forward_to_ans(const net::Packet& original, dns::Message query);
   void reply(const net::Packet& to, dns::Message response,
              std::optional<net::Ipv4Address> src_override = std::nullopt);
-  void drop_spoof();
+  void drop_spoof(const net::Packet& packet, Scheme scheme,
+                  obs::DropReason reason);
+  /// Rate-limiter / proxy / malformed drops (not cookie failures).
+  void drop_other(const net::Packet& packet, obs::DropReason reason);
+  /// Books a successful cookie verification (per scheme + per generation).
+  void note_verified(Scheme scheme, bool used_previous);
+  SchemeCounters& scheme_cells(Scheme s) {
+    return scheme_counters_[static_cast<std::size_t>(s)];
+  }
   void charge(SimDuration d) { cost_ = cost_ + d; }
   void emit(net::Packet p);
   void emit_direct(sim::Node* to, net::Packet p);
@@ -240,6 +272,8 @@ class RemoteGuardNode : public sim::Node {
   std::uint16_t next_nat_port_ = 20000;
 
   GuardStats stats_;
+  std::array<SchemeCounters, kSchemeCount> scheme_counters_;
+  obs::DropCounters drops_;
   SimDuration cost_{};
   bool installed_ = false;
 };

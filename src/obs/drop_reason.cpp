@@ -1,0 +1,34 @@
+#include "obs/drop_reason.h"
+
+namespace dnsguard::obs {
+
+std::string_view drop_reason_name(DropReason r) {
+  switch (r) {
+    case DropReason::kNone: return "none";
+    case DropReason::kBadCookie: return "bad_cookie";
+    case DropReason::kStaleKey: return "stale_key";
+    case DropReason::kRateLimited1: return "rate_limited1";
+    case DropReason::kRateLimited2: return "rate_limited2";
+    case DropReason::kSynCookieFail: return "syn_cookie_fail";
+    case DropReason::kProxyConnThrottled: return "proxy_conn_throttled";
+    case DropReason::kProxyTimeout: return "proxy_timeout";
+    case DropReason::kMalformed: return "malformed";
+    case DropReason::kLabelOverflow: return "label_overflow";
+    case DropReason::kQueueFull: return "queue_full";
+    case DropReason::kNoRoute: return "no_route";
+    case DropReason::kLossInjected: return "loss_injected";
+    case DropReason::kCount: break;
+  }
+  return "?";
+}
+
+void DropCounters::bind(MetricsRegistry& registry, std::string_view prefix) {
+  for (std::size_t i = 1; i < kDropReasonCount; ++i) {
+    std::string name = std::string(prefix) + ".drop." +
+                       std::string(drop_reason_name(
+                           static_cast<DropReason>(i)));
+    registry.attach_counter(name, cells_[i]);
+  }
+}
+
+}  // namespace dnsguard::obs

@@ -19,14 +19,23 @@
 
 #include "common/time.h"
 #include "net/ipv4.h"
+#include "obs/metrics.h"
 #include "ratelimit/token_bucket.h"
 #include "ratelimit/topk.h"
 
 namespace dnsguard::ratelimit {
 
+/// Counter cells so a limiter's tallies can be attached directly to a
+/// MetricsRegistry (e.g. "guard.rl1.throttled") without copying.
 struct LimiterStats {
-  std::uint64_t allowed = 0;
-  std::uint64_t throttled = 0;
+  obs::Counter allowed;
+  obs::Counter throttled;
+
+  void bind(obs::MetricsRegistry& registry, std::string_view prefix) {
+    std::string p(prefix);
+    registry.attach_counter(p + ".allowed", allowed);
+    registry.attach_counter(p + ".throttled", throttled);
+  }
 };
 
 /// Rate-Limiter1: caps cookie responses per destination address.
@@ -53,6 +62,9 @@ class CookieResponseLimiter {
 
   [[nodiscard]] const LimiterStats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) {
+    stats_.bind(registry, prefix);
+  }
   void reset();
 
  private:
@@ -82,6 +94,9 @@ class VerifiedRequestLimiter {
 
   [[nodiscard]] const LimiterStats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) {
+    stats_.bind(registry, prefix);
+  }
   [[nodiscard]] std::size_t tracked_hosts() const { return buckets_.size(); }
   void reset() {
     buckets_.clear();

@@ -21,14 +21,16 @@ AuthoritativeServerNode::AuthoritativeServerNode(sim::Simulator& sim,
       },
       tcp::TcpStack::Options{.syn_cookies = false});
   tcp_->listen(net::kDnsPort);
+  ans_stats_.bind(this->sim().metrics(), "server.ans");
+  tcp_->bind_metrics(this->sim().metrics(), "server.ans.tcp");
 
   // Periodic reaping of dead TCP connections.
-  auto reap_loop = std::make_shared<std::function<void()>>();
-  *reap_loop = [this, reap_loop] {
-    tcp_->reap(config_.tcp_idle_timeout, SimDuration{0});
-    schedule_in(config_.tcp_idle_timeout, *reap_loop);
-  };
-  schedule_in(config_.tcp_idle_timeout, *reap_loop);
+  schedule_in(config_.tcp_idle_timeout, [this] { reap_loop(); });
+}
+
+void AuthoritativeServerNode::reap_loop() {
+  tcp_->reap(config_.tcp_idle_timeout, SimDuration{0});
+  schedule_in(config_.tcp_idle_timeout, [this] { reap_loop(); });
 }
 
 void AuthoritativeServerNode::apply_ttl_override(dns::Message& m) const {

@@ -23,12 +23,23 @@
 
 namespace dnsguard::server {
 
+/// Counter cells so an ANS node's tallies export through the simulator's
+/// MetricsRegistry ("server.ans.udp_queries", ...) without copying.
 struct AnsStats {
-  std::uint64_t udp_queries = 0;
-  std::uint64_t tcp_queries = 0;
-  std::uint64_t responses = 0;
-  std::uint64_t truncated = 0;
-  std::uint64_t malformed = 0;
+  obs::Counter udp_queries;
+  obs::Counter tcp_queries;
+  obs::Counter responses;
+  obs::Counter truncated;
+  obs::Counter malformed;
+
+  void bind(obs::MetricsRegistry& registry, std::string_view prefix) {
+    std::string p(prefix);
+    registry.attach_counter(p + ".udp_queries", udp_queries);
+    registry.attach_counter(p + ".tcp_queries", tcp_queries);
+    registry.attach_counter(p + ".responses", responses);
+    registry.attach_counter(p + ".truncated", truncated);
+    registry.attach_counter(p + ".malformed", malformed);
+  }
 };
 
 class AuthoritativeServerNode : public sim::Node {
@@ -72,6 +83,7 @@ class AuthoritativeServerNode : public sim::Node {
  private:
   void apply_ttl_override(dns::Message& m) const;
   void on_tcp_data(tcp::ConnId conn, BytesView data);
+  void reap_loop();
 
   Config config_;
   AuthoritativeEngine engine_;
@@ -94,7 +106,9 @@ class AnsSimulatorNode : public sim::Node {
   };
 
   AnsSimulatorNode(sim::Simulator& sim, std::string name, Config config)
-      : sim::Node(sim, std::move(name)), config_(config) {}
+      : sim::Node(sim, std::move(name)), config_(config) {
+    ans_stats_.bind(sim.metrics(), "server.ans_sim");
+  }
 
   [[nodiscard]] const AnsStats& ans_stats() const { return ans_stats_; }
   void reset_ans_stats() { ans_stats_ = AnsStats{}; }

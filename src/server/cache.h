@@ -15,15 +15,17 @@
 #include "common/time.h"
 #include "dns/message.h"
 #include "dns/records.h"
+#include "obs/metrics.h"
 
 namespace dnsguard::server {
 
 class RrCache {
  public:
+  /// Counter cells: attachable to a MetricsRegistry via bind_metrics().
   struct Stats {
-    std::uint64_t hits = 0;
-    std::uint64_t misses = 0;
-    std::uint64_t inserts = 0;
+    obs::Counter hits;
+    obs::Counter misses;
+    obs::Counter inserts;
   };
 
   /// Caches one record set under (name, type). TTL 0 records are not
@@ -59,6 +61,14 @@ class RrCache {
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t negative_size() const { return negative_.size(); }
   [[nodiscard]] const Stats& stats() const { return stats_; }
+
+  /// Publishes hit/miss/insert counters as "<prefix>.hits" etc.
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) {
+    std::string p(prefix);
+    registry.attach_counter(p + ".hits", stats_.hits);
+    registry.attach_counter(p + ".misses", stats_.misses);
+    registry.attach_counter(p + ".inserts", stats_.inserts);
+  }
 
  private:
   struct Key {

@@ -23,6 +23,9 @@ RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
               },
       },
       tcp::TcpStack::Options{});
+  stats_.bind(this->sim().metrics(), "server.lrs");
+  cache_.bind_metrics(this->sim().metrics(), "server.cache");
+  tcp_->bind_metrics(this->sim().metrics(), "server.lrs.tcp");
 }
 
 void RecursiveResolverNode::resolve(const dns::DomainName& qname,
@@ -440,15 +443,17 @@ void RecursiveResolverNode::start_tcp_query(Task& task,
   // is not possible post-construction; instead we piggyback: try now (it
   // will fail silently), and also schedule a retry after the handshake
   // RTT. Robust because send_data() is a no-op until ESTABLISHED.
-  auto try_send = std::make_shared<std::function<void(int)>>();
-  *try_send = [this, conn, framed, try_send](int attempts_left) {
-    if (tcp_->send_data(conn, BytesView(framed))) return;
-    if (attempts_left <= 0) return;
-    schedule_in(milliseconds(1), [try_send, attempts_left] {
-      (*try_send)(attempts_left - 1);
-    });
-  };
-  (*try_send)(100);
+  tcp_try_send(conn, std::move(framed), 100);
+}
+
+void RecursiveResolverNode::tcp_try_send(tcp::ConnId conn, Bytes framed,
+                                         int attempts_left) {
+  if (tcp_->send_data(conn, BytesView(framed))) return;
+  if (attempts_left <= 0) return;
+  schedule_in(milliseconds(1),
+              [this, conn, framed = std::move(framed), attempts_left] {
+                tcp_try_send(conn, framed, attempts_left - 1);
+              });
 }
 
 void RecursiveResolverNode::on_tcp_data(tcp::ConnId conn, BytesView data) {

@@ -27,17 +27,32 @@
 
 namespace dnsguard::server {
 
+/// Counter cells; attached to the simulator's registry as "server.lrs.*".
 struct ResolverStats {
-  std::uint64_t client_queries = 0;
-  std::uint64_t client_responses = 0;
-  std::uint64_t iterative_queries = 0;
-  std::uint64_t retransmissions = 0;
-  std::uint64_t tcp_fallbacks = 0;
-  std::uint64_t referrals_followed = 0;
-  std::uint64_t glue_subtasks = 0;
-  std::uint64_t cname_chases = 0;
-  std::uint64_t failures = 0;
-  std::uint64_t completed = 0;
+  obs::Counter client_queries;
+  obs::Counter client_responses;
+  obs::Counter iterative_queries;
+  obs::Counter retransmissions;
+  obs::Counter tcp_fallbacks;
+  obs::Counter referrals_followed;
+  obs::Counter glue_subtasks;
+  obs::Counter cname_chases;
+  obs::Counter failures;
+  obs::Counter completed;
+
+  void bind(obs::MetricsRegistry& registry, std::string_view prefix) {
+    std::string p(prefix);
+    registry.attach_counter(p + ".client_queries", client_queries);
+    registry.attach_counter(p + ".client_responses", client_responses);
+    registry.attach_counter(p + ".iterative_queries", iterative_queries);
+    registry.attach_counter(p + ".retransmissions", retransmissions);
+    registry.attach_counter(p + ".tcp_fallbacks", tcp_fallbacks);
+    registry.attach_counter(p + ".referrals_followed", referrals_followed);
+    registry.attach_counter(p + ".glue_subtasks", glue_subtasks);
+    registry.attach_counter(p + ".cname_chases", cname_chases);
+    registry.attach_counter(p + ".failures", failures);
+    registry.attach_counter(p + ".completed", completed);
+  }
 };
 
 class RecursiveResolverNode : public sim::Node {
@@ -148,6 +163,9 @@ class RecursiveResolverNode : public sim::Node {
 
   // --- TCP fallback ---
   void start_tcp_query(Task& task, net::Ipv4Address server);
+  /// Retries send_data until the handshake completes (no-op before
+  /// ESTABLISHED) or attempts run out.
+  void tcp_try_send(tcp::ConnId conn, Bytes framed, int attempts_left);
   void on_tcp_data(tcp::ConnId conn, BytesView data);
 
   Config config_;

@@ -2,14 +2,28 @@
 
 namespace dnsguard::sim {
 
+void Node::trace(obs::TraceEvent event, const net::Packet& packet,
+                 obs::DropReason reason) {
+  std::uint16_t info = 0;
+  if (packet.payload.size() >= 2) {
+    info = static_cast<std::uint16_t>(
+        (static_cast<std::uint16_t>(packet.payload[0]) << 8) |
+        packet.payload[1]);
+  }
+  trace_.record(now(), event, packet.src_ip.value(), packet.dst_ip.value(),
+                info, reason);
+}
+
 void Node::deliver(net::Packet packet) {
   if (rx_queue_.size() >= rx_capacity_) {
     stats_.dropped_queue_full++;
     sim_.mutable_stats().packets_dropped_queue_full++;
+    trace(obs::TraceEvent::kQueueDrop, packet, obs::DropReason::kQueueFull);
     return;
   }
   stats_.rx++;
   sim_.mutable_stats().packets_delivered++;
+  trace(obs::TraceEvent::kRx, packet);
   rx_queue_.push_back(std::move(packet));
   maybe_schedule_service();
 }
@@ -45,6 +59,7 @@ void Node::service_one() {
     sim_.schedule_at(busy_until_, [this, sends = std::move(sends)]() mutable {
       for (auto& s : sends) {
         stats_.tx++;
+        trace(obs::TraceEvent::kTx, s.packet);
         if (s.direct_to != nullptr) {
           sim_.send_direct(this, s.direct_to, std::move(s.packet));
         } else {
@@ -64,6 +79,7 @@ void Node::send(net::Packet packet) {
     // Sends from timer callbacks leave immediately (the timer already
     // accounted for any think-time).
     stats_.tx++;
+    trace(obs::TraceEvent::kTx, packet);
     sim_.send_packet(this, std::move(packet));
   }
 }
@@ -73,6 +89,7 @@ void Node::send_direct(Node* to, net::Packet packet) {
     outbox_.push_back(PendingSend{to, std::move(packet)});
   } else {
     stats_.tx++;
+    trace(obs::TraceEvent::kTx, packet);
     sim_.send_direct(this, to, std::move(packet));
   }
 }

@@ -18,6 +18,7 @@
 
 #include "common/time.h"
 #include "net/packet.h"
+#include "obs/trace.h"
 #include "sim/simulator.h"
 
 namespace dnsguard::sim {
@@ -25,9 +26,9 @@ namespace dnsguard::sim {
 /// Per-node counters. `busy` accumulates CPU service time; utilization over
 /// a measurement window is busy_delta / window.
 struct NodeStats {
-  std::uint64_t rx = 0;
-  std::uint64_t tx = 0;
-  std::uint64_t dropped_queue_full = 0;
+  obs::Counter rx;
+  obs::Counter tx;
+  obs::Counter dropped_queue_full;
   SimDuration busy{};
 };
 
@@ -59,6 +60,12 @@ class Node {
 
   [[nodiscard]] std::size_t rx_queue_depth() const { return rx_queue_.size(); }
 
+  /// The node's packet-lifecycle trace ring (rx -> classify -> rewrite /
+  /// drop -> tx). Bounded, always on, dumpable on test failure:
+  ///   EXPECT_EQ(...) << node.trace_ring().dump(node.name());
+  [[nodiscard]] const obs::TraceRing& trace_ring() const { return trace_; }
+  obs::TraceRing& mutable_trace_ring() { return trace_; }
+
  protected:
   /// Handles one packet. Implementations do their protocol work, emit
   /// packets via `send()` / `send_direct()`, and return the CPU time the
@@ -78,6 +85,11 @@ class Node {
 
   [[nodiscard]] SimTime now() const { return sim_.now(); }
 
+  /// Records a lifecycle event for `packet` in the trace ring. `info` is
+  /// the DNS id when the payload carries one (first two payload bytes).
+  void trace(obs::TraceEvent event, const net::Packet& packet,
+             obs::DropReason reason = obs::DropReason::kNone);
+
  private:
   struct PendingSend {
     Node* direct_to;  // nullptr => routed send
@@ -96,6 +108,7 @@ class Node {
   bool service_scheduled_ = false;
   bool in_process_ = false;
   NodeStats stats_;
+  obs::TraceRing trace_{128};
 };
 
 }  // namespace dnsguard::sim

@@ -19,15 +19,34 @@ std::uint64_t pair_key(const Node* a, const Node* b) {
 
 }  // namespace
 
+Simulator::Simulator() {
+  metrics_.attach_counter("sim.events_dispatched", events_dispatched_);
+  metrics_.attach_gauge("sim.queue_depth", queue_depth_);
+  metrics_.attach_counter("sim.net.packets_sent", stats_.packets_sent);
+  metrics_.attach_counter("sim.net.packets_delivered",
+                          stats_.packets_delivered);
+  metrics_.attach_counter("sim.net.packets_dropped_no_route",
+                          stats_.packets_dropped_no_route);
+  metrics_.attach_counter("sim.net.packets_dropped_queue_full",
+                          stats_.packets_dropped_queue_full);
+  metrics_.attach_counter("sim.net.packets_dropped_loss",
+                          stats_.packets_dropped_loss);
+  metrics_.attach_counter("sim.net.bytes_sent", stats_.bytes_sent);
+}
+
 void Simulator::run_until(SimTime until) {
   while (!queue_.empty() && queue_.next_time() <= until) {
     queue_.run_next(now_);
+    ++events_dispatched_;
+    queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
   }
   if (now_ < until) now_ = until;
 }
 
 void Simulator::run_all() {
   while (queue_.run_next(now_)) {
+    ++events_dispatched_;
+    queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
   }
 }
 

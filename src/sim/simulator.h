@@ -23,6 +23,7 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "net/packet.h"
+#include "obs/metrics.h"
 #include "sim/event_queue.h"
 
 namespace dnsguard::sim {
@@ -30,19 +31,21 @@ namespace dnsguard::sim {
 class Node;
 
 /// Global packet-conservation counters (also used by property tests:
-/// sent == delivered + dropped at all times once the queue drains).
+/// sent == delivered + dropped at all times once the queue drains). The
+/// cells are obs::Counter so the simulator's registry exports them
+/// without a copy; they still read and increment like plain uint64s.
 struct NetworkStats {
-  std::uint64_t packets_sent = 0;
-  std::uint64_t packets_delivered = 0;
-  std::uint64_t packets_dropped_no_route = 0;
-  std::uint64_t packets_dropped_queue_full = 0;
-  std::uint64_t packets_dropped_loss = 0;  // injected in-flight loss
-  std::uint64_t bytes_sent = 0;
+  obs::Counter packets_sent;
+  obs::Counter packets_delivered;
+  obs::Counter packets_dropped_no_route;
+  obs::Counter packets_dropped_queue_full;
+  obs::Counter packets_dropped_loss;  // injected in-flight loss
+  obs::Counter bytes_sent;
 };
 
 class Simulator {
  public:
-  Simulator() = default;
+  Simulator();
   Simulator(const Simulator&) = delete;
   Simulator& operator=(const Simulator&) = delete;
 
@@ -117,6 +120,13 @@ class Simulator {
   [[nodiscard]] const NetworkStats& stats() const { return stats_; }
   NetworkStats& mutable_stats() { return stats_; }
 
+  /// The simulation-wide metric directory. Every node attaches its stats
+  /// cells here at construction; benches snapshot it into BENCH_*.json.
+  [[nodiscard]] obs::MetricsRegistry& metrics() { return metrics_; }
+  [[nodiscard]] const obs::MetricsRegistry& metrics() const {
+    return metrics_;
+  }
+
   /// Observation tap: invoked for every packet accepted into the network
   /// (after routing/gateway resolution, before propagation delay). Used
   /// by tests and the walkthrough example; keep it cheap or unset.
@@ -140,6 +150,9 @@ class Simulator {
 
   SimTime now_{};
   EventQueue queue_;
+  obs::MetricsRegistry metrics_;
+  obs::Counter events_dispatched_;
+  obs::Gauge queue_depth_;
   std::vector<Node*> nodes_;
   std::vector<Route> routes_;  // kept sorted by descending prefix_len
   std::unordered_map<Node*, Node*> gateways_;

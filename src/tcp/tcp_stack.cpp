@@ -29,6 +29,28 @@ TcpStack::TcpStack(SendFn send, ClockFn clock, Callbacks callbacks,
 
 void TcpStack::listen(std::uint16_t port) { listen_ports_.push_back(port); }
 
+void TcpStack::bind_metrics(obs::MetricsRegistry& registry,
+                            std::string_view prefix) {
+  std::string p(prefix);
+  registry.attach_counter(p + ".syns_received", stats_.syns_received);
+  registry.attach_counter(p + ".syn_cookies_sent", stats_.syn_cookies_sent);
+  registry.attach_counter(p + ".syn_cookies_accepted",
+                          stats_.syn_cookies_accepted);
+  registry.attach_counter(p + ".syn_cookies_rejected",
+                          stats_.syn_cookies_rejected);
+  registry.attach_counter(p + ".connections_established",
+                          stats_.connections_established);
+  registry.attach_counter(p + ".connections_closed",
+                          stats_.connections_closed);
+  registry.attach_counter(p + ".connections_aborted",
+                          stats_.connections_aborted);
+  registry.attach_counter(p + ".connections_reaped",
+                          stats_.connections_reaped);
+  registry.attach_counter(p + ".resets_sent", stats_.resets_sent);
+  registry.attach_counter(p + ".segments_in", stats_.segments_in);
+  registry.attach_counter(p + ".segments_out", stats_.segments_out);
+}
+
 std::uint32_t TcpStack::next_isn() {
   isn_counter_ += 64013;  // arbitrary odd stride: distinct, non-sequential
   return isn_counter_;
@@ -192,6 +214,7 @@ bool TcpStack::handle_packet(const net::Packet& packet) {
         return true;
       }
       stats_.syn_cookies_rejected++;
+      if (drops_ != nullptr) drops_->count(obs::DropReason::kSynCookieFail);
       send_rst(packet);
       return false;
     }
@@ -290,6 +313,10 @@ std::size_t TcpStack::reap(SimDuration max_idle, SimDuration max_lifetime) {
     if (idle_out || life_out) victims.push_back(c.id);
   }
   for (ConnId id : victims) abort(id);
+  stats_.connections_reaped += victims.size();
+  if (drops_ != nullptr && !victims.empty()) {
+    drops_->count(obs::DropReason::kProxyTimeout, victims.size());
+  }
   return victims.size();
 }
 

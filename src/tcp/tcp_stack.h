@@ -24,6 +24,8 @@
 #include "common/bytes.h"
 #include "common/time.h"
 #include "net/packet.h"
+#include "obs/drop_reason.h"
+#include "obs/metrics.h"
 #include "tcp/syn_cookie.h"
 
 namespace dnsguard::tcp {
@@ -42,17 +44,21 @@ enum class TcpState : std::uint8_t {
 
 [[nodiscard]] std::string tcp_state_name(TcpState s);
 
+/// The stats fields are obs::Counter cells: they read and increment like
+/// plain uint64s, and bind_metrics() publishes them in a MetricsRegistry
+/// without copying.
 struct TcpStackStats {
-  std::uint64_t syns_received = 0;
-  std::uint64_t syn_cookies_sent = 0;
-  std::uint64_t syn_cookies_accepted = 0;
-  std::uint64_t syn_cookies_rejected = 0;
-  std::uint64_t connections_established = 0;
-  std::uint64_t connections_closed = 0;
-  std::uint64_t connections_aborted = 0;
-  std::uint64_t resets_sent = 0;
-  std::uint64_t segments_in = 0;
-  std::uint64_t segments_out = 0;
+  obs::Counter syns_received;
+  obs::Counter syn_cookies_sent;
+  obs::Counter syn_cookies_accepted;
+  obs::Counter syn_cookies_rejected;
+  obs::Counter connections_established;
+  obs::Counter connections_closed;
+  obs::Counter connections_aborted;
+  obs::Counter connections_reaped;
+  obs::Counter resets_sent;
+  obs::Counter segments_in;
+  obs::Counter segments_out;
 };
 
 class TcpStack {
@@ -104,6 +110,14 @@ class TcpStack {
 
   [[nodiscard]] std::size_t connection_count() const { return conns_.size(); }
   [[nodiscard]] const TcpStackStats& stats() const { return stats_; }
+
+  /// Publishes every stats cell under "<prefix>.<field>" (e.g.
+  /// "guard.tcp.syn_cookies_rejected").
+  void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix);
+
+  /// Optional drop-reason sink: rejected SYN-cookie ACKs count as
+  /// kSynCookieFail, reaped monitored connections as kProxyTimeout.
+  void set_drop_counters(obs::DropCounters* drops) { drops_ = drops; }
 
   struct ConnectionInfo {
     ConnId id;
@@ -164,6 +178,7 @@ class TcpStack {
   ConnId next_id_ = 1;
   std::uint32_t isn_counter_ = 0x1000;
   TcpStackStats stats_;
+  obs::DropCounters* drops_ = nullptr;
 };
 
 /// DNS-over-TCP framing (RFC 1035 §4.2.2): each message is preceded by a

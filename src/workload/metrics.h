@@ -8,6 +8,7 @@
 #include <vector>
 
 #include "common/time.h"
+#include "obs/metrics.h"
 #include "sim/simulator.h"
 
 namespace dnsguard::workload {
@@ -54,18 +55,26 @@ class RateDriver {
 };
 
 /// Counts events within a measurement window; throughput = count/window.
+/// The tally is an obs::Counter cell so a bench can publish it in the
+/// simulator's registry (attach()) and have it appear in BENCH_*.json.
 class ThroughputMeter {
  public:
   void record(std::uint64_t n = 1) { count_ += n; }
-  void reset() { count_ = 0; }
-  [[nodiscard]] std::uint64_t count() const { return count_; }
+  void reset() { count_.reset(); }
+  [[nodiscard]] std::uint64_t count() const { return count_.value(); }
   [[nodiscard]] double per_second(SimDuration window) const {
-    return window.ns > 0 ? static_cast<double>(count_) / window.seconds()
-                         : 0.0;
+    return window.ns > 0
+               ? static_cast<double>(count_.value()) / window.seconds()
+               : 0.0;
+  }
+
+  /// Registers the window tally under `name`.
+  void attach(obs::MetricsRegistry& registry, std::string_view name) {
+    registry.attach_counter(name, count_);
   }
 
  private:
-  std::uint64_t count_ = 0;
+  obs::Counter count_;
 };
 
 }  // namespace dnsguard::workload

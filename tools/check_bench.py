@@ -1,0 +1,172 @@
+#!/usr/bin/env python3
+"""Benchmark regression gate.
+
+Compares freshly produced BENCH_*.json files against committed baselines
+and fails (exit 1) when any metric regresses by more than the tolerance
+(default 10%). Used by the CI bench-smoke job; the benches must run in the
+same mode as the baselines were recorded in (DNSGUARD_BENCH_QUICK=1), where
+virtual-time results are bit-for-bit deterministic.
+
+Direction heuristics: metrics are higher-is-better (throughput,
+events/sec) unless the key matches a lower-is-better pattern (latency,
+cpu, p50/p90/p99). Only the "metrics" section gates; "counters" is
+informational (absolute counts legitimately shift as code evolves).
+
+Usage:
+  check_bench.py --baseline bench/baselines --current <dir> [--tolerance 0.1]
+  check_bench.py --self-test
+"""
+
+import argparse
+import fnmatch
+import json
+import os
+import sys
+
+LOWER_IS_BETTER_PATTERNS = [
+    "*latency*",
+    "*_ns",
+    "*_us",
+    "*_ms",
+    "*p50*",
+    "*p90*",
+    "*p99*",
+    "*cpu*",
+]
+
+
+def lower_is_better(key):
+    k = key.lower()
+    return any(fnmatch.fnmatch(k, pat) for pat in LOWER_IS_BETTER_PATTERNS)
+
+
+def compare_metrics(name, baseline, current, tolerance):
+    """Returns a list of regression description strings (empty = pass)."""
+    failures = []
+    for key, base_value in baseline.items():
+        if not isinstance(base_value, (int, float)) or isinstance(
+            base_value, bool
+        ):
+            continue
+        if key not in current:
+            failures.append(f"{name}: metric '{key}' missing from current run")
+            continue
+        cur_value = current[key]
+        if not isinstance(cur_value, (int, float)) or isinstance(
+            cur_value, bool
+        ):
+            failures.append(f"{name}: metric '{key}' is not numeric")
+            continue
+        if base_value == 0:
+            continue  # no meaningful relative comparison
+        change = (cur_value - base_value) / abs(base_value)
+        if lower_is_better(key):
+            regressed = change > tolerance
+            direction = "increased"
+        else:
+            regressed = change < -tolerance
+            direction = "decreased"
+        if regressed:
+            failures.append(
+                f"{name}: '{key}' {direction} beyond {tolerance:.0%} "
+                f"tolerance: baseline {base_value:g} -> current {cur_value:g} "
+                f"({change:+.1%})"
+            )
+    return failures
+
+
+def load_bench(path):
+    with open(path, "r", encoding="utf-8") as f:
+        doc = json.load(f)
+    return doc.get("metrics", {})
+
+
+def run_check(baseline_dir, current_dir, tolerance):
+    baselines = sorted(
+        f
+        for f in os.listdir(baseline_dir)
+        if f.startswith("BENCH_") and f.endswith(".json")
+    )
+    if not baselines:
+        print(f"error: no BENCH_*.json baselines in {baseline_dir}")
+        return 2
+
+    failures = []
+    compared = 0
+    for fname in baselines:
+        current_path = os.path.join(current_dir, fname)
+        if not os.path.exists(current_path):
+            # A baseline without a fresh result means the bench did not run
+            # in this job; skip rather than fail so the gate set can be a
+            # subset of the baseline set.
+            print(f"skip: {fname} (not produced by this run)")
+            continue
+        base = load_bench(os.path.join(baseline_dir, fname))
+        cur = load_bench(current_path)
+        failures.extend(compare_metrics(fname, base, cur, tolerance))
+        compared += 1
+        print(f"compared: {fname} ({len(base)} metrics)")
+
+    if compared == 0:
+        print("error: no benches compared (nothing produced?)")
+        return 2
+    if failures:
+        print(f"\nFAIL: {len(failures)} regression(s):")
+        for f in failures:
+            print(f"  {f}")
+        return 1
+    print(f"\nOK: {compared} bench(es) within {tolerance:.0%} tolerance")
+    return 0
+
+
+def self_test():
+    base = {"throughput_rps": 1000.0, "mean_latency_us": 50.0, "cpu": 0.5}
+
+    # Unchanged results pass.
+    assert compare_metrics("t", base, dict(base), 0.10) == []
+    # Throughput 20% down: regression.
+    worse = dict(base, throughput_rps=800.0)
+    assert len(compare_metrics("t", base, worse, 0.10)) == 1
+    # Throughput 5% down: inside tolerance.
+    ok = dict(base, throughput_rps=950.0)
+    assert compare_metrics("t", base, ok, 0.10) == []
+    # Throughput up: improvement, never a failure.
+    better = dict(base, throughput_rps=2000.0)
+    assert compare_metrics("t", base, better, 0.10) == []
+    # Latency 20% up: regression (lower-is-better heuristic).
+    slow = dict(base, mean_latency_us=60.0)
+    assert len(compare_metrics("t", base, slow, 0.10)) == 1
+    # Latency down: improvement.
+    fast = dict(base, mean_latency_us=10.0)
+    assert compare_metrics("t", base, fast, 0.10) == []
+    # CPU 20% up: regression.
+    hot = dict(base, cpu=0.6)
+    assert len(compare_metrics("t", base, hot, 0.10)) == 1
+    # Missing metric: failure.
+    missing = {k: v for k, v in base.items() if k != "cpu"}
+    assert len(compare_metrics("t", base, missing, 0.10)) == 1
+    # Synthetic >10% regression across the whole-file API.
+    assert len(compare_metrics("t", {"rps": 100}, {"rps": 89}, 0.10)) == 1
+    assert compare_metrics("t", {"rps": 100}, {"rps": 91}, 0.10) == []
+
+    print("self-test: OK")
+    return 0
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--baseline", help="directory with baseline JSONs")
+    parser.add_argument("--current", help="directory with fresh JSONs")
+    parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument("--self-test", action="store_true")
+    args = parser.parse_args()
+
+    if args.self_test:
+        return self_test()
+    if not args.baseline or not args.current:
+        parser.error("--baseline and --current are required (or --self-test)")
+    return run_check(args.baseline, args.current, args.tolerance)
+
+
+if __name__ == "__main__":
+    sys.exit(main())
