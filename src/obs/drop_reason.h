@@ -28,6 +28,7 @@ enum class DropReason : std::uint8_t {
   kQueueFull,         // receive-queue overflow at a node
   kNoRoute,           // network had no route for the destination
   kLossInjected,      // simulator-injected in-flight loss
+  kStateTableFull,    // bounded per-source table refused/recycled an entry
   kCount
 };
 

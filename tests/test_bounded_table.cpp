@@ -1,0 +1,262 @@
+// BoundedTable unit suite: LRU order, TTL/idle reaping, capacity
+// enforcement, eviction accounting, pointer stability, index integrity
+// under churn (the properties every per-source table in the system now
+// depends on).
+#include "common/bounded_table.h"
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <unordered_map>
+#include <unordered_set>
+#include <vector>
+
+#include "obs/metrics.h"
+
+namespace dnsguard::common {
+namespace {
+
+using Table = BoundedTable<std::uint32_t, std::string>;
+
+SimTime at(std::int64_t ms) { return SimTime{} + milliseconds(ms); }
+
+TEST(BoundedTable, InsertFindErase) {
+  Table t({.capacity = 8});
+  auto r = t.try_emplace(1, at(0), "one");
+  ASSERT_NE(r.value, nullptr);
+  EXPECT_TRUE(r.inserted);
+  EXPECT_EQ(*r.value, "one");
+
+  auto again = t.try_emplace(1, at(1), "uno");
+  EXPECT_FALSE(again.inserted);
+  EXPECT_EQ(*again.value, "one") << "existing entry must not be replaced";
+
+  EXPECT_EQ(*t.find(1, at(2)), "one");
+  EXPECT_EQ(t.find(2, at(2)), nullptr);
+  EXPECT_EQ(t.size(), 1u);
+
+  EXPECT_TRUE(t.erase(1));
+  EXPECT_FALSE(t.erase(1));
+  EXPECT_EQ(t.find(1, at(3)), nullptr);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(BoundedTable, CapacityEvictsLeastRecentlyUsed) {
+  Table t({.capacity = 3});
+  t.try_emplace(1, at(0), "a");
+  t.try_emplace(2, at(1), "b");
+  t.try_emplace(3, at(2), "c");
+  ASSERT_NE(t.lru_key(), nullptr);
+  EXPECT_EQ(*t.lru_key(), 1u);
+
+  // Touching 1 makes 2 the LRU victim.
+  EXPECT_NE(t.find(1, at(3)), nullptr);
+  t.try_emplace(4, at(4), "d");
+  EXPECT_EQ(t.size(), 3u);
+  EXPECT_EQ(t.find(2, at(5)), nullptr) << "LRU entry should have been evicted";
+  EXPECT_NE(t.find(1, at(5)), nullptr);
+  EXPECT_NE(t.find(3, at(5)), nullptr);
+  EXPECT_NE(t.find(4, at(5)), nullptr);
+  EXPECT_EQ(t.stats().evicted_capacity.value(), 1u);
+}
+
+TEST(BoundedTable, RefusalModeRejectsAtCap) {
+  Table t({.capacity = 2, .evict_lru_when_full = false});
+  EXPECT_TRUE(t.try_emplace(1, at(0), "a").inserted);
+  EXPECT_TRUE(t.try_emplace(2, at(0), "b").inserted);
+  auto r = t.try_emplace(3, at(0), "c");
+  EXPECT_EQ(r.value, nullptr);
+  EXPECT_FALSE(r.inserted);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_EQ(t.stats().insert_refused.value(), 1u);
+  // Existing keys still resolve at cap.
+  EXPECT_FALSE(t.try_emplace(1, at(1), "x").inserted);
+}
+
+TEST(BoundedTable, TtlExpiryOnContactAndReap) {
+  Table t({.capacity = 8, .ttl = milliseconds(10)});
+  t.try_emplace(1, at(0), "a");
+  t.try_emplace(2, at(5), "b");
+
+  EXPECT_NE(t.find(1, at(9)), nullptr);
+  EXPECT_EQ(t.find(1, at(10)), nullptr) << "TTL deadline is inclusive";
+  EXPECT_EQ(t.stats().expired_ttl.value(), 1u);
+
+  // Entry 2 expires at 15ms; a full reap at 20ms clears it.
+  EXPECT_EQ(t.reap(at(20)), 1u);
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.stats().expired_ttl.value(), 2u);
+}
+
+TEST(BoundedTable, IdleTimeoutRunsFromLastTouch) {
+  Table t({.capacity = 8, .idle_timeout = milliseconds(10)});
+  t.try_emplace(1, at(0), "a");
+  EXPECT_NE(t.find(1, at(8)), nullptr);   // touch resets the idle clock
+  EXPECT_NE(t.find(1, at(17)), nullptr);  // 9ms idle: still alive
+  EXPECT_EQ(t.find(1, at(27)), nullptr);  // 10ms idle: expired
+  EXPECT_EQ(t.stats().expired_idle.value(), 1u);
+}
+
+TEST(BoundedTable, PerEntryExpiryOverride) {
+  Table t({.capacity = 8});  // no table-wide TTL
+  t.try_emplace(1, at(0), "a");
+  EXPECT_TRUE(t.set_expiry(1, at(50)));
+  EXPECT_FALSE(t.set_expiry(9, at(50)));
+  EXPECT_NE(t.find(1, at(49)), nullptr);
+  EXPECT_EQ(t.find(1, at(50)), nullptr);
+  EXPECT_EQ(t.stats().expired_ttl.value(), 1u);
+}
+
+TEST(BoundedTable, PeekDoesNotTouchLru) {
+  Table t({.capacity = 2});
+  t.try_emplace(1, at(0), "a");
+  t.try_emplace(2, at(1), "b");
+  EXPECT_NE(t.peek(1, at(2)), nullptr);  // no LRU refresh
+  t.try_emplace(3, at(3), "c");
+  EXPECT_EQ(t.peek(1, at(4)), nullptr) << "peek must not have protected 1";
+  EXPECT_NE(t.peek(2, at(4)), nullptr);
+}
+
+TEST(BoundedTable, EvictionCallbackReportsReasonNotOnErase) {
+  struct Evt {
+    std::uint32_t key;
+    std::string value;
+    EvictReason reason;
+  };
+  std::vector<Evt> events;
+  Table t({.capacity = 2, .ttl = milliseconds(10)});
+  t.set_evict_callback([&](const std::uint32_t& k, std::string& v,
+                           EvictReason r) { events.push_back({k, v, r}); });
+
+  t.try_emplace(1, at(0), "a");
+  t.try_emplace(2, at(1), "b");
+  t.try_emplace(3, at(2), "c");  // capacity-evicts 1
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].key, 1u);
+  EXPECT_EQ(events[0].value, "a");
+  EXPECT_EQ(events[0].reason, EvictReason::kCapacity);
+
+  t.reap(at(20));  // TTL-evicts 2 and 3
+  ASSERT_EQ(events.size(), 3u);
+  EXPECT_EQ(events[1].reason, EvictReason::kTtl);
+  EXPECT_EQ(events[2].reason, EvictReason::kTtl);
+
+  t.try_emplace(4, at(21), "d");
+  t.erase(4);  // voluntary: no callback
+  t.try_emplace(5, at(22), "e");
+  t.clear();   // voluntary: no callback
+  EXPECT_EQ(events.size(), 3u);
+}
+
+TEST(BoundedTable, ValuePointersStableAcrossChurn) {
+  Table t({.capacity = 64});
+  auto* first = t.try_emplace(0, at(0), "zero").value;
+  std::string* pinned = first;
+  for (std::uint32_t k = 1; k < 64; ++k) t.try_emplace(k, at(k), "v");
+  for (std::uint32_t k = 1; k < 64; k += 2) t.erase(k);
+  for (std::uint32_t k = 100; k < 130; ++k) t.try_emplace(k, at(k), "w");
+  EXPECT_EQ(pinned, t.find(0, at(200))) << "slot addresses must be stable";
+  EXPECT_EQ(*pinned, "zero");
+}
+
+TEST(BoundedTable, IndexIntegrityUnderHeavyChurn) {
+  // Dense small keys + a power-of-two-mask index is the worst case for
+  // probe clustering and backward-shift deletion; mirror against a
+  // std::unordered_map oracle.
+  BoundedTable<std::uint16_t, std::uint32_t> t({.capacity = 512});
+  std::unordered_map<std::uint16_t, std::uint32_t> oracle;
+  std::uint64_t rng = 0x123456789abcdefULL;
+  auto next = [&rng]() {
+    rng ^= rng << 13;
+    rng ^= rng >> 7;
+    rng ^= rng << 17;
+    return rng;
+  };
+  for (int i = 0; i < 20000; ++i) {
+    const auto key = static_cast<std::uint16_t>(next() % 700);
+    if (next() % 3 == 0) {
+      EXPECT_EQ(t.erase(key), oracle.erase(key) > 0);
+    } else if (oracle.size() < 512 || oracle.count(key) != 0) {
+      auto r = t.try_emplace(key, at(i), static_cast<std::uint32_t>(i));
+      auto [it, inserted] = oracle.try_emplace(key,
+                                               static_cast<std::uint32_t>(i));
+      ASSERT_NE(r.value, nullptr);
+      EXPECT_EQ(r.inserted, inserted);
+      EXPECT_EQ(*r.value, it->second);
+    }
+    ASSERT_EQ(t.size(), oracle.size());
+  }
+  for (const auto& [k, v] : oracle) {
+    auto* found = t.find(k, at(99999));
+    ASSERT_NE(found, nullptr);
+    EXPECT_EQ(*found, v);
+  }
+}
+
+TEST(BoundedTable, IncrementalReapCoversTableAcrossCalls) {
+  Table t({.capacity = 128, .ttl = milliseconds(1)});
+  for (std::uint32_t k = 0; k < 100; ++k) t.try_emplace(k, at(0), "x");
+  std::size_t total = 0;
+  for (int i = 0; i < 10; ++i) total += t.reap(at(100), 10);
+  EXPECT_EQ(total, 100u);
+  EXPECT_TRUE(t.empty());
+}
+
+TEST(BoundedTable, EraseIfAndForEach) {
+  Table t({.capacity = 16});
+  for (std::uint32_t k = 0; k < 10; ++k) {
+    t.try_emplace(k, at(0), k % 2 ? "odd" : "even");
+  }
+  EXPECT_EQ(t.erase_if([](const std::uint32_t&, const std::string& v) {
+              return v == "odd";
+            }),
+            5u);
+  std::unordered_set<std::uint32_t> seen;
+  t.for_each([&](const std::uint32_t& k, std::string& v) {
+    EXPECT_EQ(v, "even");
+    seen.insert(k);
+  });
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(BoundedTable, MetricsBindExportsOccupancyAndEvictions) {
+  obs::MetricsRegistry registry;
+  Table t({.capacity = 2});
+  t.bind_metrics(registry, "test.table");
+  t.try_emplace(1, at(0), "a");
+  t.try_emplace(2, at(1), "b");
+  t.try_emplace(3, at(2), "c");
+  const auto* size = registry.find_gauge("test.table.size");
+  ASSERT_NE(size, nullptr);
+  EXPECT_EQ(size->value(), 2);
+  EXPECT_EQ(size->max(), 2);
+  const auto* evicted = registry.find_counter("test.table.evicted_capacity");
+  ASSERT_NE(evicted, nullptr);
+  EXPECT_EQ(evicted->value(), 1u);
+  t.erase(2);
+  EXPECT_EQ(size->value(), 1);
+}
+
+TEST(BoundedTable, ContainsSeesExpiredOccupancyPeekDoesNot) {
+  Table t({.capacity = 4, .ttl = milliseconds(5)});
+  t.try_emplace(1, at(0), "a");
+  EXPECT_TRUE(t.contains(1));
+  EXPECT_EQ(t.peek(1, at(10)), nullptr);
+  EXPECT_TRUE(t.contains(1)) << "contains() reports slot occupancy";
+  t.reap(at(10));
+  EXPECT_FALSE(t.contains(1));
+}
+
+TEST(BoundedTable, ExpiredEntryIsReplacedNotReturned) {
+  Table t({.capacity = 4, .ttl = milliseconds(5)});
+  t.try_emplace(1, at(0), "stale");
+  auto r = t.try_emplace(1, at(10), "fresh");
+  ASSERT_NE(r.value, nullptr);
+  EXPECT_TRUE(r.inserted) << "expired entry must be evicted, then re-created";
+  EXPECT_EQ(*r.value, "fresh");
+  EXPECT_EQ(t.stats().expired_ttl.value(), 1u);
+  EXPECT_EQ(t.size(), 1u);
+}
+
+}  // namespace
+}  // namespace dnsguard::common
