@@ -44,31 +44,40 @@ std::optional<CookieEngine::ParsedLabel> CookieEngine::parse_cookie_label(
   return out;
 }
 
+// Mint and verify must agree on the divisor: a config with r_y == 0 still
+// mints addresses in (base, base + 1] (divisor clamped to 1), so the
+// verify path has to clamp identically or every legitimate follow-up
+// query under that config is rejected as a spoof.
+static constexpr std::uint32_t sanitized_r_y(std::uint32_t r_y) {
+  return r_y == 0 ? 1 : r_y;
+}
+
 net::Ipv4Address CookieEngine::make_cookie_address(
     net::Ipv4Address requester, net::Ipv4Address subnet_base,
     std::uint32_t r_y) const {
   crypto::Cookie c = mint(requester);
-  std::uint32_t y = crypto::cookie_prefix32(c) % (r_y == 0 ? 1 : r_y);
+  std::uint32_t y = crypto::cookie_prefix32(c) % sanitized_r_y(r_y);
   return net::Ipv4Address(subnet_base.value() + 1 + y);
 }
 
 crypto::VerifyResult CookieEngine::verify_cookie_address_ex(
     net::Ipv4Address requester, net::Ipv4Address dst,
     net::Ipv4Address subnet_base, std::uint32_t r_y) const {
+  const std::uint32_t divisor = sanitized_r_y(r_y);
   if (dst.value() <= subnet_base.value()) return {false, false};
   std::uint32_t offset = dst.value() - subnet_base.value() - 1;
-  if (r_y == 0 || offset >= r_y) return {false, false};
+  if (offset >= divisor) return {false, false};
   // Both current and previous key generation must be checked, mirroring
   // verify_prefix semantics: recompute under the generation the requester
   // might hold. The IP encoding carries no generation bit (mod R_y folds
   // it away), so try both; otherwise a weekly rotation would silently
   // drop every legitimate follow-up query holding a pre-rotation address.
   crypto::Cookie current = mint(requester);
-  if (crypto::cookie_prefix32(current) % r_y == offset) {
+  if (crypto::cookie_prefix32(current) % divisor == offset) {
     return {true, false};
   }
   if (auto prev = keys_.mint_previous(requester.value())) {
-    if (crypto::cookie_prefix32(*prev) % r_y == offset) {
+    if (crypto::cookie_prefix32(*prev) % divisor == offset) {
       return {true, true};
     }
   }

@@ -26,12 +26,13 @@ struct Bed {
   server::AnsSimulatorNode ans{sim, "ans", {.address = kAnsIp}};
   std::unique_ptr<RemoteGuardNode> guard;
 
-  explicit Bed(Scheme scheme) {
+  explicit Bed(Scheme scheme, std::uint32_t r_y = 250) {
     RemoteGuardNode::Config gc;
     gc.guard_address = Ipv4Address(10, 1, 1, 253);
     gc.ans_address = kAnsIp;
     gc.protected_zone = dns::DomainName{};
     gc.subnet_base = Ipv4Address(10, 1, 1, 0);
+    gc.r_y = r_y;
     gc.scheme = scheme;
     gc.rl1.per_address_rate = 1e7;
     gc.rl1.per_address_burst = 1e6;
@@ -138,6 +139,44 @@ TEST(GuardFuzz, LegitServiceSurvivesInterleavedGarbage) {
   }
   driver.stop();
   EXPECT_GT(driver.driver_stats().completed, 300u);
+  EXPECT_EQ(driver.driver_stats().timeouts, 0u);
+}
+
+TEST(GuardFuzz, FabricatedIpSchemeSurvivesZeroRy) {
+  // Regression: with r_y == 0 the mint path clamped its divisor to 1 but
+  // the verify path did not, so every minted address (base + 1) failed
+  // verification and legitimate clients were treated as spoofers forever.
+  Bed bed(Scheme::FabricatedNsIp, /*r_y=*/0);
+
+  // Mint and verify must agree at the engine level.
+  const Ipv4Address requester(10, 0, 2, 1);
+  const Ipv4Address base(10, 1, 1, 0);
+  Ipv4Address cookie2 =
+      bed.guard->cookie_engine().make_cookie_address(requester, base, 0);
+  EXPECT_EQ(cookie2, Ipv4Address(10, 1, 1, 1));
+  EXPECT_TRUE(bed.guard->cookie_engine()
+                  .verify_cookie_address_ex(requester, cookie2, base, 0)
+                  .ok);
+
+  // And end to end: a legitimate driver completes the full Fig. 2(b)
+  // exchange with zero verification drops, garbage notwithstanding.
+  workload::LrsSimulatorNode::Config dc;
+  dc.address = requester;
+  dc.target = {kAnsIp, net::kDnsPort};
+  dc.mode = workload::DriveMode::FabricatedMiss;
+  dc.concurrency = 2;
+  workload::LrsSimulatorNode driver(bed.sim, "driver", dc);
+  bed.sim.add_host_route(dc.address, &driver);
+
+  InjectorNode injector(bed.sim);
+  Rng rng(7);
+  driver.start();
+  for (int burst = 0; burst < 20; ++burst) {
+    for (int i = 0; i < 20; ++i) injector.inject(random_udp_garbage(rng));
+    bed.sim.run_for(milliseconds(2));
+  }
+  driver.stop();
+  EXPECT_GT(driver.driver_stats().completed, 20u);
   EXPECT_EQ(driver.driver_stats().timeouts, 0u);
 }
 
