@@ -17,14 +17,14 @@ bool CookieResponseLimiter::allow(net::Ipv4Address requester, SimTime now) {
     stats_.allowed++;
     return true;
   }
-  auto it = buckets_.find(requester);
-  if (it == buckets_.end()) {
-    it = buckets_
-             .emplace(requester, TokenBucket(config_.per_address_rate,
-                                             config_.per_address_burst))
-             .first;
-  }
-  if (it->second.try_consume(now)) {
+  buckets_.reap(now, 4);
+  auto r = buckets_.try_emplace(requester, now,
+                                TokenBucket(config_.per_address_rate,
+                                            config_.per_address_burst));
+  // The table LRU-evicts at capacity, so the insert always lands; an
+  // attacker cycling through spoofed heavy hitters only recycles bucket
+  // slots, it cannot grow the map.
+  if (r.value->try_consume(now)) {
     stats_.allowed++;
     return true;
   }
@@ -33,21 +33,19 @@ bool CookieResponseLimiter::allow(net::Ipv4Address requester, SimTime now) {
 }
 
 bool VerifiedRequestLimiter::allow(net::Ipv4Address host, SimTime now) {
-  auto it = buckets_.find(host);
-  if (it == buckets_.end()) {
-    if (buckets_.size() >= config_.max_hosts) {
-      // Table full: refuse new hosts rather than evict active ones. This
-      // only triggers with more *validated* distinct hosts than the cap,
-      // which spoofing cannot cause.
-      stats_.throttled++;
-      return false;
-    }
-    it = buckets_
-             .emplace(host, TokenBucket(config_.per_host_rate,
-                                        config_.per_host_burst))
-             .first;
+  buckets_.reap(now, 4);
+  auto r = buckets_.try_emplace(host, now,
+                                TokenBucket(config_.per_host_rate,
+                                            config_.per_host_burst));
+  if (r.value == nullptr) {
+    // Table full: refuse new hosts rather than evict active ones. This
+    // only triggers with more *validated* distinct hosts than the cap,
+    // which spoofing cannot cause; idle hosts are reaped so departed
+    // clients free their slots.
+    stats_.throttled++;
+    return false;
   }
-  if (it->second.try_consume(now)) {
+  if (r.value->try_consume(now)) {
     stats_.allowed++;
     return true;
   }

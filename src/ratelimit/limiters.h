@@ -15,8 +15,8 @@
 
 #include <cstdint>
 #include <memory>
-#include <unordered_map>
 
+#include "common/bounded_table.h"
 #include "common/time.h"
 #include "net/ipv4.h"
 #include "obs/metrics.h"
@@ -50,9 +50,15 @@ class CookieResponseLimiter {
     /// Addresses below this request count are never throttled — only the
     /// *top* requesters are limited (paper: "tracks the top requesters").
     std::uint64_t heavy_hitter_threshold = 32;
+    /// Cap on tracked per-address buckets. Spoofed-source floods used to
+    /// grow this map without bound; now the LRU bucket is recycled at
+    /// capacity and idle buckets are reaped.
+    std::size_t max_buckets = 4096;
+    SimDuration bucket_idle_timeout = seconds(10);
   };
 
-  explicit CookieResponseLimiter(Config config) : config_(config) {
+  explicit CookieResponseLimiter(Config config)
+      : config_(config), buckets_(bucket_config(config)) {
     reset();
   }
   CookieResponseLimiter() : CookieResponseLimiter(Config{}) {}
@@ -62,15 +68,29 @@ class CookieResponseLimiter {
 
   [[nodiscard]] const LimiterStats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] std::size_t tracked_buckets() const {
+    return buckets_.size();
+  }
+  [[nodiscard]] const common::BoundedTableStats& table_stats() const {
+    return buckets_.stats();
+  }
   void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) {
     stats_.bind(registry, prefix);
+    buckets_.bind_metrics(registry, std::string(prefix) + ".table");
   }
   void reset();
 
  private:
+  static common::BoundedTable<net::Ipv4Address, TokenBucket>::Config
+  bucket_config(const Config& c) {
+    return {.capacity = c.max_buckets,
+            .idle_timeout = c.bucket_idle_timeout,
+            .evict_lru_when_full = true};
+  }
+
   Config config_;
   std::unique_ptr<SpaceSaving<net::Ipv4Address>> tracker_;
-  std::unordered_map<net::Ipv4Address, TokenBucket> buckets_;
+  common::BoundedTable<net::Ipv4Address, TokenBucket> buckets_;
   LimiterStats stats_;
 };
 
@@ -84,9 +104,13 @@ class VerifiedRequestLimiter {
     /// Bound on the number of per-host buckets kept (validated hosts are
     /// real, so this table cannot be inflated by spoofing).
     std::size_t max_hosts = 65536;
+    /// Hosts idle this long are recycled, so a full table of departed
+    /// clients does not lock out new ones forever.
+    SimDuration host_idle_timeout = seconds(60);
   };
 
-  explicit VerifiedRequestLimiter(Config config) : config_(config) {}
+  explicit VerifiedRequestLimiter(Config config)
+      : config_(config), buckets_(bucket_config(config)) {}
   VerifiedRequestLimiter() : VerifiedRequestLimiter(Config{}) {}
 
   /// Should a validated request from `host` be forwarded at `now`?
@@ -94,8 +118,12 @@ class VerifiedRequestLimiter {
 
   [[nodiscard]] const LimiterStats& stats() const { return stats_; }
   [[nodiscard]] const Config& config() const { return config_; }
+  [[nodiscard]] const common::BoundedTableStats& table_stats() const {
+    return buckets_.stats();
+  }
   void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) {
     stats_.bind(registry, prefix);
+    buckets_.bind_metrics(registry, std::string(prefix) + ".table");
   }
   [[nodiscard]] std::size_t tracked_hosts() const { return buckets_.size(); }
   void reset() {
@@ -104,8 +132,17 @@ class VerifiedRequestLimiter {
   }
 
  private:
+  static common::BoundedTable<net::Ipv4Address, TokenBucket>::Config
+  bucket_config(const Config& c) {
+    // Refuse new hosts at the cap rather than evict active ones (§III.G):
+    // every entry here represents a *verified* requester.
+    return {.capacity = c.max_hosts,
+            .idle_timeout = c.host_idle_timeout,
+            .evict_lru_when_full = false};
+  }
+
   Config config_;
-  std::unordered_map<net::Ipv4Address, TokenBucket> buckets_;
+  common::BoundedTable<net::Ipv4Address, TokenBucket> buckets_;
   LimiterStats stats_;
 };
 

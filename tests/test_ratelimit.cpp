@@ -180,6 +180,43 @@ TEST(CookieResponseLimiter, IndependentPerAddress) {
   EXPECT_TRUE(rl1.allow(b, t));
 }
 
+TEST(CookieResponseLimiter, SpoofedSprayKeepsBucketMapBounded) {
+  // Regression: the per-address bucket map had no cap, so an attacker
+  // spraying spoofed heavy-hitter sources grew it without bound — the
+  // reflector defense itself became the memory-exhaustion target.
+  CookieResponseLimiter rl1(CookieResponseLimiter::Config{
+      .per_address_rate = 10.0, .per_address_burst = 5.0,
+      .tracker_capacity = 256, .heavy_hitter_threshold = 1,
+      .max_buckets = 64, .bucket_idle_timeout = seconds(10)});
+  SimTime t{};
+  for (std::uint32_t i = 0; i < 100000; ++i) {
+    (void)rl1.allow(Ipv4Address(0x0a000000 + i), t + microseconds(i));
+  }
+  EXPECT_LE(rl1.tracked_buckets(), 64u);
+  EXPECT_LE(rl1.table_stats().occupancy.max(), 64);
+  EXPECT_GT(rl1.table_stats().evicted_capacity.value(), 0u);
+}
+
+TEST(CookieResponseLimiter, IdleBucketsAreReaped) {
+  CookieResponseLimiter rl1(CookieResponseLimiter::Config{
+      .per_address_rate = 10.0, .per_address_burst = 5.0,
+      .tracker_capacity = 256, .heavy_hitter_threshold = 1,
+      .max_buckets = 64, .bucket_idle_timeout = seconds(1)});
+  SimTime t{};
+  for (int i = 0; i < 10; ++i) {
+    (void)rl1.allow(Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i)), t);
+  }
+  EXPECT_EQ(rl1.tracked_buckets(), 10u);
+  // Two idle seconds later, fresh traffic's incremental reaping clears
+  // the stale buckets.
+  SimTime later = t + seconds(2);
+  for (int i = 0; i < 32; ++i) {
+    (void)rl1.allow(Ipv4Address(10, 9, 0, 1), later + milliseconds(i));
+  }
+  EXPECT_LE(rl1.tracked_buckets(), 2u);
+  EXPECT_GE(rl1.table_stats().expired_idle.value(), 10u);
+}
+
 TEST(VerifiedRequestLimiter, CapsPerHostRate) {
   VerifiedRequestLimiter rl2(VerifiedRequestLimiter::Config{
       .per_host_rate = 100.0, .per_host_burst = 10.0, .max_hosts = 100});
@@ -203,6 +240,22 @@ TEST(VerifiedRequestLimiter, TableBoundRefusesOverflowHosts) {
   }
   EXPECT_FALSE(rl2.allow(Ipv4Address(10, 0, 0, 200), t));
   EXPECT_EQ(rl2.tracked_hosts(), 4u);
+}
+
+TEST(VerifiedRequestLimiter, IdleHostsFreeSlotsForNewOnes) {
+  // A full table of *departed* hosts must not lock out new clients
+  // forever: idle entries are reaped and their slots recycled.
+  VerifiedRequestLimiter rl2(VerifiedRequestLimiter::Config{
+      .per_host_rate = 10.0, .per_host_burst = 5.0, .max_hosts = 4,
+      .host_idle_timeout = seconds(1)});
+  SimTime t{};
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(
+        rl2.allow(Ipv4Address(10, 0, 0, static_cast<std::uint8_t>(i)), t));
+  }
+  EXPECT_FALSE(rl2.allow(Ipv4Address(10, 0, 0, 200), t));
+  EXPECT_TRUE(rl2.allow(Ipv4Address(10, 0, 0, 200), t + seconds(2)));
+  EXPECT_GE(rl2.table_stats().expired_idle.value(), 1u);
 }
 
 // Property: per-host isolation — N hosts each get their fair rate.
