@@ -4,8 +4,24 @@ namespace dnsguard::guard {
 
 LocalGuardNode::LocalGuardNode(sim::Simulator& sim, std::string name,
                                Config config, sim::Node* lrs)
-    : sim::Node(sim, std::move(name)), config_(config), lrs_(lrs) {
+    : sim::Node(sim, std::move(name)),
+      config_(config),
+      lrs_(lrs),
+      cookies_({.capacity = config_.max_cookie_cache}),
+      not_capable_until_({.capacity = config_.max_not_capable}),
+      held_({.capacity = config_.max_held_anses}) {
   stats_.bind(this->sim().metrics(), "local_guard");
+  cookies_.bind_metrics(this->sim().metrics(), "local_guard.cookies");
+  not_capable_until_.bind_metrics(this->sim().metrics(),
+                                  "local_guard.not_capable");
+  held_.bind_metrics(this->sim().metrics(), "local_guard.held");
+  // If the held-bucket table has to evict (too many distinct ANSs probed
+  // at once), the victim's queries must still reach their ANS — release
+  // them cookie-less rather than drop them.
+  held_.set_evict_callback([this](const net::Ipv4Address&, HeldBucket& bucket,
+                                  common::EvictReason) {
+    flush_bucket(std::move(bucket), nullptr);
+  });
 }
 
 void LocalGuardNode::install() {
@@ -14,24 +30,20 @@ void LocalGuardNode::install() {
 }
 
 bool LocalGuardNode::has_cookie_for(net::Ipv4Address ans) const {
-  auto it = cookies_.find(ans);
-  return it != cookies_.end() && it->second.expires > sim().now();
-}
-
-void LocalGuardNode::sweep_expired() {
-  SimTime t = now();
-  std::erase_if(cookies_,
-                [t](const auto& kv) { return kv.second.expires <= t; });
-  std::erase_if(not_capable_until_,
-                [t](const auto& kv) { return kv.second <= t; });
+  return cookies_.peek(ans, sim().now()) != nullptr;
 }
 
 SimDuration LocalGuardNode::process(const net::Packet& packet) {
   cost_ = config_.packet_cost;
+  // Amortized reaping: a few index slots per packet, plus a periodic full
+  // sweep so expired entries do not linger through quiet spells.
+  cookies_.reap(now(), 16);
+  not_capable_until_.reap(now(), 16);
   if (config_.sweep_every_packets > 0 &&
       ++sweep_counter_ >= config_.sweep_every_packets) {
     sweep_counter_ = 0;
-    sweep_expired();
+    cookies_.reap(now());
+    not_capable_until_.reap(now());
   }
   if (!packet.is_udp()) {
     // TCP traffic (truncation fallback) passes through transparently.
@@ -66,11 +78,10 @@ void LocalGuardNode::handle_outbound(const net::Packet& packet,
                                      dns::Message query) {
   net::Ipv4Address ans = packet.dst_ip;
 
-  auto cit = cookies_.find(ans);
-  if (cit != cookies_.end() && cit->second.expires > now()) {
+  if (const crypto::Cookie* cached = cookies_.find(ans, now())) {
     // msg 4: attach the cached cookie.
     CookieEngine::strip_txt_cookie(query);  // defensive: never double-add
-    CookieEngine::attach_txt_cookie(query, cit->second.cookie, 0);
+    CookieEngine::attach_txt_cookie(query, *cached, 0);
     stats_.queries_with_cookie++;
     net::Packet out = packet;
     query.encode_to(out.payload);
@@ -80,18 +91,14 @@ void LocalGuardNode::handle_outbound(const net::Packet& packet,
   }
 
   // A recently-probed ANS without a remote guard is served plainly.
-  auto nc = not_capable_until_.find(ans);
-  if (nc != not_capable_until_.end()) {
-    if (nc->second > now()) {
-      cost_ = cost_ + config_.packet_cost;
-      send(packet);
-      return;
-    }
-    not_capable_until_.erase(nc);
+  if (not_capable_until_.find(ans, now()) != nullptr) {
+    cost_ = cost_ + config_.packet_cost;
+    send(packet);
+    return;
   }
 
   // Hold the original and (at most once per window) request a cookie.
-  HeldBucket& bucket = held_[ans];
+  HeldBucket& bucket = *held_.try_emplace(ans, now()).value;
   if (bucket.queries.size() < config_.max_held_per_ans) {
     bucket.queries.push_back(packet);
     stats_.queries_held++;
@@ -131,18 +138,23 @@ void LocalGuardNode::handle_inbound(const net::Packet& packet,
       if (rr.type == dns::RrType::TXT && rr.name.is_root()) ttl = rr.ttl;
     }
     if (ttl == 0) ttl = 60;
-    cookies_[packet.src_ip] =
-        CachedCookie{*cookie, now() + seconds(ttl)};
+    auto r = cookies_.try_emplace(packet.src_ip, now(), *cookie);
+    const crypto::Cookie* cached = nullptr;
+    if (r.value != nullptr) {
+      if (!r.inserted) *r.value = *cookie;
+      cookies_.set_expiry(packet.src_ip, now() + seconds(ttl));
+      cached = r.value;
+    }
     stats_.cookies_cached++;
 
     if (response.answers.empty() && response.authority.empty()) {
       // msg 3: pure cookie reply — consume it and release held queries.
-      release_held(packet.src_ip, &cookies_[packet.src_ip].cookie);
+      release_held(packet.src_ip, cached);
       return;
     }
     // A real answer carrying a refreshed cookie: strip and deliver; any
     // queries still held for this ANS can go out with the fresh cookie.
-    release_held(packet.src_ip, &cookies_[packet.src_ip].cookie);
+    release_held(packet.src_ip, cached);
     CookieEngine::strip_txt_cookie(response);
     net::Packet out = packet;
     response.encode_to(out.payload);
@@ -157,12 +169,16 @@ void LocalGuardNode::handle_inbound(const net::Packet& packet,
   // itself (msg 2 was the original query + zero cookie, same id), so
   // deliver it, release anything else held plainly, and remember the
   // server is not cookie-capable.
-  if (held_.count(packet.src_ip) > 0) {
-    not_capable_until_[packet.src_ip] = now() + config_.not_capable_ttl;
+  if (HeldBucket* bucket = held_.find(packet.src_ip, now())) {
+    SimTime until = now() + config_.not_capable_ttl;
+    auto r = not_capable_until_.try_emplace(packet.src_ip, now(), until);
+    if (r.value != nullptr) {
+      if (!r.inserted) *r.value = until;
+      not_capable_until_.set_expiry(packet.src_ip, until);
+    }
     // Drop the probe's duplicate from the held set: the LRS is getting
     // its answer right now.
-    auto& bucket = held_[packet.src_ip];
-    std::erase_if(bucket.queries, [&response](const net::Packet& p) {
+    std::erase_if(bucket->queries, [&response](const net::Packet& p) {
       auto m = dns::Message::decode(BytesView(p.payload));
       return m && m->header.id == response.header.id;
     });
@@ -176,10 +192,15 @@ void LocalGuardNode::handle_inbound(const net::Packet& packet,
 
 void LocalGuardNode::release_held(net::Ipv4Address ans,
                                   const crypto::Cookie* cookie) {
-  auto it = held_.find(ans);
-  if (it == held_.end()) return;
-  HeldBucket bucket = std::move(it->second);
-  held_.erase(it);
+  HeldBucket* found = held_.find(ans, now());
+  if (found == nullptr) return;
+  HeldBucket bucket = std::move(*found);
+  held_.erase(ans);
+  flush_bucket(std::move(bucket), cookie);
+}
+
+void LocalGuardNode::flush_bucket(HeldBucket bucket,
+                                  const crypto::Cookie* cookie) {
   for (net::Packet& p : bucket.queries) {
     auto m = dns::Message::decode(BytesView(p.payload));
     if (!m) continue;
@@ -197,11 +218,11 @@ void LocalGuardNode::release_held(net::Ipv4Address ans,
 
 void LocalGuardNode::on_cookie_timeout(net::Ipv4Address ans,
                                        std::uint64_t generation) {
-  auto it = held_.find(ans);
-  if (it == held_.end() || it->second.generation != generation) return;
+  HeldBucket* found = held_.find(ans, now());
+  if (found == nullptr || found->generation != generation) return;
   // No cookie reply: the ANS is probably unguarded. Release the held
   // queries unmodified so service continues.
-  it->second.request_outstanding = false;
+  found->request_outstanding = false;
   release_held(ans, nullptr);
 }
 

@@ -16,8 +16,8 @@
 #pragma once
 
 #include <deque>
-#include <unordered_map>
 
+#include "common/bounded_table.h"
 #include "dns/message.h"
 #include "guard/cookie_engine.h"
 #include "obs/metrics.h"
@@ -60,10 +60,18 @@ class LocalGuardNode : public sim::Node {
     /// has no remote guard) before probing again. Incremental deployment:
     /// unguarded ANSs are served plainly with no per-query delay.
     SimDuration not_capable_ttl = seconds(60);
-    /// Lazy sweep cadence: every N processed packets, expired cookie and
-    /// not-capable entries are erased so long runs against many ANSs keep
-    /// the maps bounded by the live working set.
+    /// Full-sweep cadence: every N processed packets all expired cookie
+    /// and not-capable entries are reaped (on top of the per-packet
+    /// incremental reaping), so long runs against many ANSs keep the maps
+    /// bounded by the live working set.
     std::uint32_t sweep_every_packets = 1024;
+    /// Hard caps on the per-ANS maps ("1 cookie per ANS", Table I — but
+    /// the ANS address is remote-influenced, so the maps are bounded).
+    std::size_t max_cookie_cache = 4096;
+    std::size_t max_not_capable = 4096;
+    /// Distinct ANSs with held queries; the LRU bucket's queries are
+    /// flushed cookie-less when the cap is hit.
+    std::size_t max_held_anses = 1024;
   };
 
   LocalGuardNode(sim::Simulator& sim, std::string name, Config config,
@@ -88,30 +96,23 @@ class LocalGuardNode : public sim::Node {
   SimDuration process(const net::Packet& packet) override;
 
  private:
-  struct CachedCookie {
-    crypto::Cookie cookie;
-    SimTime expires;
-  };
-  struct HeldQuery {
-    net::Packet packet;
-  };
-
-  void handle_outbound(const net::Packet& packet, dns::Message query);
-  void handle_inbound(const net::Packet& packet, dns::Message response);
-  void release_held(net::Ipv4Address ans, const crypto::Cookie* cookie);
-  void on_cookie_timeout(net::Ipv4Address ans, std::uint64_t generation);
-  void sweep_expired();
-
-  Config config_;
-  sim::Node* lrs_;
-  std::unordered_map<net::Ipv4Address, CachedCookie> cookies_;
-  std::unordered_map<net::Ipv4Address, SimTime> not_capable_until_;
   struct HeldBucket {
     std::deque<net::Packet> queries;
     std::uint64_t generation = 0;
     bool request_outstanding = false;
   };
-  std::unordered_map<net::Ipv4Address, HeldBucket> held_;
+
+  void handle_outbound(const net::Packet& packet, dns::Message query);
+  void handle_inbound(const net::Packet& packet, dns::Message response);
+  void release_held(net::Ipv4Address ans, const crypto::Cookie* cookie);
+  void flush_bucket(HeldBucket bucket, const crypto::Cookie* cookie);
+  void on_cookie_timeout(net::Ipv4Address ans, std::uint64_t generation);
+
+  Config config_;
+  sim::Node* lrs_;
+  common::BoundedTable<net::Ipv4Address, crypto::Cookie> cookies_;
+  common::BoundedTable<net::Ipv4Address, SimTime> not_capable_until_;
+  common::BoundedTable<net::Ipv4Address, HeldBucket> held_;
   LocalGuardStats stats_;
   SimDuration cost_{};
   std::uint32_t sweep_counter_ = 0;

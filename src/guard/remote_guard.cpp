@@ -56,7 +56,12 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
       ans_(ans),
       engine_(config_.key_seed),
       rl1_(config_.rl1),
-      rl2_(config_.rl2) {
+      rl2_(config_.rl2),
+      pending_({.capacity = config_.pending_table_capacity,
+                .ttl = config_.pending_ttl}),
+      nat_({.capacity = config_.nat_table_capacity, .ttl = config_.nat_ttl}),
+      conn_buckets_({.capacity = config_.conn_bucket_capacity,
+                     .idle_timeout = config_.conn_bucket_idle}) {
   tcp_ = std::make_unique<tcp::TcpStack>(
       [this](net::Packet p) { emit(std::move(p)); },
       [this] { return now(); },
@@ -67,15 +72,28 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
           .on_closed =
               [this](tcp::ConnId id) {
                 framers_.erase(id);
-                std::erase_if(nat_, [id](const auto& kv) {
-                  return kv.second.conn == id;
+                nat_.erase_if([id](const std::uint16_t&, const NatEntry& e) {
+                  return e.conn == id;
                 });
               },
       },
       tcp::TcpStack::Options{.syn_cookies = true,
                              .syn_cookie_secret = config_.key_seed ^
-                                                  0xabcdef0123456789ULL});
+                                                  0xabcdef0123456789ULL,
+                             .max_connections =
+                                 config_.proxy_max_connections});
   tcp_->listen(net::kDnsPort);
+
+  // A NAT entry leaving involuntarily means its ANS reply is never coming
+  // (TTL) or its port was recycled under pressure (capacity): close the
+  // proxied connection rather than leave the client hanging.
+  nat_.set_evict_callback([this](const std::uint16_t&, NatEntry& e,
+                                 common::EvictReason reason) {
+    drops_.count(reason == common::EvictReason::kCapacity
+                     ? obs::DropReason::kStateTableFull
+                     : obs::DropReason::kProxyTimeout);
+    tcp_->close(e.conn);
+  });
 
   obs::MetricsRegistry& registry = this->sim().metrics();
   stats_.bind(registry, "guard");
@@ -84,6 +102,9 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
   rl2_.bind_metrics(registry, "guard.rl2");
   tcp_->bind_metrics(registry, "guard.tcp");
   tcp_->set_drop_counters(&drops_);
+  pending_.bind_metrics(registry, "guard.pending");
+  nat_.bind_metrics(registry, "guard.nat");
+  conn_buckets_.bind_metrics(registry, "guard.conn_buckets");
   for (std::size_t i = 0; i < kSchemeCount; ++i) {
     std::string p =
         "guard.scheme." + std::string(scheme_token(static_cast<Scheme>(i)));
@@ -210,16 +231,16 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
         static_cast<std::int64_t>(tcp_->connection_count()))});
     if (packet.tcp().flags.syn && !packet.tcp().flags.ack) {
       charge(config_.costs.proxy_connection);
-      // Per-client connection-rate throttle (§III.C).
-      auto it = conn_buckets_.find(packet.src_ip);
-      if (it == conn_buckets_.end()) {
-        it = conn_buckets_
-                 .emplace(packet.src_ip,
-                          ratelimit::TokenBucket(config_.proxy_conn_rate,
-                                                 config_.proxy_conn_burst))
-                 .first;
-      }
-      if (!it->second.try_consume(now())) {
+      // Per-client connection-rate throttle (§III.C). The bucket table is
+      // bounded: idle clients are reaped incrementally and the LRU client
+      // is recycled at capacity, so a SYN flood from spoofed sources
+      // cannot grow it without limit.
+      conn_buckets_.reap(now(), 8);
+      auto bucket = conn_buckets_.try_emplace(
+          packet.src_ip, now(),
+          ratelimit::TokenBucket(config_.proxy_conn_rate,
+                                 config_.proxy_conn_burst));
+      if (!bucket.value->try_consume(now())) {
         stats_.proxy_conn_throttled++;
         drop_other(packet, obs::DropReason::kProxyConnThrottled);
         return cost_;
@@ -386,8 +407,9 @@ void RemoteGuardNode::do_ns_name(const net::Packet& packet,
       action.kind = PendingAction::Kind::RestoreNsName;
       action.fabricated_qname = q.qname;
       action.original_qtype = q.qtype;
-      action.expires = now() + config_.pending_ttl;
-      pending_[PendingKey{query.header.id, packet.src_ip.value()}] = action;
+      const PendingKey pkey{query.header.id, packet.src_ip.value()};
+      pending_.erase(pkey);  // retransmission: refresh, don't duplicate
+      pending_.try_emplace(pkey, now(), std::move(action));
 
       dns::Message rewritten = query;
       rewritten.questions.front().qname = *restored;
@@ -458,8 +480,9 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
     PendingAction action;
     action.kind = PendingAction::Kind::RelaySourceIp;
     action.reply_src = packet.dst_ip;
-    action.expires = now() + config_.pending_ttl;
-    pending_[PendingKey{query.header.id, packet.src_ip.value()}] = action;
+    const PendingKey pkey{query.header.id, packet.src_ip.value()};
+    pending_.erase(pkey);
+    pending_.try_emplace(pkey, now(), std::move(action));
     forward_to_ans(packet, query);  // msg 8: unchanged question
     return;
   }
@@ -564,23 +587,42 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
     }
     stats_.proxy_queries++;
     // Convert to UDP toward the ANS, NATed to the guard's own address.
-    std::uint16_t port = next_nat_port_++;
-    if (next_nat_port_ < 20000) next_nat_port_ = 20000;
-    nat_[port] = NatEntry{conn, query->header.id};
+    // Source-port allocation probes past ports with a live NAT entry: a
+    // collision used to overwrite the old entry, orphaning its in-flight
+    // ANS query and leaking the client connection. Expired entries are
+    // reaped incrementally on the same path.
+    nat_.reap(now(), 16);
+    std::optional<std::uint16_t> port;
+    for (int probe = 0; probe < config_.nat_port_probe_limit; ++probe) {
+      const std::uint16_t candidate = next_nat_port_++;
+      if (next_nat_port_ < 20000) next_nat_port_ = 20000;
+      auto r = nat_.try_emplace(candidate, now(),
+                                NatEntry{conn, query->header.id});
+      if (r.inserted) {
+        port = candidate;
+        break;
+      }
+      if (r.value == nullptr) break;  // table refused the insert
+    }
+    if (!port) {
+      drops_.count(obs::DropReason::kStateTableFull);
+      continue;
+    }
     charge(config_.costs.transform);
     stats_.forwarded_to_ans++;
     emit_direct(ans_, net::Packet::make_udp(
-                          {config_.guard_address, port},
+                          {config_.guard_address, *port},
                           {config_.ans_address, net::kDnsPort},
                           query->encode_pooled()));
   }
 }
 
 void RemoteGuardNode::handle_proxy_nat_response(const net::Packet& packet) {
-  auto it = nat_.find(packet.udp().dst_port);
-  if (it == nat_.end()) return;
-  NatEntry entry = it->second;
-  nat_.erase(it);
+  const std::uint16_t port = packet.udp().dst_port;
+  NatEntry* found = nat_.find(port, now());
+  if (found == nullptr) return;
+  NatEntry entry = *found;
+  nat_.erase(port);
   charge(config_.costs.transform);
   stats_.responses_relayed++;
   tcp_->send_data(entry.conn,
@@ -591,12 +633,8 @@ void RemoteGuardNode::handle_proxy_nat_response(const net::Packet& packet) {
 }
 
 void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
-  // Periodic lazy sweep of expired rewrite state.
-  if ((++pending_sweep_counter_ & 0x3ff) == 0) {
-    SimTime t = now();
-    std::erase_if(pending_,
-                  [t](const auto& kv) { return kv.second.expires <= t; });
-  }
+  // Amortized reaping of expired rewrite state.
+  pending_.reap(now(), 16);
 
   auto m = dns::Message::decode(BytesView(packet.payload));
   if (!m || !m->header.qr) {
@@ -605,14 +643,15 @@ void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
     return;
   }
 
-  auto pit = pending_.find(PendingKey{m->header.id, packet.dst_ip.value()});
-  if (pit == pending_.end()) {
+  const PendingKey pkey{m->header.id, packet.dst_ip.value()};
+  PendingAction* found = pending_.find(pkey, now());
+  if (found == nullptr) {
     stats_.responses_relayed++;
     emit(packet);
     return;
   }
-  PendingAction action = pit->second;
-  pending_.erase(pit);
+  PendingAction action = std::move(*found);
+  pending_.erase(pkey);
 
   switch (action.kind) {
     case PendingAction::Kind::RestoreNsName: {

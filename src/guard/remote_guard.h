@@ -31,6 +31,7 @@
 #include <string>
 #include <unordered_map>
 
+#include "common/bounded_table.h"
 #include "dns/message.h"
 #include "guard/cookie_engine.h"
 #include "obs/drop_reason.h"
@@ -143,6 +144,23 @@ class RemoteGuardNode : public sim::Node {
     /// Response-rewrite state lifetime.
     SimDuration pending_ttl = seconds(5);
 
+    /// Per-source state caps. Every table below is bounded + reaping so a
+    /// spoofed-source flood cannot exhaust guard memory (the guard must
+    /// never itself become the DoS target it protects against).
+    std::size_t pending_table_capacity = 16384;
+    /// NAT entries for proxied queries; reaped when the ANS reply never
+    /// arrives, LRU-recycled (connection closed) at capacity.
+    std::size_t nat_table_capacity = 16384;
+    SimDuration nat_ttl = seconds(5);
+    /// Ports probed before giving up when NAT source ports collide.
+    int nat_port_probe_limit = 32;
+    /// Per-client TCP connection-rate buckets; idle ones are recycled.
+    std::size_t conn_bucket_capacity = 16384;
+    SimDuration conn_bucket_idle = seconds(30);
+    /// Monitored proxy TCP connections; the least-recently active one is
+    /// reset at the cap (§III.C's connection-removal policy).
+    std::size_t proxy_max_connections = 16384;
+
     /// Receive-queue depth. Sized like a kernel backlog: thousands of
     /// concurrent proxied TCP connections keep one segment each in
     /// flight, and dropping those (our mini-TCP has no retransmission)
@@ -188,6 +206,13 @@ class RemoteGuardNode : public sim::Node {
   [[nodiscard]] const ratelimit::VerifiedRequestLimiter& rl2() const {
     return rl2_;
   }
+  /// NAT-table introspection (tests: collision probing, TTL reaping).
+  [[nodiscard]] std::size_t nat_entries() const { return nat_.size(); }
+  [[nodiscard]] const common::BoundedTableStats& nat_table_stats() const {
+    return nat_.stats();
+  }
+  /// Tests: pin the next NAT source-port candidate to force collisions.
+  void set_next_nat_port(std::uint16_t port) { next_nat_port_ = port; }
 
  protected:
   SimDuration process(const net::Packet& packet) override;
@@ -202,7 +227,6 @@ class RemoteGuardNode : public sim::Node {
     dns::DomainName fabricated_qname;
     dns::RrType original_qtype = dns::RrType::A;
     net::Ipv4Address reply_src;
-    SimTime expires;
   };
   struct PendingKey {
     std::uint16_t qid;
@@ -258,8 +282,7 @@ class RemoteGuardNode : public sim::Node {
   ratelimit::CookieResponseLimiter rl1_;
   ratelimit::VerifiedRequestLimiter rl2_;
   ratelimit::RateEstimator request_rate_;
-  std::unordered_map<PendingKey, PendingAction, PendingKeyHash> pending_;
-  std::uint64_t pending_sweep_counter_ = 0;
+  common::BoundedTable<PendingKey, PendingAction, PendingKeyHash> pending_;
 
   std::unique_ptr<tcp::TcpStack> tcp_;
   std::unordered_map<tcp::ConnId, tcp::StreamFramer> framers_;
@@ -267,8 +290,8 @@ class RemoteGuardNode : public sim::Node {
     tcp::ConnId conn;
     std::uint16_t query_id;
   };
-  std::unordered_map<std::uint16_t, NatEntry> nat_;  // by guard src port
-  std::unordered_map<net::Ipv4Address, ratelimit::TokenBucket> conn_buckets_;
+  common::BoundedTable<std::uint16_t, NatEntry> nat_;  // by guard src port
+  common::BoundedTable<net::Ipv4Address, ratelimit::TokenBucket> conn_buckets_;
   std::uint16_t next_nat_port_ = 20000;
 
   GuardStats stats_;

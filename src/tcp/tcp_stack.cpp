@@ -25,7 +25,21 @@ TcpStack::TcpStack(SendFn send, ClockFn clock, Callbacks callbacks,
       clock_(std::move(clock)),
       callbacks_(std::move(callbacks)),
       options_(options),
-      syn_cookies_(options.syn_cookie_secret) {}
+      syn_cookies_(options.syn_cookie_secret),
+      conns_({.capacity = options.max_connections}) {
+  conns_.set_evict_callback([this](const ConnKey&, Connection& c,
+                                   common::EvictReason) {
+    // Connection table full: reset the least-recently active victim so
+    // its peer learns immediately, and tell the owner it is gone.
+    stats_.resets_sent++;
+    emit(c.local, c.remote, net::TcpFlags{.rst = true}, c.snd_nxt,
+         c.rcv_nxt);
+    stats_.connections_evicted++;
+    by_id_.erase(c.id);
+    if (drops_ != nullptr) drops_->count(obs::DropReason::kStateTableFull);
+    if (callbacks_.on_closed) callbacks_.on_closed(c.id);
+  });
+}
 
 void TcpStack::listen(std::uint16_t port) { listen_ports_.push_back(port); }
 
@@ -46,9 +60,12 @@ void TcpStack::bind_metrics(obs::MetricsRegistry& registry,
                           stats_.connections_aborted);
   registry.attach_counter(p + ".connections_reaped",
                           stats_.connections_reaped);
+  registry.attach_counter(p + ".connections_evicted",
+                          stats_.connections_evicted);
   registry.attach_counter(p + ".resets_sent", stats_.resets_sent);
   registry.attach_counter(p + ".segments_in", stats_.segments_in);
   registry.attach_counter(p + ".segments_out", stats_.segments_out);
+  conns_.bind_metrics(registry, p + ".table");
 }
 
 std::uint32_t TcpStack::next_isn() {
@@ -57,24 +74,30 @@ std::uint32_t TcpStack::next_isn() {
 }
 
 TcpStack::Connection* TcpStack::find(const ConnKey& key) {
-  auto it = conns_.find(key);
-  return it == conns_.end() ? nullptr : &it->second;
+  return conns_.find(key, clock_());
 }
 
 TcpStack::Connection& TcpStack::create(net::SocketAddr local,
                                        net::SocketAddr remote,
                                        TcpState state) {
   ConnKey key{local, remote};
-  Connection c;
+  if (Connection* stale = find(key)) {
+    // A fresh handshake on a 4-tuple we already track supersedes the old
+    // connection. Tear it down properly — overwriting in place used to
+    // leave the old id dangling in by_id_ forever.
+    stats_.connections_aborted++;
+    destroy(*stale, /*deliver_closed=*/true);
+  }
+  auto r = conns_.try_emplace(key, clock_());
+  Connection& c = *r.value;  // LRU-evict mode: the insert always lands
   c.id = next_id_++;
   c.local = local;
   c.remote = remote;
   c.state = state;
   c.opened_at = clock_();
   c.last_activity = c.opened_at;
-  auto [it, inserted] = conns_.insert_or_assign(key, std::move(c));
-  by_id_[it->second.id] = key;
-  return it->second;
+  by_id_[c.id] = key;
+  return c;
 }
 
 void TcpStack::destroy(Connection& c, bool deliver_closed) {
@@ -307,11 +330,11 @@ bool TcpStack::handle_packet(const net::Packet& packet) {
 std::size_t TcpStack::reap(SimDuration max_idle, SimDuration max_lifetime) {
   SimTime now = clock_();
   std::vector<ConnId> victims;
-  for (const auto& [key, c] : conns_) {
+  conns_.for_each([&](const ConnKey&, const Connection& c) {
     bool idle_out = max_idle.ns > 0 && (now - c.last_activity) > max_idle;
     bool life_out = max_lifetime.ns > 0 && (now - c.opened_at) > max_lifetime;
     if (idle_out || life_out) victims.push_back(c.id);
-  }
+  });
   for (ConnId id : victims) abort(id);
   stats_.connections_reaped += victims.size();
   if (drops_ != nullptr && !victims.empty()) {
@@ -323,10 +346,10 @@ std::size_t TcpStack::reap(SimDuration max_idle, SimDuration max_lifetime) {
 std::vector<TcpStack::ConnectionInfo> TcpStack::connections() const {
   std::vector<ConnectionInfo> out;
   out.reserve(conns_.size());
-  for (const auto& [key, c] : conns_) {
+  conns_.for_each([&](const ConnKey&, const Connection& c) {
     out.push_back(ConnectionInfo{c.id, c.local, c.remote, c.state,
                                  c.opened_at, c.last_activity});
-  }
+  });
   return out;
 }
 
@@ -334,11 +357,10 @@ std::optional<TcpStack::ConnectionInfo> TcpStack::connection(
     ConnId id) const {
   auto it = by_id_.find(id);
   if (it == by_id_.end()) return std::nullopt;
-  auto cit = conns_.find(it->second);
-  if (cit == conns_.end()) return std::nullopt;
-  const Connection& c = cit->second;
-  return ConnectionInfo{c.id, c.local, c.remote, c.state, c.opened_at,
-                        c.last_activity};
+  const Connection* c = conns_.peek(it->second, clock_());
+  if (c == nullptr) return std::nullopt;
+  return ConnectionInfo{c->id, c->local, c->remote, c->state, c->opened_at,
+                        c->last_activity};
 }
 
 std::optional<net::SocketAddr> TcpStack::remote_of(ConnId id) const {

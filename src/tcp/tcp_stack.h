@@ -21,6 +21,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bounded_table.h"
 #include "common/bytes.h"
 #include "common/time.h"
 #include "net/packet.h"
@@ -56,6 +57,7 @@ struct TcpStackStats {
   obs::Counter connections_closed;
   obs::Counter connections_aborted;
   obs::Counter connections_reaped;
+  obs::Counter connections_evicted;
   obs::Counter resets_sent;
   obs::Counter segments_in;
   obs::Counter segments_out;
@@ -76,6 +78,11 @@ class TcpStack {
     /// Serve incoming SYNs statelessly with SYN cookies.
     bool syn_cookies = false;
     std::uint64_t syn_cookie_secret = 0x5ce7a11db01dfaceULL;
+    /// Hard cap on tracked connections. At the cap the least-recently
+    /// active connection (in practice an embryonic or abandoned one) is
+    /// reset to make room — the moral equivalent of an OS dropping from a
+    /// full accept backlog.
+    std::size_t max_connections = 65536;
   };
 
   using SendFn = std::function<void(net::Packet)>;
@@ -172,7 +179,7 @@ class TcpStack {
   Options options_;
   SynCookieGenerator syn_cookies_;
 
-  std::unordered_map<ConnKey, Connection, ConnKeyHash> conns_;
+  common::BoundedTable<ConnKey, Connection, ConnKeyHash> conns_;
   std::unordered_map<ConnId, ConnKey> by_id_;
   std::vector<std::uint16_t> listen_ports_;
   ConnId next_id_ = 1;

@@ -223,6 +223,131 @@ TEST(TcpScheme, ProxyConnectionsAreCleanedUp) {
 
 // --- modified-DNS scheme -------------------------------------------------------
 
+// A server that never answers: proxied queries stay in flight, so the
+// guard's NAT entries stay live (collision tests) or go stale (reap
+// tests) on demand.
+class BlackholeNode : public sim::Node {
+ public:
+  BlackholeNode(sim::Simulator& s, std::string name)
+      : sim::Node(s, std::move(name)) {}
+
+ protected:
+  SimDuration process(const net::Packet&) override { return {}; }
+};
+
+struct NatBed {
+  sim::Simulator sim;
+  BlackholeNode ans{sim, "ans"};
+  std::unique_ptr<RemoteGuardNode> guard;
+  std::vector<std::unique_ptr<LrsSimulatorNode>> drivers;
+
+  explicit NatBed(std::function<void(RemoteGuardNode::Config&)> tweak = {}) {
+    RemoteGuardNode::Config gc;
+    gc.guard_address = kGuardIp;
+    gc.ans_address = kAnsIp;
+    gc.subnet_base = kSubnetBase;
+    gc.scheme = Scheme::TcpRedirect;
+    gc.rl1.per_address_rate = 1e6;
+    gc.rl1.per_address_burst = 1e5;
+    gc.rl2.per_host_rate = 1e6;
+    gc.rl2.per_host_burst = 1e5;
+    if (tweak) tweak(gc);
+    guard = std::make_unique<RemoteGuardNode>(sim, "guard", gc, &ans);
+    guard->install();
+    sim.set_default_latency(microseconds(200));
+  }
+
+  LrsSimulatorNode* add_driver(const std::string& name, Ipv4Address ip,
+                               int concurrency, SimDuration timeout) {
+    LrsSimulatorNode::Config dc;
+    dc.address = ip;
+    dc.target = {kAnsIp, net::kDnsPort};
+    dc.mode = DriveMode::TcpDirect;
+    dc.concurrency = concurrency;
+    dc.timeout = timeout;
+    drivers.push_back(std::make_unique<LrsSimulatorNode>(sim, name, dc));
+    sim.add_host_route(ip, drivers.back().get());
+    return drivers.back().get();
+  }
+};
+
+TEST(TcpScheme, NatPortCollisionProbesFreshPort) {
+  // Regression: the NAT table is keyed by guard source port; a colliding
+  // allocation used to overwrite the old entry silently, orphaning its
+  // in-flight ANS query and leaking the client connection.
+  NatBed bed;
+  auto* d1 = bed.add_driver("d1", Ipv4Address(10, 0, 1, 1), 4, seconds(5));
+  bed.guard->set_next_nat_port(30000);
+  d1->start();
+  bed.sim.run_for(milliseconds(50));
+  ASSERT_EQ(bed.guard->nat_entries(), 4u);
+
+  // Rewind the allocator onto the live entries: the next queries must
+  // detect the collisions and probe fresh ports.
+  bed.guard->set_next_nat_port(30000);
+  auto* d2 = bed.add_driver("d2", Ipv4Address(10, 0, 1, 2), 4, seconds(5));
+  d2->start();
+  bed.sim.run_for(milliseconds(50));
+  d1->stop();
+  d2->stop();
+
+  EXPECT_EQ(bed.guard->nat_entries(), 8u)
+      << "colliding allocations must coexist on fresh ports, not overwrite";
+  EXPECT_EQ(bed.guard->nat_table_stats().evicted_capacity.value(), 0u);
+  EXPECT_EQ(bed.guard->drop_counters().value(
+                obs::DropReason::kStateTableFull),
+            0u);
+}
+
+TEST(TcpScheme, NatEntriesReapedWhenAnsNeverReplies) {
+  // Entries whose ANS reply never arrives must not accumulate: they are
+  // TTL-reaped on later proxy activity and their client connections get
+  // closed instead of dangling.
+  NatBed bed([](RemoteGuardNode::Config& gc) {
+    gc.nat_ttl = milliseconds(50);
+  });
+  // d1's workers wait far past the NAT TTL, so their entries go stale
+  // while the connections stay open.
+  auto* d1 = bed.add_driver("d1", Ipv4Address(10, 0, 1, 1), 4, seconds(5));
+  d1->start();
+  bed.sim.run_for(milliseconds(60));
+  ASSERT_EQ(bed.guard->nat_entries(), 4u);
+
+  // Fresh proxy activity from another client reaps the stale entries and
+  // closes their dangling connections.
+  auto* d2 = bed.add_driver("d2", Ipv4Address(10, 0, 1, 2), 4, seconds(5));
+  d2->start();
+  bed.sim.run_for(milliseconds(40));
+  d1->stop();
+  d2->stop();
+
+  EXPECT_GE(bed.guard->nat_table_stats().expired_ttl.value(), 4u);
+  EXPECT_GE(bed.guard->drop_counters().value(obs::DropReason::kProxyTimeout),
+            4u);
+  EXPECT_LE(bed.guard->nat_entries(), 4u) << "stale entries must be gone";
+  // Occupancy never exceeded the in-flight working set.
+  EXPECT_LE(bed.guard->nat_table_stats().occupancy.max(), 8);
+}
+
+TEST(TcpScheme, NatTableCapacityRecyclesLruNotUnbounded) {
+  // At capacity the oldest in-flight entry is recycled (connection
+  // closed, kStateTableFull counted) instead of the table growing.
+  NatBed bed([](RemoteGuardNode::Config& gc) {
+    gc.nat_table_capacity = 4;
+  });
+  auto* d1 = bed.add_driver("d1", Ipv4Address(10, 0, 1, 1), 8, seconds(5));
+  d1->start();
+  bed.sim.run_for(milliseconds(100));
+  d1->stop();
+
+  EXPECT_LE(bed.guard->nat_entries(), 4u);
+  EXPECT_GE(bed.guard->nat_table_stats().evicted_capacity.value(), 4u);
+  EXPECT_GE(bed.guard->drop_counters().value(
+                obs::DropReason::kStateTableFull),
+            4u);
+  EXPECT_LE(bed.guard->nat_table_stats().occupancy.max(), 4);
+}
+
 TEST(ModifiedScheme, CookieExchangeThenQuery) {
   GuardBed bed(Scheme::ModifiedDns, DriveMode::ModifiedMiss);
   bed.run(milliseconds(100));
