@@ -8,7 +8,12 @@ namespace dnsguard::server {
 
 RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
                                              std::string name, Config config)
-    : sim::Node(sim, std::move(name)), config_(std::move(config)) {
+    : sim::Node(sim, std::move(name)),
+      config_(std::move(config)),
+      tasks_({.capacity = config_.max_inflight_tasks,
+              .evict_lru_when_full = false}),
+      pending_({.capacity = config_.max_pending_queries,
+                .evict_lru_when_full = false}) {
   tcp_ = std::make_unique<tcp::TcpStack>(
       [this](net::Packet p) { send(std::move(p)); },
       [this] { return now(); },
@@ -26,6 +31,8 @@ RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
   stats_.bind(this->sim().metrics(), "server.lrs");
   cache_.bind_metrics(this->sim().metrics(), "server.cache");
   tcp_->bind_metrics(this->sim().metrics(), "server.lrs.tcp");
+  tasks_.bind_metrics(this->sim().metrics(), "server.lrs.tasks");
+  pending_.bind_metrics(this->sim().metrics(), "server.lrs.pending");
 }
 
 void RecursiveResolverNode::resolve(const dns::DomainName& qname,
@@ -38,7 +45,7 @@ std::uint16_t RecursiveResolverNode::allocate_query_id() {
   // Skip ids still in flight; with < 2^16 outstanding this terminates.
   for (int i = 0; i < 65536; ++i) {
     std::uint16_t id = next_query_id_++;
-    if (id != 0 && pending_.find(id) == pending_.end()) return id;
+    if (id != 0 && !pending_.contains(id)) return id;
   }
   return 0;  // resolver saturated; caller fails the task
 }
@@ -59,7 +66,32 @@ std::uint64_t RecursiveResolverNode::start_task(dns::Question question,
   task.glue_depth = glue_depth;
   task.started_at = now();
   std::uint64_t id = task.id;
-  tasks_.emplace(id, std::move(task));
+  auto ins = tasks_.try_emplace(id, now(), std::move(task));
+  if (ins.value == nullptr) {
+    // At the in-flight cap the table refuses (leaving `task` untouched):
+    // shed the new work with ServFail at admission rather than let a
+    // query flood grow the task map without bound.
+    stats_.failures++;
+    if (task.client) {
+      dns::Message resp;
+      resp.header.id = task.client->query_id;
+      resp.header.qr = true;
+      resp.header.rd = true;
+      resp.header.ra = true;
+      resp.header.rcode = dns::Rcode::ServFail;
+      resp.questions.push_back(task.client->question);
+      stats_.client_responses++;
+      send(net::Packet::make_udp({config_.address, net::kDnsPort},
+                                 task.client->addr, resp.encode()));
+    }
+    if (task.callback) {
+      Result r;
+      r.elapsed = SimDuration{0};
+      task.callback(r);
+    }
+    if (parent != 0) fail(parent);
+    return 0;
+  }
   continue_task(id);
   return id;
 }
@@ -99,9 +131,9 @@ RecursiveResolverNode::select_servers(const dns::DomainName& qname) {
 }
 
 void RecursiveResolverNode::continue_task(std::uint64_t task_id) {
-  auto it = tasks_.find(task_id);
-  if (it == tasks_.end()) return;
-  Task& task = it->second;
+  Task* found = tasks_.find(task_id, now());
+  if (found == nullptr) return;
+  Task& task = *found;
   task.waiting_glue = false;
 
   if (++task.attempts > config_.max_attempts) {
@@ -182,29 +214,33 @@ void RecursiveResolverNode::send_iterative(Task& task) {
   pq.question = task.question;
   pq.server = server;
   pq.timer_generation = 0;
-  pending_[qid] = pq;
+  auto ins = pending_.try_emplace(qid, now(), std::move(pq));
+  if (ins.value == nullptr) {
+    fail(task.id);
+    return;
+  }
   stats_.iterative_queries++;
 
   send(net::Packet::make_udp({config_.address, net::kDnsPort},
                              {server, net::kDnsPort}, query.encode()));
 
-  std::uint64_t gen = pending_[qid].timer_generation;
+  std::uint64_t gen = ins.value->timer_generation;
   schedule_in(config_.retry_timeout,
               [this, qid, gen] { on_timeout(qid, gen); });
 }
 
 void RecursiveResolverNode::on_timeout(std::uint16_t query_id,
                                        std::uint64_t generation) {
-  auto it = pending_.find(query_id);
-  if (it == pending_.end() || it->second.timer_generation != generation) {
+  PendingQuery* found = pending_.find(query_id, now());
+  if (found == nullptr || found->timer_generation != generation) {
     return;  // already answered or superseded
   }
-  PendingQuery pq = it->second;
-  pending_.erase(it);
+  PendingQuery pq = std::move(*found);
+  pending_.erase(query_id);
 
-  auto tit = tasks_.find(pq.task_id);
-  if (tit == tasks_.end()) return;
-  Task& task = tit->second;
+  Task* tfound = tasks_.find(pq.task_id, now());
+  if (tfound == nullptr) return;
+  Task& task = *tfound;
 
   if (task.retries < config_.max_retries) {
     task.retries++;
@@ -232,9 +268,9 @@ void RecursiveResolverNode::cache_message(const dns::Message& m) {
 void RecursiveResolverNode::handle_response(const dns::Message& response,
                                             net::Ipv4Address from_server,
                                             bool via_tcp) {
-  auto pit = pending_.find(response.header.id);
-  if (pit == pending_.end()) return;
-  PendingQuery& pq = pit->second;
+  PendingQuery* pfound = pending_.find(response.header.id, now());
+  if (pfound == nullptr) return;
+  PendingQuery& pq = *pfound;
   // Anti-spoofing checks a real resolver performs: the response must come
   // from the queried server and echo the question.
   if (pq.server != from_server) return;
@@ -248,9 +284,9 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
   // Truncated: retry the same query over TCP (RFC 1035 §4.2.2). Keep the
   // pending entry; the TCP response will land back here.
   if (response.header.tc && !via_tcp) {
-    auto tit = tasks_.find(task_id);
-    if (tit == tasks_.end()) {
-      pending_.erase(pit);
+    Task* tc_task = tasks_.find(task_id, now());
+    if (tc_task == nullptr) {
+      pending_.erase(response.header.id);
       return;
     }
     pq.via_tcp = true;
@@ -263,14 +299,14 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
     std::uint64_t gen = pq.timer_generation;
     schedule_in(config_.retry_timeout * 2,
                 [this, qid, gen] { on_timeout(qid, gen); });
-    start_tcp_query(tit->second, from_server);
+    start_tcp_query(*tc_task, from_server);
     return;
   }
 
-  pending_.erase(pit);
-  auto tit = tasks_.find(task_id);
-  if (tit == tasks_.end()) return;
-  Task& task = tit->second;
+  pending_.erase(response.header.id);
+  Task* tfound = tasks_.find(task_id, now());
+  if (tfound == nullptr) return;
+  Task& task = *tfound;
 
   cache_message(response);
 
@@ -362,10 +398,10 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
 
 void RecursiveResolverNode::complete(std::uint64_t task_id, bool ok,
                                      dns::Rcode rcode) {
-  auto it = tasks_.find(task_id);
-  if (it == tasks_.end()) return;
-  Task task = std::move(it->second);
-  tasks_.erase(it);
+  Task* found = tasks_.find(task_id, now());
+  if (found == nullptr) return;
+  Task task = std::move(*found);
+  tasks_.erase(task_id);
 
   if (ok) {
     stats_.completed++;
@@ -375,8 +411,8 @@ void RecursiveResolverNode::complete(std::uint64_t task_id, bool ok,
 
   if (task.parent != 0) {
     // Glue subtask: results are already in cache; resume the parent.
-    auto pit = tasks_.find(task.parent);
-    if (pit != tasks_.end() && pit->second.waiting_glue) {
+    Task* parent = tasks_.find(task.parent, now());
+    if (parent != nullptr && parent->waiting_glue) {
       if (ok && rcode == dns::Rcode::NoError) {
         continue_task(task.parent);
       } else {
@@ -419,12 +455,9 @@ void RecursiveResolverNode::start_tcp_query(Task& task,
 
   // Find the pending query id for this task to resend over TCP.
   std::uint16_t qid = 0;
-  for (const auto& [id, pq] : pending_) {
-    if (pq.task_id == task.id) {
-      qid = id;
-      break;
-    }
-  }
+  pending_.for_each([&](const std::uint16_t& id, const PendingQuery& pq) {
+    if (qid == 0 && pq.task_id == task.id) qid = id;
+  });
   if (qid == 0) {
     tcp_->abort(conn);
     return;

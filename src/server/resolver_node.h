@@ -20,6 +20,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/bounded_table.h"
 #include "dns/message.h"
 #include "server/cache.h"
 #include "sim/node.h"
@@ -75,6 +76,13 @@ class RecursiveResolverNode : public sim::Node {
     /// When nonzero, advertise EDNS0 with this UDP payload size on every
     /// iterative query (reduces TCP fallbacks for large answers).
     std::uint16_t edns_payload_size = 0;
+    /// Admission cap on concurrently resolving tasks: past it, new client
+    /// queries are shed with ServFail instead of growing the task map. A
+    /// real resolver has the same knob (BIND: recursive-clients).
+    std::size_t max_inflight_tasks = 8192;
+    /// Cap on outstanding iterative queries (keyed by 16-bit id, so the
+    /// keyspace itself bounds this at 65535).
+    std::size_t max_pending_queries = 65536;
   };
 
   /// Result delivered to local resolve() callers.
@@ -171,8 +179,8 @@ class RecursiveResolverNode : public sim::Node {
   Config config_;
   RrCache cache_;
   ResolverStats stats_;
-  std::unordered_map<std::uint64_t, Task> tasks_;
-  std::unordered_map<std::uint16_t, PendingQuery> pending_;  // by query id
+  common::BoundedTable<std::uint64_t, Task> tasks_;
+  common::BoundedTable<std::uint16_t, PendingQuery> pending_;  // by query id
   std::unordered_map<tcp::ConnId, std::uint16_t> tcp_conn_query_;
   std::unordered_map<tcp::ConnId, tcp::StreamFramer> tcp_framers_;
   std::unique_ptr<tcp::TcpStack> tcp_;
