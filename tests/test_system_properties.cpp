@@ -1,7 +1,11 @@
 // System-level properties: determinism (bit-identical reruns), multi-LRS
-// fairness through the guard, and the Table I profile metadata checked
-// against live behaviour.
+// fairness through the guard, the Table I profile metadata checked
+// against live behaviour, and bounded per-source state under spoofed
+// floods (DESIGN.md §10).
 #include <gtest/gtest.h>
+
+#include <functional>
+#include <limits>
 
 #include "attack/attackers.h"
 #include "guard/comparison.h"
@@ -28,7 +32,9 @@ struct Bed {
   std::vector<std::unique_ptr<LrsSimulatorNode>> drivers;
   std::vector<std::unique_ptr<attack::SpoofedFloodNode>> floods;
 
-  void make_guard(Scheme scheme) {
+  void make_guard(
+      Scheme scheme,
+      const std::function<void(RemoteGuardNode::Config&)>& tweak = {}) {
     RemoteGuardNode::Config gc;
     gc.guard_address = Ipv4Address(10, 1, 1, 253);
     gc.ans_address = kAnsIp;
@@ -39,6 +45,7 @@ struct Bed {
     gc.rl1.per_address_burst = 1e6;
     gc.rl2.per_host_rate = 1e7;
     gc.rl2.per_host_burst = 1e6;
+    if (tweak) tweak(gc);
     guard = std::make_unique<RemoteGuardNode>(sim, "guard", gc, &ans);
     guard->install();
   }
@@ -57,13 +64,15 @@ struct Bed {
     return drivers.back().get();
   }
 
-  void add_flood(double rate, std::uint64_t seed) {
+  void add_flood(double rate, std::uint64_t seed,
+                 attack::SpoofedFloodNode::SpoofConfig spoof = {}) {
     floods.push_back(std::make_unique<attack::SpoofedFloodNode>(
         sim, "flood",
         attack::FloodNodeBase::Config{.own_address = Ipv4Address(10, 9, 9, 9),
                                       .target = {kAnsIp, net::kDnsPort},
                                       .rate = rate,
-                                      .seed = seed}));
+                                      .seed = seed},
+        spoof));
   }
 };
 
@@ -228,6 +237,98 @@ INSTANTIATE_TEST_SUITE_P(
                     DriveMode::FabricatedHit},
         ProfileCase{Scheme::ModifiedDns, DriveMode::ModifiedMiss,
                     DriveMode::ModifiedHit}));
+
+// --- bounded per-source state under a spoofed-source flood ------------------
+//
+// The guard keeps per-source state in six places (RL1/RL2 buckets, the
+// pending-action, NAT and connection-rate tables, the TCP proxy's
+// connection table). A flood that draws its spoofed sources from a ~1M
+// address space (2^20) used to grow the RL1 bucket map one entry per
+// distinct source; now every table is a BoundedTable, so occupancy must
+// never exceed the configured cap — asserted below via the registry
+// gauges' high-water marks — while legitimate clients are served as well
+// as by a guard with effectively unbounded tables.
+
+std::int64_t gauge_high_water(const Bed& bed, const std::string& name) {
+  const obs::Gauge* g = bed.sim.metrics().find_gauge(name);
+  EXPECT_NE(g, nullptr) << "missing gauge " << name;
+  return g != nullptr ? g->max() : std::numeric_limits<std::int64_t>::max();
+}
+
+struct FloodOutcome {
+  double legit_success = 0.0;
+  std::uint64_t legit_completed = 0;
+};
+
+FloodOutcome run_spoofed_flood(
+    const std::function<void(RemoteGuardNode::Config&)>& tweak,
+    const std::function<void(const Bed&)>& inspect = {}) {
+  Bed bed;
+  bed.make_guard(Scheme::ModifiedDns, tweak);
+  auto* d = bed.add_driver(DriveMode::ModifiedHit, 4,
+                           Ipv4Address(10, 0, 1, 1), 7);
+  // Cookie-less spoofed queries: each one takes the mint path, so each
+  // distinct source presses on the RL1 bucket table.
+  bed.add_flood(1e5, 99,
+                {.spoof_base = Ipv4Address(10, 200, 0, 0),
+                 .spoof_range = 1u << 20,
+                 .random_txt_cookie = false});
+  d->start();
+  bed.floods[0]->start();
+  bed.sim.run_for(seconds(1));
+  bed.floods[0]->stop();
+  d->stop();
+  bed.sim.run_for(milliseconds(100));
+  if (inspect) inspect(bed);
+  const auto& ds = d->driver_stats();
+  const double denom =
+      static_cast<double>(ds.completed) + static_cast<double>(ds.timeouts);
+  return {denom > 0 ? static_cast<double>(ds.completed) / denom : 0.0,
+          ds.completed};
+}
+
+TEST(StateExhaustion, MillionSourceFloodKeepsEveryTableBounded) {
+  constexpr std::int64_t kCap = 512;
+  auto track_everyone = [](RemoteGuardNode::Config& c) {
+    c.rl1.heavy_hitter_threshold = 1;  // every source lands an RL1 bucket
+  };
+
+  FloodOutcome bounded = run_spoofed_flood(
+      [&](RemoteGuardNode::Config& c) {
+        track_everyone(c);
+        c.rl1.max_buckets = kCap;
+        c.rl2.max_hosts = kCap;
+        c.pending_table_capacity = kCap;
+        c.nat_table_capacity = kCap;
+        c.conn_bucket_capacity = kCap;
+        c.proxy_max_connections = kCap;
+      },
+      [&](const Bed& bed) {
+        for (const char* g :
+             {"guard.rl1.table.size", "guard.rl2.table.size",
+              "guard.pending.size", "guard.nat.size",
+              "guard.conn_buckets.size", "guard.tcp.table.size"}) {
+          EXPECT_LE(gauge_high_water(bed, g), kCap) << g;
+        }
+        // The flood really pressed on the cap: ~100k distinct sources hit
+        // a 512-entry table, so slots were recycled tens of thousands of
+        // times.
+        const auto& rl1 = bed.guard->rl1().table_stats();
+        EXPECT_GT(rl1.evicted_capacity.value(), 10000u);
+        EXPECT_LE(bed.guard->rl1().tracked_buckets(),
+                  static_cast<std::size_t>(kCap));
+      });
+
+  FloodOutcome unbounded = run_spoofed_flood([&](RemoteGuardNode::Config& c) {
+    track_everyone(c);
+    c.rl1.max_buckets = 1 << 22;  // effectively unbounded control
+  });
+
+  // Bounding state must not cost legitimate clients anything: success
+  // within one percentage point of the unbounded control.
+  EXPECT_GT(bounded.legit_completed, 100u);
+  EXPECT_NEAR(bounded.legit_success, unbounded.legit_success, 0.01);
+}
 
 }  // namespace
 }  // namespace dnsguard
