@@ -76,6 +76,13 @@ class JsonResultWriter {
     }
   }
 
+  /// Attaches a pre-rendered JSON value (object/array) as a top-level
+  /// section of the output file — e.g. a TimeSeriesSampler::to_json()
+  /// dump under "timeseries". The value is emitted verbatim.
+  void add_section(const std::string& key, std::string raw_json) {
+    sections_.emplace_back(key, std::move(raw_json));
+  }
+
   /// Writes the file; returns false (and stays silent) on IO failure so a
   /// read-only CWD never fails a benchmark run.
   bool write() const {
@@ -98,7 +105,11 @@ class JsonResultWriter {
                    counters_[i].second.c_str(),
                    i + 1 < counters_.size() ? "," : "");
     }
-    std::fprintf(f, "  }\n}\n");
+    std::fprintf(f, "  }");
+    for (const auto& [key, raw] : sections_) {
+      std::fprintf(f, ",\n  \"%s\": %s", key.c_str(), raw.c_str());
+    }
+    std::fprintf(f, "\n}\n");
     std::fclose(f);
     std::printf("[json] wrote %s\n", path.c_str());
     return true;
@@ -108,6 +119,7 @@ class JsonResultWriter {
   std::string name_;
   std::vector<std::pair<std::string, std::string>> metrics_;
   std::vector<std::pair<std::string, std::string>> counters_;
+  std::vector<std::pair<std::string, std::string>> sections_;
 };
 
 inline constexpr net::Ipv4Address kAnsIp{10, 1, 1, 254};
@@ -228,10 +240,35 @@ struct Testbed {
 
   Testbed() { sim.set_default_latency(microseconds(200)); }  // 0.4 ms RTT
 
+  /// Observability knobs for the measurement window. Journeys and the
+  /// sampler run on the virtual clock and charge no simulated CPU, so
+  /// enabling them cannot move throughput/latency results.
+  bool enable_journeys = false;
+  /// Nonzero: sample registry counters every this often (sim time) during
+  /// the measurement window; dump via sim.timeseries().to_json().
+  SimDuration timeseries_window{};
+  /// Called right after the sampler starts — the place to bind an
+  /// obs::AttackMonitor (its series indices resolve against the running
+  /// sampler).
+  std::function<void()> on_sampling_started;
+  /// Nonzero: attackers fire this long *after* the measurement window
+  /// opens instead of during warmup — gives anomaly detection a clean
+  /// baseline followed by a mid-window onset.
+  SimDuration attacker_start_delay{};
+
   /// Warm up, reset stats, measure for `window`. Returns the window.
   SimDuration measure(SimDuration warmup, SimDuration window) {
+    if (enable_journeys) sim.journeys().enable();
     for (auto& d : drivers) d->start();
-    for (auto& a : attackers) a->start();
+    for (auto& a : attackers) {
+      if (attacker_start_delay.ns > 0) {
+        attack::SpoofedFloodNode* ap = a.get();
+        sim.schedule_in(warmup + attacker_start_delay,
+                        [ap] { ap->start(); });
+      } else {
+        a->start();
+      }
+    }
     sim.run_for(warmup);
     // Zero every cell attached to the simulator's registry (guard, TCP
     // proxy, limiters, drop reasons, ...): the measurement window starts
@@ -250,7 +287,14 @@ struct Testbed {
       guard->reset_guard_stats();
       guard->reset_stats();
     }
+    // Start sampling only now: windows then hold deltas of the measured
+    // load, not warmup remnants.
+    if (timeseries_window.ns > 0) {
+      sim.start_timeseries(timeseries_window);
+      if (on_sampling_started) on_sampling_started();
+    }
     sim.run_for(window);
+    if (timeseries_window.ns > 0) sim.stop_timeseries();
     for (auto& a : attackers) a->stop();
     for (auto& d : drivers) d->stop();
     return window;

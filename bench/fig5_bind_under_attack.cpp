@@ -64,6 +64,10 @@ Point run_point(double attack_rate, bool protection,
 
   if (attack_rate > 0) bed.add_attacker(attack_rate);
 
+  // Observed point: 1 s (sim) counter windows ride along in the JSON.
+  if (json != nullptr) {
+    bed.timeseries_window = quick(seconds(1), milliseconds(500));
+  }
   // Long window: the 2 s timeout dynamics need time to show.
   SimDuration window = bed.measure(quick(seconds(3), seconds(1)),
                                    quick(seconds(8), seconds(2)));
@@ -74,7 +78,10 @@ Point run_point(double attack_rate, bool protection,
   Point p;
   p.legit_throughput = completed / window.seconds();
   p.ans_cpu = bed.bind_ans->utilization(window);
-  if (json != nullptr) json->add_counters(bed.sim.metrics(), counter_prefix);
+  if (json != nullptr) {
+    json->add_counters(bed.sim.metrics(), counter_prefix);
+    json->add_section("timeseries", bed.sim.timeseries().to_json(2));
+  }
   return p;
 }
 

@@ -42,6 +42,10 @@ Point run_point(double attack_rate, bool protection,
                      attack::SpoofedFloodNode::SpoofConfig{
                          .random_txt_cookie = protection});
   }
+  if (json != nullptr) {
+    // Observed point: per-window counter deltas ride along in the JSON.
+    bed.timeseries_window = quick(milliseconds(250), milliseconds(100));
+  }
   SimDuration window = bed.measure(quick(milliseconds(500), milliseconds(200)),
                                    quick(seconds(2), milliseconds(500)));
   Point p;
@@ -49,8 +53,50 @@ Point run_point(double attack_rate, bool protection,
       static_cast<double>(bed.drivers[0]->driver_stats().completed) /
       window.seconds();
   p.guard_cpu = bed.guard->utilization(window);
-  if (json != nullptr) json->add_counters(bed.sim.metrics(), counter_prefix);
+  if (json != nullptr) {
+    json->add_counters(bed.sim.metrics(), counter_prefix);
+    json->add_section("timeseries", bed.sim.timeseries().to_json(2));
+  }
   return p;
+}
+
+/// A detection-timeline run: the flood switches on mid-window, and the
+/// online AttackMonitor (EWMA/MAD over per-window drop deltas) must flag
+/// the onset. On onset the simulator's flight recorder dumps metrics,
+/// time-series windows, trace rings and open journeys to
+/// $DNSGUARD_FLIGHTREC_DIR (default: CWD).
+void run_detection_timeline(JsonResultWriter& json) {
+  Testbed bed;
+  bed.make_ans(AnsKind::Simulator);
+  bed.make_guard(guard::Scheme::ModifiedDns);
+  bed.add_driver(DriveMode::ModifiedHit, /*concurrency=*/256);
+  bed.add_attacker(150e3, net::Ipv4Address(10, 9, 9, 9),
+                   attack::SpoofedFloodNode::SpoofConfig{
+                       .random_txt_cookie = true});
+  SimDuration window = quick(seconds(2), milliseconds(600));
+  bed.enable_journeys = true;
+  bed.timeseries_window = quick(milliseconds(100), milliseconds(50));
+  bed.attacker_start_delay = SimDuration{window.ns / 2};
+
+  obs::AttackMonitor monitor;
+  monitor.watch("guard.drop.bad_cookie");
+  monitor.watch("guard.spoofs_dropped");
+  monitor.set_on_onset([&bed](const obs::AttackMonitor::Event& e) {
+    bed.sim.flight_recorder().dump("fig6_onset", e.at);
+  });
+  bed.on_sampling_started = [&] {
+    monitor.bind(bed.sim.timeseries(), bed.sim.metrics());
+  };
+  bed.measure(quick(milliseconds(500), milliseconds(200)), window);
+
+  std::uint64_t onsets = 0;
+  for (const auto& e : monitor.events()) onsets += e.onset ? 1 : 0;
+  json.add("detect.onsets", onsets);
+  json.add("detect.under_attack_at_end",
+           static_cast<std::uint64_t>(monitor.under_attack() ? 1 : 0));
+  json.add_section("anomaly_events", monitor.events_json(2));
+  std::printf("[detect] %zu anomaly event(s), under_attack=%d\n",
+              monitor.events().size(), monitor.under_attack() ? 1 : 0);
 }
 
 }  // namespace
@@ -88,6 +134,7 @@ int main() {
     json.add(key + ".guard_cpu_on", on.guard_cpu);
     json.add(key + ".guard_cpu_off", off.guard_cpu);
   }
+  run_detection_timeline(json);
   json.write();
   return 0;
 }

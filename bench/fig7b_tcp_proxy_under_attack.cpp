@@ -28,6 +28,10 @@ Point run_point(double attack_rate, JsonResultWriter* json = nullptr) {
   bed.add_driver(DriveMode::TcpDirect, /*concurrency=*/50,
                  net::Ipv4Address(10, 0, 1, 1), seconds(5));
   if (attack_rate > 0) bed.add_attacker(attack_rate);
+  // Observed point: per-window counter deltas ride along in the JSON.
+  if (json != nullptr) {
+    bed.timeseries_window = quick(milliseconds(250), milliseconds(100));
+  }
   SimDuration window = bed.measure(quick(seconds(1), milliseconds(300)),
                                    quick(seconds(2), milliseconds(700)));
   Point p;
@@ -35,7 +39,10 @@ Point run_point(double attack_rate, JsonResultWriter* json = nullptr) {
       static_cast<double>(bed.drivers[0]->driver_stats().completed) /
       window.seconds();
   p.guard_cpu = bed.guard->utilization(window);
-  if (json != nullptr) json->add_counters(bed.sim.metrics());
+  if (json != nullptr) {
+    json->add_counters(bed.sim.metrics());
+    json->add_section("timeseries", bed.sim.timeseries().to_json(2));
+  }
   return p;
 }
 

@@ -26,9 +26,19 @@ double measure_throughput(guard::Scheme scheme, DriveMode mode,
   bed.make_ans(AnsKind::Simulator);
   bed.make_guard(scheme);
   auto* driver = bed.add_driver(mode, concurrency);
+  // Journey tracing and counter sampling run on every row: they operate
+  // in virtual time and charge no simulated CPU, so the throughput
+  // numbers must not move — the committed baseline enforces that (the
+  // wall-clock cost is the only real overhead, and it is unmeasured by
+  // design here).
+  bed.enable_journeys = true;
+  bed.timeseries_window = quick(milliseconds(250), milliseconds(100));
   SimDuration window = bed.measure(quick(milliseconds(500), milliseconds(200)),
                                    quick(seconds(2), milliseconds(500)));
-  if (json != nullptr) json->add_counters(bed.sim.metrics(), counter_prefix);
+  if (json != nullptr) {
+    json->add_counters(bed.sim.metrics(), counter_prefix);
+    json->add_section("timeseries", bed.sim.timeseries().to_json(2));
+  }
   return static_cast<double>(driver->driver_stats().completed) /
          window.seconds();
 }

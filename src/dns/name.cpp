@@ -120,6 +120,21 @@ std::string_view DomainName::first_label() const {
   return labels_.front();
 }
 
+std::uint32_t DomainName::hash32() const {
+  // FNV-1a over lowercased label bytes, with a length byte between labels
+  // so ("ab","c") and ("a","bc") hash differently.
+  std::uint32_t h = 2166136261u;
+  for (const auto& l : labels_) {
+    h ^= static_cast<std::uint8_t>(l.size());
+    h *= 16777619u;
+    for (char c : l) {
+      h ^= static_cast<std::uint8_t>(lower(c));
+      h *= 16777619u;
+    }
+  }
+  return h;
+}
+
 DomainName DomainName::suffix(std::size_t n) const {
   if (n >= labels_.size()) return *this;
   return DomainName(

@@ -69,6 +69,11 @@ class DomainName {
   /// "foo.com").
   [[nodiscard]] DomainName suffix(std::size_t n) const;
 
+  /// Case-insensitive 32-bit FNV-1a hash of the label sequence. Equal names
+  /// (RFC 1035 case folding) hash equal; allocation-free. Used to key
+  /// observability journeys by qname.
+  [[nodiscard]] std::uint32_t hash32() const;
+
   bool operator==(const DomainName& other) const { return equals(other); }
 
  private:

@@ -1,6 +1,14 @@
 #include "guard/local_guard.h"
 
 namespace dnsguard::guard {
+namespace {
+
+obs::JourneyKey jkey_of(std::uint32_t lrs_ip, const dns::Message& m) {
+  return {lrs_ip, m.header.id,
+          m.question() != nullptr ? m.question()->qname.hash32() : 0};
+}
+
+}  // namespace
 
 LocalGuardNode::LocalGuardNode(sim::Simulator& sim, std::string name,
                                Config config, sim::Node* lrs)
@@ -78,11 +86,16 @@ void LocalGuardNode::handle_outbound(const net::Packet& packet,
                                      dns::Message query) {
   net::Ipv4Address ans = packet.dst_ip;
 
+  obs::JourneyTracker& jt = sim().journeys();
+
   if (const crypto::Cookie* cached = cookies_.find(ans, now())) {
     // msg 4: attach the cached cookie.
     CookieEngine::strip_txt_cookie(query);  // defensive: never double-add
     CookieEngine::attach_txt_cookie(query, *cached, 0);
     stats_.queries_with_cookie++;
+    if (jt.enabled()) {
+      jt.mark(jkey_of(packet.src_ip.value(), query), "lguard.attach", now());
+    }
     net::Packet out = packet;
     query.encode_to(out.payload);
     cost_ = cost_ + config_.packet_cost;
@@ -102,6 +115,9 @@ void LocalGuardNode::handle_outbound(const net::Packet& packet,
   if (bucket.queries.size() < config_.max_held_per_ans) {
     bucket.queries.push_back(packet);
     stats_.queries_held++;
+    if (jt.enabled()) {
+      jt.mark(jkey_of(packet.src_ip.value(), query), "lguard.hold", now());
+    }
   }
   if (!bucket.request_outstanding) {
     bucket.request_outstanding = true;
@@ -112,6 +128,10 @@ void LocalGuardNode::handle_outbound(const net::Packet& packet,
     CookieEngine::strip_txt_cookie(req);
     CookieEngine::attach_txt_cookie(req, crypto::Cookie{}, 0);
     stats_.cookie_requests++;
+    if (jt.enabled()) {
+      jt.mark(jkey_of(packet.src_ip.value(), req), "lguard.cookie_req",
+              now());
+    }
     net::Packet out = packet;
     req.encode_to(out.payload);
     cost_ = cost_ + config_.packet_cost;
@@ -159,6 +179,10 @@ void LocalGuardNode::handle_inbound(const net::Packet& packet,
     net::Packet out = packet;
     response.encode_to(out.payload);
     stats_.responses_delivered++;
+    if (sim().journeys().enabled()) {
+      sim().journeys().mark(jkey_of(packet.dst_ip.value(), response),
+                            "lguard.deliver", now());
+    }
     cost_ = cost_ + config_.packet_cost;
     send_direct(lrs_, std::move(out));
     return;
@@ -186,6 +210,10 @@ void LocalGuardNode::handle_inbound(const net::Packet& packet,
   }
 
   stats_.responses_delivered++;
+  if (sim().journeys().enabled()) {
+    sim().journeys().mark(jkey_of(packet.dst_ip.value(), response),
+                          "lguard.deliver", now());
+  }
   cost_ = cost_ + config_.packet_cost;
   send_direct(lrs_, packet);
 }
@@ -209,6 +237,12 @@ void LocalGuardNode::flush_bucket(HeldBucket bucket,
       stats_.queries_with_cookie++;
     } else {
       stats_.released_without_cookie++;
+    }
+    if (sim().journeys().enabled()) {
+      sim().journeys().mark(jkey_of(p.src_ip.value(), *m),
+                            cookie != nullptr ? "lguard.release"
+                                              : "lguard.release_plain",
+                            now());
     }
     m->encode_to(p.payload);
     cost_ = cost_ + config_.packet_cost;

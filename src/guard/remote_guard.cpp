@@ -102,6 +102,10 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
   rl2_.bind_metrics(registry, "guard.rl2");
   tcp_->bind_metrics(registry, "guard.tcp");
   tcp_->set_drop_counters(&drops_);
+  tcp_->set_journey_fn([this](net::SocketAddr client, std::string_view stage) {
+    this->sim().journeys().mark({client.ip.value(), client.port, 0}, stage,
+                                now());
+  });
   pending_.bind_metrics(registry, "guard.pending");
   nat_.bind_metrics(registry, "guard.nat");
   conn_buckets_.bind_metrics(registry, "guard.conn_buckets");
@@ -177,12 +181,21 @@ void RemoteGuardNode::emit_direct(sim::Node* to, net::Packet p) {
   send_direct(to, std::move(p));
 }
 
+void RemoteGuardNode::jmark(std::string_view stage) {
+  if (cur_jkey_valid_) sim().journeys().mark(cur_jkey_, stage, now());
+}
+
+void RemoteGuardNode::jend(std::string_view stage, bool ok) {
+  if (cur_jkey_valid_) sim().journeys().end(cur_jkey_, stage, now(), ok);
+}
+
 void RemoteGuardNode::drop_spoof(const net::Packet& packet, Scheme scheme,
                                  obs::DropReason reason) {
   stats_.spoofs_dropped++;
   scheme_cells(scheme).dropped++;
   drops_.count(reason);
   trace(obs::TraceEvent::kDrop, packet, reason);
+  jend("guard.drop", /*ok=*/false);
   charge(config_.costs.drop);
 }
 
@@ -190,6 +203,7 @@ void RemoteGuardNode::drop_other(const net::Packet& packet,
                                  obs::DropReason reason) {
   drops_.count(reason);
   trace(obs::TraceEvent::kDrop, packet, reason);
+  jend("guard.drop", /*ok=*/false);
 }
 
 void RemoteGuardNode::note_verified(Scheme scheme, bool used_previous) {
@@ -199,6 +213,7 @@ void RemoteGuardNode::note_verified(Scheme scheme, bool used_previous) {
     stats_.verified_curr_gen++;
   }
   scheme_cells(scheme).verified++;
+  jmark("guard.verify");
 }
 
 void RemoteGuardNode::reply(const net::Packet& to, dns::Message response,
@@ -213,6 +228,14 @@ void RemoteGuardNode::reply(const net::Packet& to, dns::Message response,
 void RemoteGuardNode::forward_to_ans(const net::Packet& original,
                                      dns::Message query) {
   stats_.forwarded_to_ans++;
+  if (cur_jkey_valid_ && query.question() != nullptr) {
+    // The question may have been restored/rewritten: teach the journey the
+    // key the ANS response will come back under.
+    sim().journeys().alias(
+        cur_jkey_, {original.src_ip.value(), query.header.id,
+                    query.question()->qname.hash32()});
+    jmark("guard.fwd_ans");
+  }
   net::Packet p = net::Packet::make_udp(
       original.src(), {config_.ans_address, net::kDnsPort},
       query.encode_pooled());
@@ -221,6 +244,7 @@ void RemoteGuardNode::forward_to_ans(const net::Packet& original,
 
 SimDuration RemoteGuardNode::process(const net::Packet& packet) {
   cost_ = config_.costs.packet;  // ingress processing
+  cur_jkey_valid_ = false;
 
   if (packet.is_tcp()) {
     // TCP path: either the proxy itself, or (pass-through schemes) raw
@@ -250,7 +274,12 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
     return cost_;
   }
 
-  if (!packet.is_udp()) return cost_;
+  if (!packet.is_udp()) {
+    // Neither TCP nor UDP: nothing the guard can interpret. Used to be a
+    // silent discard — every drop must carry a reason.
+    drop_other(packet, obs::DropReason::kMalformed);
+    return cost_;
+  }
 
   // Responses coming back from the protected ANS (via its gateway).
   if (packet.src_ip == config_.ans_address) {
@@ -278,6 +307,12 @@ void RemoteGuardNode::handle_request(const net::Packet& packet,
                                      const dns::Message& query) {
   stats_.requests_seen++;
   trace(obs::TraceEvent::kClassify, packet);
+  if (sim().journeys().enabled()) {
+    cur_jkey_ = {packet.src_ip.value(), query.header.id,
+                 query.question()->qname.hash32()};
+    cur_jkey_valid_ = true;
+    jmark("guard.rx");
+  }
   request_rate_.record(now());
 
   bool to_subnet = !(packet.dst_ip == config_.ans_address);
@@ -335,6 +370,7 @@ void RemoteGuardNode::do_modified_dns(const net::Packet& packet,
     charge(config_.costs.cookie);
     stats_.cookies_minted++;
     scheme_cells(Scheme::ModifiedDns).minted++;
+    jmark("guard.mint");
     dns::Message resp = dns::Message::response_to(query);
     CookieEngine::attach_txt_cookie(resp, engine_.mint(packet.src_ip),
                                     config_.cookie_ttl);
@@ -436,6 +472,7 @@ void RemoteGuardNode::do_ns_name(const net::Packet& packet,
   charge(config_.costs.cookie);
   stats_.cookies_minted++;
   scheme_cells(Scheme::NsName).minted++;
+  jmark("guard.mint");
   auto label = engine_.make_cookie_label(packet.src_ip, next_label);
   if (!label) {  // label overflow: oversized original label; fall back
     do_tcp_redirect(packet, query);
@@ -509,6 +546,7 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
       // msg 6: answer with the second cookie as the fabricated server's
       // address. One more cookie computation (COOKIE2).
       charge(config_.costs.cookie);
+      jmark("guard.mint");
       net::Ipv4Address cookie2 = engine_.make_cookie_address(
           packet.src_ip, config_.subnet_base, config_.r_y);
       dns::Message resp = dns::Message::response_to(query);
@@ -534,6 +572,7 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
   charge(config_.costs.cookie);
   stats_.cookies_minted++;
   scheme_cells(Scheme::FabricatedNsIp).minted++;
+  jmark("guard.mint");
   auto label = engine_.make_cookie_label(packet.src_ip,
                                          std::string(q.qname.first_label()));
   if (!label) {
@@ -564,6 +603,7 @@ void RemoteGuardNode::do_tcp_redirect(const net::Packet& packet,
   dns::Message resp = dns::Message::response_to(query);
   resp.header.tc = true;  // same size as the request: no amplification
   stats_.tc_redirects++;
+  jmark("guard.tc_redirect");
   reply(packet, std::move(resp));
 }
 
@@ -578,6 +618,16 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
     }
     auto remote = tcp_->remote_of(conn);
     if (!remote) continue;
+    if (sim().journeys().enabled() && query->question() != nullptr) {
+      // Merge the TCP-handshake journey (keyed by the client endpoint)
+      // with the DNS query it carried.
+      cur_jkey_ = {remote->ip.value(), query->header.id,
+                   query->question()->qname.hash32()};
+      cur_jkey_valid_ = true;
+      sim().journeys().alias({remote->ip.value(), remote->port, 0},
+                             cur_jkey_);
+      jmark("guard.proxy_query");
+    }
     // TCP handshake completion already proved the source address; still
     // apply Rate-Limiter2 like any verified requester.
     if (!rl2_.allow(remote->ip, now())) {
@@ -620,8 +670,19 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
 void RemoteGuardNode::handle_proxy_nat_response(const net::Packet& packet) {
   const std::uint16_t port = packet.udp().dst_port;
   NatEntry* found = nat_.find(port, now());
-  if (found == nullptr) return;
+  if (found == nullptr) {
+    // No NAT entry: the proxied connection is gone (reaped / recycled) or
+    // the response is a stray. Used to be a silent discard.
+    drop_other(packet, obs::DropReason::kUnmatchedResponse);
+    return;
+  }
   NatEntry entry = *found;
+  if (sim().journeys().enabled()) {
+    if (auto remote = tcp_->remote_of(entry.conn)) {
+      sim().journeys().mark({remote->ip.value(), remote->port, 0},
+                            "guard.proxy_relay", now());
+    }
+  }
   nat_.erase(port);
   charge(config_.costs.transform);
   stats_.responses_relayed++;
@@ -641,6 +702,13 @@ void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
     // Not a DNS response we can interpret; pass through untouched.
     emit(packet);
     return;
+  }
+
+  if (sim().journeys().enabled() && m->question() != nullptr) {
+    cur_jkey_ = {packet.dst_ip.value(), m->header.id,
+                 m->question()->qname.hash32()};
+    cur_jkey_valid_ = true;
+    jmark("guard.relay");
   }
 
   const PendingKey pkey{m->header.id, packet.dst_ip.value()};

@@ -35,6 +35,7 @@
 #include "dns/message.h"
 #include "guard/cookie_engine.h"
 #include "obs/drop_reason.h"
+#include "obs/journey.h"
 #include "obs/metrics.h"
 #include "ratelimit/limiters.h"
 #include "ratelimit/token_bucket.h"
@@ -271,6 +272,13 @@ class RemoteGuardNode : public sim::Node {
   void emit(net::Packet p);
   void emit_direct(sim::Node* to, net::Packet p);
 
+  // --- query journeys ---
+  // The key of the request currently being processed; set on classify
+  // (only when tracking is enabled), cleared per packet. jmark()/jend()
+  // are no-ops without it, so the disabled-tracker cost is one branch.
+  void jmark(std::string_view stage);
+  void jend(std::string_view stage, bool ok);
+
   // --- TCP proxy ---
   void proxy_on_data(tcp::ConnId conn, BytesView data);
   void proxy_reap_loop();
@@ -299,6 +307,8 @@ class RemoteGuardNode : public sim::Node {
   obs::DropCounters drops_;
   SimDuration cost_{};
   bool installed_ = false;
+  obs::JourneyKey cur_jkey_{};
+  bool cur_jkey_valid_ = false;
 };
 
 }  // namespace dnsguard::guard

@@ -1,0 +1,171 @@
+#include "obs/anomaly.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace dnsguard::obs {
+
+double AnomalyDetector::threshold() const {
+  const double spread = dev_ > cfg_.dev_floor ? dev_ : cfg_.dev_floor;
+  return mean_ + cfg_.k * spread;
+}
+
+void AnomalyDetector::reset() {
+  mean_ = 0.0;
+  dev_ = 0.0;
+  seen_ = 0;
+  streak_ = 0;
+  in_anomaly_ = false;
+}
+
+AnomalyDetector::Signal AnomalyDetector::update(double value) {
+  ++seen_;
+  if (seen_ == 1) {
+    mean_ = value;
+    dev_ = 0.0;
+    return Signal::kNone;
+  }
+
+  const auto absorb = [&] {
+    const double err = std::abs(value - mean_);
+    mean_ = cfg_.alpha * value + (1.0 - cfg_.alpha) * mean_;
+    dev_ = cfg_.alpha * err + (1.0 - cfg_.alpha) * dev_;
+  };
+
+  if (seen_ <= cfg_.warmup_windows) {
+    absorb();
+    return Signal::kNone;
+  }
+
+  const bool above = value > threshold();
+  Signal sig = Signal::kNone;
+  if (!in_anomaly_) {
+    if (above) {
+      if (++streak_ >= cfg_.onset_consecutive) {
+        in_anomaly_ = true;
+        streak_ = 0;
+        sig = Signal::kOnset;
+      }
+    } else {
+      streak_ = 0;
+      // Only quiet windows feed the baseline: an above-threshold window —
+      // even one that has not yet confirmed onset — must not inflate it.
+      absorb();
+    }
+  } else {
+    // Baseline frozen while in anomaly.
+    if (!above) {
+      if (++streak_ >= cfg_.offset_consecutive) {
+        in_anomaly_ = false;
+        streak_ = 0;
+        sig = Signal::kOffset;
+        absorb();
+      }
+    } else {
+      streak_ = 0;
+    }
+  }
+  return sig;
+}
+
+void AttackMonitor::watch(std::string series_name) {
+  wanted_.push_back(std::move(series_name));
+}
+
+void AttackMonitor::bind(TimeSeriesSampler& sampler,
+                         MetricsRegistry& registry,
+                         std::string_view gauge_name) {
+  series_.clear();
+  for (const std::string& name : wanted_) {
+    const int idx = sampler.series_index(name);
+    if (idx < 0) continue;
+    series_.push_back(Watched{name, idx, AnomalyDetector(cfg_)});
+  }
+  registry.attach_gauge(gauge_name, under_attack_);
+  under_attack_.set(0);
+  sampler.set_on_window(
+      [this](const TimeSeriesSampler::Window& w) { on_window(w); });
+}
+
+void AttackMonitor::on_window(const TimeSeriesSampler::Window& w) {
+  for (Watched& s : series_) {
+    const double value =
+        static_cast<double>(w.deltas[static_cast<std::size_t>(s.index)]);
+    const double thresh = s.detector.threshold();
+    const AnomalyDetector::Signal sig = s.detector.update(value);
+    if (sig == AnomalyDetector::Signal::kNone) continue;
+    const bool onset = sig == AnomalyDetector::Signal::kOnset;
+    attacking_ += onset ? 1 : -1;
+    under_attack_.set(attacking_ > 0 ? 1 : 0);
+    events_.push_back(Event{w.end, s.name, onset, value, thresh});
+    if (onset && on_onset_) on_onset_(events_.back());
+  }
+}
+
+std::string AttackMonitor::events_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent),
+                        ' ');
+  std::string out = "[";
+  bool first = true;
+  char buf[160];
+  for (const Event& e : events_) {
+    std::snprintf(buf, sizeof(buf),
+                  "%s\n%s  {\"t_s\": %.6f, \"series\": \"%s\", "
+                  "\"onset\": %s, \"value\": %.3f, \"threshold\": %.3f}",
+                  first ? "" : ",", pad.c_str(),
+                  static_cast<double>(e.at.ns) / 1e9, e.series.c_str(),
+                  e.onset ? "true" : "false", e.value, e.threshold);
+    out += buf;
+    first = false;
+  }
+  out += first ? "]" : "\n" + pad + "]";
+  return out;
+}
+
+void FlightRecorder::add_section(std::string name, SectionFn fn) {
+  sections_.emplace_back(std::move(name), std::move(fn));
+}
+
+std::string FlightRecorder::render(std::string_view label,
+                                   SimTime now) const {
+  char buf[96];
+  std::string out = "{\n  \"label\": \"";
+  out.append(label);
+  std::snprintf(buf, sizeof(buf), "\",\n  \"sim_time_s\": %.6f",
+                static_cast<double>(now.ns) / 1e9);
+  out += buf;
+  for (const auto& [name, fn] : sections_) {
+    out += ",\n  \"" + name + "\": ";
+    out += fn ? fn() : "null";
+  }
+  out += "\n}\n";
+  return out;
+}
+
+std::string FlightRecorder::dump(std::string_view label, SimTime now) {
+  std::string dir = dir_;
+  if (dir.empty()) {
+    const char* env = std::getenv("DNSGUARD_FLIGHTREC_DIR");
+    dir = env != nullptr && *env != '\0' ? env : ".";
+  }
+  std::string safe;
+  for (char c : label) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '-' || c == '_';
+    safe.push_back(ok ? c : '_');
+  }
+  char name[64];
+  std::snprintf(name, sizeof(name), "/flightrec_%s_%zu.json", safe.c_str(),
+                seq_);
+  const std::string path = dir + name;
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) return "";
+  const std::string doc = render(label, now);
+  std::fwrite(doc.data(), 1, doc.size(), f);
+  std::fclose(f);
+  ++seq_;
+  return path;
+}
+
+}  // namespace dnsguard::obs

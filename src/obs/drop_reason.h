@@ -29,6 +29,8 @@ enum class DropReason : std::uint8_t {
   kNoRoute,           // network had no route for the destination
   kLossInjected,      // simulator-injected in-flight loss
   kStateTableFull,    // bounded per-source table refused/recycled an entry
+  kUnmatchedResponse,  // response with no matching outstanding query /
+                       // NAT entry / pending state (likely spoofed or late)
   kCount
 };
 

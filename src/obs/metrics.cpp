@@ -138,6 +138,14 @@ const LatencyHistogram* MetricsRegistry::find_histogram(
   return e ? static_cast<const LatencyHistogram*>(e->cell) : nullptr;
 }
 
+std::vector<std::string> MetricsRegistry::counter_names() const {
+  std::vector<std::string> out;
+  for (const Entry& e : entries_) {
+    if (e.kind == Kind::kCounter) out.push_back(e.name);
+  }
+  return out;
+}
+
 void MetricsRegistry::reset_values() {
   for (Entry& e : entries_) {
     switch (e.kind) {

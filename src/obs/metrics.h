@@ -172,6 +172,10 @@ class MetricsRegistry {
 
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
 
+  /// Names of every registered counter, in registration order. Cold path:
+  /// the time-series sampler enumerates these once at start().
+  [[nodiscard]] std::vector<std::string> counter_names() const;
+
   /// Zeroes every registered cell (start of a measurement window).
   void reset_values();
 

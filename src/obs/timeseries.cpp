@@ -1,0 +1,115 @@
+#include "obs/timeseries.h"
+
+#include <cstdio>
+
+namespace dnsguard::obs {
+
+void TimeSeriesSampler::start(const MetricsRegistry& registry, SimTime now,
+                              SimDuration window, std::size_t capacity) {
+  if (window.ns <= 0) window = seconds(1);
+  if (capacity == 0) capacity = 1;
+
+  names_.clear();
+  cells_.clear();
+  std::vector<std::string> candidates =
+      wanted_.empty() ? registry.counter_names() : wanted_;
+  for (const std::string& name : candidates) {
+    const Counter* cell = registry.find_counter(name);
+    if (cell == nullptr) continue;
+    names_.push_back(name);
+    cells_.push_back(cell);
+  }
+
+  prev_.resize(cells_.size());
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    prev_[i] = cells_[i]->value();
+  }
+
+  ring_.assign(capacity, Window{});
+  for (Window& w : ring_) w.deltas.resize(cells_.size());
+  head_ = 0;
+  open_start_ = now;
+  window_ = window;
+  running_ = true;
+}
+
+void TimeSeriesSampler::sample(SimTime now) {
+  if (!running_) return;
+  Window& w = ring_[head_ % ring_.size()];
+  w.start = open_start_;
+  w.end = now;
+  for (std::size_t i = 0; i < cells_.size(); ++i) {
+    const std::uint64_t v = cells_[i]->value();
+    // A counter reset between boundaries (registry reset_values at the
+    // start of a measured bench window) makes v < prev_: restart the
+    // delta from zero rather than wrapping.
+    w.deltas[i] = v >= prev_[i] ? v - prev_[i] : v;
+    prev_[i] = v;
+  }
+  ++head_;
+  open_start_ = now;
+  if (on_window_) on_window_(w);
+}
+
+int TimeSeriesSampler::series_index(std::string_view name) const {
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (names_[i] == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::vector<TimeSeriesSampler::Window> TimeSeriesSampler::windows() const {
+  std::vector<Window> out;
+  const std::size_t n = window_count();
+  out.reserve(n);
+  const std::uint64_t start = head_ < ring_.size() ? 0 : head_ - ring_.size();
+  for (std::uint64_t i = start; i < head_; ++i) {
+    out.push_back(ring_[i % ring_.size()]);
+  }
+  return out;
+}
+
+std::string TimeSeriesSampler::to_json(int indent) const {
+  const std::string pad(static_cast<std::size_t>(indent < 0 ? 0 : indent),
+                        ' ');
+  char buf[64];
+  std::string out = "{\n";
+
+  std::snprintf(buf, sizeof(buf), "%.6g", window_.seconds());
+  out += pad + "  \"window_seconds\": " + buf + ",\n";
+
+  out += pad + "  \"series\": [";
+  for (std::size_t i = 0; i < names_.size(); ++i) {
+    if (i) out += ", ";
+    out += '"' + names_[i] + '"';
+  }
+  out += "],\n";
+
+  out += pad + "  \"windows\": [";
+  bool first = true;
+  for (const Window& w : windows()) {
+    out += first ? "\n" : ",\n";
+    first = false;
+    out += pad + "    {\"t_start_s\": ";
+    std::snprintf(buf, sizeof(buf), "%.6f",
+                  static_cast<double>(w.start.ns) / 1e9);
+    out += buf;
+    out += ", \"t_end_s\": ";
+    std::snprintf(buf, sizeof(buf), "%.6f",
+                  static_cast<double>(w.end.ns) / 1e9);
+    out += buf;
+    out += ", \"deltas\": [";
+    for (std::size_t i = 0; i < w.deltas.size(); ++i) {
+      if (i) out += ", ";
+      std::snprintf(buf, sizeof(buf), "%llu",
+                    static_cast<unsigned long long>(w.deltas[i]));
+      out += buf;
+    }
+    out += "]}";
+  }
+  out += first ? "]\n" : "\n" + pad + "  ]\n";
+  out += pad + "}";
+  return out;
+}
+
+}  // namespace dnsguard::obs

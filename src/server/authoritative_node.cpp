@@ -88,6 +88,12 @@ SimDuration AuthoritativeServerNode::process(const net::Packet& packet) {
     dns::Message resp = answer(*query, /*via_tcp=*/false);
     if (resp.header.tc) ans_stats_.truncated++;
     ans_stats_.responses++;
+    if (sim().journeys().enabled()) {
+      sim().journeys().mark({packet.src_ip.value(), query->header.id,
+                             query->question()->qname.hash32()},
+                            resp.header.tc ? "ans.truncate" : "ans.answer",
+                            now());
+    }
     send(net::Packet::make_udp({config_.address, net::kDnsPort}, packet.src(),
                                resp.encode_pooled()));
     return config_.udp_query_cost;
@@ -113,6 +119,13 @@ void AuthoritativeServerNode::on_tcp_data(tcp::ConnId conn, BytesView data) {
     ans_stats_.tcp_queries++;
     dns::Message resp = answer(*query, /*via_tcp=*/true);
     ans_stats_.responses++;
+    if (sim().journeys().enabled()) {
+      if (auto remote = tcp_->remote_of(conn)) {
+        sim().journeys().mark({remote->ip.value(), query->header.id,
+                               query->question()->qname.hash32()},
+                              "ans.answer_tcp", now());
+      }
+    }
     tcp_->send_data(conn, BytesView(tcp::StreamFramer::frame(resp.encode())));
   }
 }
@@ -127,6 +140,11 @@ SimDuration AnsSimulatorNode::process(const net::Packet& packet) {
     return config_.query_cost;
   }
   ans_stats_.udp_queries++;
+  if (sim().journeys().enabled()) {
+    sim().journeys().mark({packet.src_ip.value(), query->header.id,
+                           query->question()->qname.hash32()},
+                          "ans.answer", now());
+  }
   dns::Message resp = dns::Message::response_to(*query);
   resp.header.aa = true;
   resp.answers.push_back(dns::ResourceRecord::a(query->question()->qname,

@@ -28,7 +28,14 @@ RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
               },
       },
       tcp::TcpStack::Options{});
+  // TCP fallback legs are keyed by our client-side endpoint (address,
+  // ephemeral port); start_tcp_query aliases them onto the task journey.
+  tcp_->set_journey_fn([this](net::SocketAddr client, std::string_view stage) {
+    this->sim().journeys().mark({client.ip.value(), client.port, 0}, stage,
+                                now());
+  });
   stats_.bind(this->sim().metrics(), "server.lrs");
+  drops_.bind(this->sim().metrics(), "server.lrs");
   cache_.bind_metrics(this->sim().metrics(), "server.cache");
   tcp_->bind_metrics(this->sim().metrics(), "server.lrs.tcp");
   tasks_.bind_metrics(this->sim().metrics(), "server.lrs.tasks");
@@ -36,9 +43,10 @@ RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
 }
 
 void RecursiveResolverNode::resolve(const dns::DomainName& qname,
-                                    dns::RrType qtype, ResolveCallback cb) {
+                                    dns::RrType qtype, ResolveCallback cb,
+                                    std::optional<obs::JourneyKey> jkey) {
   start_task(dns::Question{qname, qtype, dns::RrClass::IN}, std::nullopt,
-             std::move(cb), /*parent=*/0, /*glue_depth=*/0);
+             std::move(cb), /*parent=*/0, /*glue_depth=*/0, jkey);
 }
 
 std::uint16_t RecursiveResolverNode::allocate_query_id() {
@@ -50,11 +58,10 @@ std::uint16_t RecursiveResolverNode::allocate_query_id() {
   return 0;  // resolver saturated; caller fails the task
 }
 
-std::uint64_t RecursiveResolverNode::start_task(dns::Question question,
-                                                std::optional<ClientRef> client,
-                                                ResolveCallback cb,
-                                                std::uint64_t parent,
-                                                int glue_depth) {
+std::uint64_t RecursiveResolverNode::start_task(
+    dns::Question question, std::optional<ClientRef> client,
+    ResolveCallback cb, std::uint64_t parent, int glue_depth,
+    std::optional<obs::JourneyKey> jkey) {
   Task task;
   task.id = next_task_id_++;
   task.original_qname = question.qname;
@@ -65,6 +72,14 @@ std::uint64_t RecursiveResolverNode::start_task(dns::Question question,
   task.parent = parent;
   task.glue_depth = glue_depth;
   task.started_at = now();
+  if (jkey) {
+    task.jkey = *jkey;
+    task.has_jkey = true;
+  } else if (task.client) {
+    task.jkey = {task.client->addr.ip.value(), task.client->query_id,
+                 task.client->question.qname.hash32()};
+    task.has_jkey = true;
+  }
   std::uint64_t id = task.id;
   auto ins = tasks_.try_emplace(id, now(), std::move(task));
   if (ins.value == nullptr) {
@@ -221,6 +236,15 @@ void RecursiveResolverNode::send_iterative(Task& task) {
   }
   stats_.iterative_queries++;
 
+  if (task.has_jkey && sim().journeys().enabled()) {
+    // The upstream exchange travels under (our address, new qid, qname):
+    // alias it onto the client journey so guard-side marks merge.
+    obs::JourneyTracker& jt = sim().journeys();
+    jt.alias(task.jkey,
+             {config_.address.value(), qid, task.question.qname.hash32()});
+    jt.mark(task.jkey, "lrs.iterative", now());
+  }
+
   send(net::Packet::make_udp({config_.address, net::kDnsPort},
                              {server, net::kDnsPort}, query.encode()));
 
@@ -242,6 +266,9 @@ void RecursiveResolverNode::on_timeout(std::uint16_t query_id,
   if (tfound == nullptr) return;
   Task& task = *tfound;
 
+  if (task.has_jkey && sim().journeys().enabled()) {
+    sim().journeys().mark(task.jkey, "lrs.timeout", now());
+  }
   if (task.retries < config_.max_retries) {
     task.retries++;
     stats_.retransmissions++;
@@ -265,19 +292,26 @@ void RecursiveResolverNode::cache_message(const dns::Message& m) {
   cache_.put_all(m.additional, now());
 }
 
-void RecursiveResolverNode::handle_response(const dns::Message& response,
+bool RecursiveResolverNode::handle_response(const dns::Message& response,
                                             net::Ipv4Address from_server,
                                             bool via_tcp) {
   PendingQuery* pfound = pending_.find(response.header.id, now());
-  if (pfound == nullptr) return;
+  if (pfound == nullptr) {
+    drops_.count(obs::DropReason::kUnmatchedResponse);
+    return false;
+  }
   PendingQuery& pq = *pfound;
   // Anti-spoofing checks a real resolver performs: the response must come
   // from the queried server and echo the question.
-  if (pq.server != from_server) return;
+  if (pq.server != from_server) {
+    drops_.count(obs::DropReason::kUnmatchedResponse);
+    return false;
+  }
   const dns::Question* q = response.question();
   if (q == nullptr || !(q->qname == pq.question.qname) ||
       q->qtype != pq.question.qtype) {
-    return;
+    drops_.count(obs::DropReason::kUnmatchedResponse);
+    return false;
   }
   std::uint64_t task_id = pq.task_id;
 
@@ -287,7 +321,7 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
     Task* tc_task = tasks_.find(task_id, now());
     if (tc_task == nullptr) {
       pending_.erase(response.header.id);
-      return;
+      return true;
     }
     pq.via_tcp = true;
     pq.timer_generation++;
@@ -300,12 +334,12 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
     schedule_in(config_.retry_timeout * 2,
                 [this, qid, gen] { on_timeout(qid, gen); });
     start_tcp_query(*tc_task, from_server);
-    return;
+    return true;
   }
 
   pending_.erase(response.header.id);
   Task* tfound = tasks_.find(task_id, now());
-  if (tfound == nullptr) return;
+  if (tfound == nullptr) return true;
   Task& task = *tfound;
 
   cache_message(response);
@@ -326,7 +360,7 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
     cache_.put_negative(task.question.qname, task.question.qtype,
                         dns::Rcode::NxDomain, negative_ttl(), now());
     complete(task_id, true, dns::Rcode::NxDomain);
-    return;
+    return true;
   }
   if (response.header.rcode != dns::Rcode::NoError) {
     // Try next server; a lame/refusing server shouldn't kill resolution.
@@ -337,7 +371,7 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
     } else {
       fail(task_id);
     }
-    return;
+    return true;
   }
 
   if (!response.answers.empty()) {
@@ -361,21 +395,21 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
     }
     if (have_target_type || task.question.qtype == dns::RrType::CNAME) {
       complete(task_id, true, dns::Rcode::NoError);
-      return;
+      return true;
     }
     if (cname_target) {
       if (++task.cname_depth > config_.max_cname_depth) {
         fail(task_id);
-        return;
+        return true;
       }
       stats_.cname_chases++;
       task.question.qname = *cname_target;
       continue_task(task_id);
-      return;
+      return true;
     }
     // Answers but nothing usable: treat as NODATA.
     complete(task_id, true, dns::Rcode::NoError);
-    return;
+    return true;
   }
 
   if (response.is_referral()) {
@@ -385,7 +419,7 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
     if (task.question.qname.is_subdomain_of(owner)) {
       stats_.referrals_followed++;
       continue_task(task_id);
-      return;
+      return true;
     }
   }
 
@@ -394,6 +428,7 @@ void RecursiveResolverNode::handle_response(const dns::Message& response,
   cache_.put_negative(task.question.qname, task.question.qtype,
                       dns::Rcode::NoError, negative_ttl(), now());
   complete(task_id, true, dns::Rcode::NoError);
+  return true;
 }
 
 void RecursiveResolverNode::complete(std::uint64_t task_id, bool ok,
@@ -407,6 +442,12 @@ void RecursiveResolverNode::complete(std::uint64_t task_id, bool ok,
     stats_.completed++;
   } else {
     stats_.failures++;
+  }
+
+  if (task.has_jkey && sim().journeys().enabled()) {
+    // Mark, don't end: the journey terminates where the answer is
+    // consumed (stub / driver), which still lies ahead of this hop.
+    sim().journeys().mark(task.jkey, "lrs.respond", now());
   }
 
   if (task.parent != 0) {
@@ -451,6 +492,13 @@ void RecursiveResolverNode::start_tcp_query(Task& task,
                                             net::Ipv4Address server) {
   net::SocketAddr local{config_.address, next_ephemeral_port_++};
   if (next_ephemeral_port_ < 10000) next_ephemeral_port_ = 10000;
+  if (task.has_jkey && sim().journeys().enabled()) {
+    // The TCP stack marks handshake milestones keyed by our client-side
+    // endpoint; fold them into the task's journey.
+    obs::JourneyTracker& jt = sim().journeys();
+    jt.alias(task.jkey, {local.ip.value(), local.port, 0});
+    jt.mark(task.jkey, "lrs.tcp_fallback", now());
+  }
   tcp::ConnId conn = tcp_->connect(local, {server, net::kDnsPort});
 
   // Find the pending query id for this task to resend over TCP.
@@ -512,19 +560,37 @@ SimDuration RecursiveResolverNode::process(const net::Packet& packet) {
   if (!packet.is_udp()) return SimDuration{0};
 
   auto m = dns::Message::decode(BytesView(packet.payload));
-  if (!m) return config_.per_packet_cost;
+  if (!m) {
+    drops_.count(obs::DropReason::kMalformed);
+    trace(obs::TraceEvent::kDrop, packet, obs::DropReason::kMalformed);
+    return config_.per_packet_cost;
+  }
 
   if (m->header.qr) {
-    handle_response(*m, packet.src_ip, /*via_tcp=*/false);
+    trace(obs::TraceEvent::kClassify, packet);
+    if (!handle_response(*m, packet.src_ip, /*via_tcp=*/false)) {
+      trace(obs::TraceEvent::kDrop, packet,
+            obs::DropReason::kUnmatchedResponse);
+    }
     return config_.per_packet_cost;
   }
 
   // A recursive client query (stub resolver).
   if (packet.udp().dst_port == net::kDnsPort && m->header.rd &&
       m->question() != nullptr) {
+    trace(obs::TraceEvent::kClassify, packet);
     stats_.client_queries++;
     ClientRef client{packet.src(), m->header.id, *m->question()};
+    if (sim().journeys().enabled()) {
+      sim().journeys().mark({packet.src_ip.value(), m->header.id,
+                             m->question()->qname.hash32()},
+                            "lrs.client_rx", now());
+    }
     start_task(*m->question(), client, {}, 0, 0);
+  } else {
+    // Neither a usable response nor a recursive query.
+    drops_.count(obs::DropReason::kMalformed);
+    trace(obs::TraceEvent::kDrop, packet, obs::DropReason::kMalformed);
   }
   return config_.per_packet_cost;
 }

@@ -22,6 +22,8 @@
 
 #include "common/bounded_table.h"
 #include "dns/message.h"
+#include "obs/drop_reason.h"
+#include "obs/journey.h"
 #include "server/cache.h"
 #include "sim/node.h"
 #include "tcp/tcp_stack.h"
@@ -96,9 +98,12 @@ class RecursiveResolverNode : public sim::Node {
 
   RecursiveResolverNode(sim::Simulator& sim, std::string name, Config config);
 
-  /// Starts a resolution driven directly (no stub network hop).
+  /// Starts a resolution driven directly (no stub network hop). The
+  /// optional journey key lets a workload driver correlate this
+  /// resolution with marks it records itself (see obs/journey.h).
   void resolve(const dns::DomainName& qname, dns::RrType qtype,
-               ResolveCallback cb);
+               ResolveCallback cb,
+               std::optional<obs::JourneyKey> jkey = std::nullopt);
 
   [[nodiscard]] const ResolverStats& resolver_stats() const { return stats_; }
   void reset_resolver_stats() { stats_ = ResolverStats{}; }
@@ -133,6 +138,10 @@ class RecursiveResolverNode : public sim::Node {
     int retries = 0;
     SimTime started_at;
     bool waiting_glue = false;
+    // Journey correlation: the client's query key (src ip, id, qhash), or
+    // a driver-supplied key. Glue subtasks carry none.
+    obs::JourneyKey jkey{};
+    bool has_jkey = false;
   };
 
   struct PendingQuery {
@@ -147,11 +156,14 @@ class RecursiveResolverNode : public sim::Node {
   std::uint64_t start_task(dns::Question question,
                            std::optional<ClientRef> client,
                            ResolveCallback cb, std::uint64_t parent,
-                           int glue_depth);
+                           int glue_depth,
+                           std::optional<obs::JourneyKey> jkey = std::nullopt);
   void continue_task(std::uint64_t task_id);
   void send_iterative(Task& task);
   void on_timeout(std::uint16_t query_id, std::uint64_t generation);
-  void handle_response(const dns::Message& response,
+  /// Returns false when the response matched no pending query (or failed
+  /// the source/question echo checks) — i.e. was dropped unmatched.
+  bool handle_response(const dns::Message& response,
                        net::Ipv4Address from_server, bool via_tcp);
   void complete(std::uint64_t task_id, bool ok, dns::Rcode rcode);
   void fail(std::uint64_t task_id) { complete(task_id, false,
@@ -179,6 +191,7 @@ class RecursiveResolverNode : public sim::Node {
   Config config_;
   RrCache cache_;
   ResolverStats stats_;
+  obs::DropCounters drops_;  // bound as "server.lrs.drop.<reason>"
   common::BoundedTable<std::uint64_t, Task> tasks_;
   common::BoundedTable<std::uint16_t, PendingQuery> pending_;  // by query id
   std::unordered_map<tcp::ConnId, std::uint16_t> tcp_conn_query_;

@@ -1,6 +1,14 @@
 #include "server/stub_node.h"
 
 namespace dnsguard::server {
+namespace {
+
+obs::JourneyKey jkey_of(net::Ipv4Address stub, std::uint16_t id,
+                        const dns::Question& q) {
+  return {stub.value(), id, q.qname.hash32()};
+}
+
+}  // namespace
 
 void StubResolverNode::lookup(const dns::DomainName& qname, dns::RrType qtype,
                               Callback cb) {
@@ -11,6 +19,10 @@ void StubResolverNode::lookup(const dns::DomainName& qname, dns::RrType qtype,
   p.question = dns::Question{qname, qtype, dns::RrClass::IN};
   p.callback = std::move(cb);
   p.started_at = now();
+  if (sim().journeys().enabled()) {
+    sim().journeys().mark(jkey_of(config_.address, id, p.question),
+                          "stub.query", now());
+  }
   pending_[id] = std::move(p);
   send_query(id);
 }
@@ -35,6 +47,10 @@ void StubResolverNode::on_timeout(std::uint16_t id, std::uint64_t generation) {
   if (p.retries < config_.max_retries) {
     p.retries++;
     stats_.retries++;
+    if (sim().journeys().enabled()) {
+      sim().journeys().mark(jkey_of(config_.address, id, p.question),
+                            "stub.retry", now());
+    }
     send_query(id);
     return;
   }
@@ -43,6 +59,10 @@ void StubResolverNode::on_timeout(std::uint16_t id, std::uint64_t generation) {
   r.ok = false;
   r.elapsed = now() - p.started_at;
   Callback cb = std::move(p.callback);
+  if (sim().journeys().enabled()) {
+    sim().journeys().end(jkey_of(config_.address, id, it->second.question),
+                         "stub.timeout", now(), /*ok=*/false);
+  }
   pending_.erase(it);
   if (cb) cb(r);
 }
@@ -50,12 +70,31 @@ void StubResolverNode::on_timeout(std::uint16_t id, std::uint64_t generation) {
 SimDuration StubResolverNode::process(const net::Packet& packet) {
   if (!packet.is_udp()) return SimDuration{0};
   auto m = dns::Message::decode(BytesView(packet.payload));
-  if (!m || !m->header.qr) return config_.per_packet_cost;
+  if (!m) {
+    drops_.count(obs::DropReason::kMalformed);
+    trace(obs::TraceEvent::kDrop, packet, obs::DropReason::kMalformed);
+    return config_.per_packet_cost;
+  }
+  if (!m->header.qr) {
+    // A stub never serves queries.
+    drops_.count(obs::DropReason::kMalformed);
+    trace(obs::TraceEvent::kDrop, packet, obs::DropReason::kMalformed);
+    return config_.per_packet_cost;
+  }
+  trace(obs::TraceEvent::kClassify, packet);
   auto it = pending_.find(m->header.id);
-  if (it == pending_.end()) return config_.per_packet_cost;
+  if (it == pending_.end()) {
+    drops_.count(obs::DropReason::kUnmatchedResponse);
+    trace(obs::TraceEvent::kDrop, packet,
+          obs::DropReason::kUnmatchedResponse);
+    return config_.per_packet_cost;
+  }
   const dns::Question* q = m->question();
   if (q == nullptr || !(q->qname == it->second.question.qname) ||
       q->qtype != it->second.question.qtype) {
+    drops_.count(obs::DropReason::kUnmatchedResponse);
+    trace(obs::TraceEvent::kDrop, packet,
+          obs::DropReason::kUnmatchedResponse);
     return config_.per_packet_cost;
   }
   Result r;
@@ -64,6 +103,11 @@ SimDuration StubResolverNode::process(const net::Packet& packet) {
   r.answers = m->answers;
   r.elapsed = now() - it->second.started_at;
   stats_.answered++;
+  if (sim().journeys().enabled()) {
+    sim().journeys().end(jkey_of(config_.address, m->header.id,
+                                 it->second.question),
+                         "stub.answered", now(), r.ok);
+  }
   Callback cb = std::move(it->second.callback);
   pending_.erase(it);
   if (cb) cb(r);

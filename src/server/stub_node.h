@@ -10,6 +10,7 @@
 #include <unordered_map>
 
 #include "dns/message.h"
+#include "obs/drop_reason.h"
 #include "sim/node.h"
 
 namespace dnsguard::server {
@@ -33,7 +34,9 @@ class StubResolverNode : public sim::Node {
   using Callback = std::function<void(const Result&)>;
 
   StubResolverNode(sim::Simulator& sim, std::string name, Config config)
-      : sim::Node(sim, std::move(name)), config_(config) {}
+      : sim::Node(sim, std::move(name)), config_(config) {
+    drops_.bind(this->sim().metrics(), "stub");
+  }
 
   /// Issues a recursive query to the configured LRS.
   void lookup(const dns::DomainName& qname, dns::RrType qtype, Callback cb);
@@ -63,6 +66,7 @@ class StubResolverNode : public sim::Node {
 
   Config config_;
   Stats stats_;
+  obs::DropCounters drops_;  // bound as "stub.drop.<reason>"
   std::unordered_map<std::uint16_t, Pending> pending_;
   std::uint16_t next_id_ = 1;
 };

@@ -36,8 +36,10 @@ class Node {
  public:
   explicit Node(Simulator& sim, std::string name,
                 std::size_t rx_queue_capacity = 4096)
-      : sim_(sim), name_(std::move(name)), rx_capacity_(rx_queue_capacity) {}
-  virtual ~Node() = default;
+      : sim_(sim), name_(std::move(name)), rx_capacity_(rx_queue_capacity) {
+    sim_.add_node(this);
+  }
+  virtual ~Node() { sim_.remove_node(this); }
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 

@@ -52,6 +52,11 @@ void Simulator::run_all() {
 
 void Simulator::add_node(Node* node) { nodes_.push_back(node); }
 
+void Simulator::remove_node(Node* node) {
+  nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node),
+               nodes_.end());
+}
+
 void Simulator::add_route(net::Ipv4Address prefix, int prefix_len,
                           Node* node) {
   routes_.push_back(Route{prefix.value(), prefix_len, node});
@@ -115,6 +120,84 @@ void Simulator::send_direct(Node* from, Node* to, net::Packet packet) {
 void Simulator::set_loss_rate(double p, std::uint64_t loss_seed) {
   loss_rate_ = p;
   loss_rng_.reseed(loss_seed);
+}
+
+void Simulator::start_timeseries(SimDuration window, std::size_t capacity) {
+  timeseries_.start(metrics_, now_, window, capacity);
+  schedule_sampler_tick(++timeseries_epoch_);
+}
+
+void Simulator::stop_timeseries() {
+  timeseries_.stop();
+  ++timeseries_epoch_;  // any already-scheduled tick becomes a no-op
+}
+
+void Simulator::schedule_sampler_tick(std::uint64_t epoch) {
+  schedule_at(timeseries_.next_boundary(), [this, epoch] {
+    if (epoch != timeseries_epoch_ || !timeseries_.running()) return;
+    timeseries_.sample(now_);
+    schedule_sampler_tick(epoch);
+  });
+}
+
+std::vector<std::pair<std::string, const obs::TraceRing*>>
+Simulator::trace_rings() const {
+  std::vector<std::pair<std::string, const obs::TraceRing*>> out;
+  out.reserve(nodes_.size());
+  for (const Node* n : nodes_) {
+    out.emplace_back(n->name(), &n->trace_ring());
+  }
+  return out;
+}
+
+namespace {
+
+// Minimal string escape for embedding trace lines in JSON.
+std::string json_escape(std::string_view s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    if (c == '"' || c == '\\') out.push_back('\\');
+    if (c == '\n') {
+      out += "\\n";
+      continue;
+    }
+    out.push_back(c);
+  }
+  return out;
+}
+
+}  // namespace
+
+obs::FlightRecorder& Simulator::flight_recorder() {
+  if (!flightrec_wired_) {
+    flightrec_wired_ = true;
+    flightrec_.add_section("metrics", [this] { return metrics_.to_json(2); });
+    flightrec_.add_section("timeseries",
+                           [this] { return timeseries_.to_json(2); });
+    flightrec_.add_section("trace_rings", [this] {
+      std::string out = "{";
+      bool first_node = true;
+      for (const auto& [name, ring] : trace_rings()) {
+        out += first_node ? "\n" : ",\n";
+        first_node = false;
+        out += "    \"" + json_escape(name) + "\": [";
+        bool first_entry = true;
+        for (const obs::TraceEntry& e : ring->entries()) {
+          out += first_entry ? "\n" : ",\n";
+          first_entry = false;
+          out += "      \"" + json_escape(e.to_string()) + "\"";
+        }
+        out += first_entry ? "]" : "\n    ]";
+      }
+      out += first_node ? "}" : "\n  }";
+      return out;
+    });
+    flightrec_.add_section("journeys", [this] {
+      return journeys_.to_chrome_json(/*include_open=*/true);
+    });
+  }
+  return flightrec_;
 }
 
 void Simulator::deliver_later(Node* from, Node* to, net::Packet packet) {

@@ -23,7 +23,11 @@
 #include "common/rng.h"
 #include "common/time.h"
 #include "net/packet.h"
+#include "obs/anomaly.h"
+#include "obs/journey.h"
 #include "obs/metrics.h"
+#include "obs/timeseries.h"
+#include "obs/trace.h"
 #include "sim/event_queue.h"
 
 namespace dnsguard::sim {
@@ -77,8 +81,11 @@ class Simulator {
 
   // --- topology -----------------------------------------------------------
 
-  /// Registers a node; the simulator does not own it.
+  /// Registers a node; the simulator does not own it. Node's constructor
+  /// and destructor call these, so `trace_rings()` always reflects the
+  /// live set and never dangles.
   void add_node(Node* node);
+  void remove_node(Node* node);
 
   /// Routes every packet destined to `prefix`/`prefix_len` to `node`.
   /// Longest prefix wins; a /32 route is a plain host address.
@@ -127,6 +134,39 @@ class Simulator {
     return metrics_;
   }
 
+  // --- observability ------------------------------------------------------
+
+  /// The shared query-journey tracker (journey.h). Disabled by default —
+  /// node wiring costs one branch per mark; call journeys().enable() to
+  /// start recording.
+  [[nodiscard]] obs::JourneyTracker& journeys() { return journeys_; }
+  [[nodiscard]] const obs::JourneyTracker& journeys() const {
+    return journeys_;
+  }
+
+  /// Starts the periodic counter sampler: a window closes every `window`
+  /// of sim time from now on. The boundary event reads counters and
+  /// charges no node CPU, so virtual-time results are unchanged — but it
+  /// keeps the event queue non-empty: pair with run_until()/run_for(), or
+  /// call stop_timeseries() before run_all(). Restarting supersedes any
+  /// previous schedule.
+  void start_timeseries(SimDuration window = seconds(1),
+                        std::size_t capacity = 1024);
+  void stop_timeseries();
+  [[nodiscard]] obs::TimeSeriesSampler& timeseries() { return timeseries_; }
+  [[nodiscard]] const obs::TimeSeriesSampler& timeseries() const {
+    return timeseries_;
+  }
+
+  /// Name + trace ring of every registered node (flight recorder, tests).
+  [[nodiscard]] std::vector<std::pair<std::string, const obs::TraceRing*>>
+  trace_rings() const;
+
+  /// The post-mortem dumper, lazily wired with "metrics", "timeseries",
+  /// "trace_rings" and "journeys" sections over this simulator's state.
+  /// flight_recorder().dump("label", now()) writes one JSON file.
+  [[nodiscard]] obs::FlightRecorder& flight_recorder();
+
   /// Observation tap: invoked for every packet accepted into the network
   /// (after routing/gateway resolution, before propagation delay). Used
   /// by tests and the walkthrough example; keep it cheap or unset.
@@ -147,6 +187,7 @@ class Simulator {
   };
 
   void deliver_later(Node* from, Node* to, net::Packet packet);
+  void schedule_sampler_tick(std::uint64_t epoch);
 
   SimTime now_{};
   EventQueue queue_;
@@ -162,6 +203,11 @@ class Simulator {
   TapFn tap_;
   double loss_rate_ = 0.0;
   Rng loss_rng_;
+  obs::JourneyTracker journeys_;
+  obs::TimeSeriesSampler timeseries_;
+  std::uint64_t timeseries_epoch_ = 0;  // orphans superseded tick events
+  obs::FlightRecorder flightrec_;
+  bool flightrec_wired_ = false;
 };
 
 }  // namespace dnsguard::sim

@@ -102,8 +102,10 @@ TcpStack::Connection& TcpStack::create(net::SocketAddr local,
 
 void TcpStack::destroy(Connection& c, bool deliver_closed) {
   ConnId id = c.id;
+  const net::SocketAddr client = c.client_role ? c.local : c.remote;
   by_id_.erase(id);
   conns_.erase(ConnKey{c.local, c.remote});  // invalidates c
+  if (journey_) journey_(client, "tcp.closed");
   if (deliver_closed && callbacks_.on_closed) callbacks_.on_closed(id);
 }
 
@@ -123,6 +125,8 @@ void TcpStack::send_rst(const net::Packet& to_packet) {
 
 ConnId TcpStack::connect(net::SocketAddr local, net::SocketAddr remote) {
   Connection& c = create(local, remote, TcpState::SynSent);
+  c.client_role = true;
+  if (journey_) journey_(local, "tcp.syn");
   c.snd_nxt = next_isn();
   emit(local, remote, net::TcpFlags{.syn = true}, c.snd_nxt, 0);
   c.snd_nxt += 1;  // SYN consumes one sequence number
@@ -189,6 +193,7 @@ bool TcpStack::handle_packet(const net::Packet& packet) {
         return false;
       }
       stats_.syns_received++;
+      if (journey_) journey_(packet.src(), "tcp.syn");
       if (options_.syn_cookies) {
         // Stateless: encode the cookie in our ISN, keep no state.
         std::uint32_t isn =
@@ -220,6 +225,7 @@ bool TcpStack::handle_packet(const net::Packet& packet) {
         nc.rcv_nxt = h.seq;
         nc.snd_nxt = h.ack;
         stats_.connections_established++;
+        if (journey_) journey_(nc.remote, "tcp.established");
         if (callbacks_.on_established) callbacks_.on_established(nc.id);
         // The ACK may carry data already (common for eager clients).
         if (!packet.payload.empty()) {
@@ -262,6 +268,7 @@ bool TcpStack::handle_packet(const net::Packet& packet) {
         emit(c->local, c->remote, net::TcpFlags{.ack = true}, c->snd_nxt,
              c->rcv_nxt);
         stats_.connections_established++;
+        if (journey_) journey_(c->local, "tcp.established");
         if (callbacks_.on_established) callbacks_.on_established(c->id);
         return true;
       }
@@ -271,6 +278,7 @@ bool TcpStack::handle_packet(const net::Packet& packet) {
       if (h.flags.ack && h.ack == c->snd_nxt) {
         c->state = TcpState::Established;
         stats_.connections_established++;
+        if (journey_) journey_(c->remote, "tcp.established");
         if (callbacks_.on_established) callbacks_.on_established(c->id);
         // fall through into data handling below for piggybacked payloads
       } else {

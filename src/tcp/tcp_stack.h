@@ -126,6 +126,15 @@ class TcpStack {
   /// kSynCookieFail, reaped monitored connections as kProxyTimeout.
   void set_drop_counters(obs::DropCounters* drops) { drops_ = drops; }
 
+  /// Optional journey hook, fired at connection milestones ("tcp.syn",
+  /// "tcp.established", "tcp.closed") with the CLIENT side's address —
+  /// the remote peer for accepted connections, the local endpoint for
+  /// ones we initiated — so the owner can mark the client's query
+  /// journey. Stage strings are literals.
+  using JourneyFn =
+      std::function<void(net::SocketAddr client, std::string_view stage)>;
+  void set_journey_fn(JourneyFn fn) { journey_ = std::move(fn); }
+
   struct ConnectionInfo {
     ConnId id;
     net::SocketAddr local;
@@ -148,6 +157,7 @@ class TcpStack {
     std::uint32_t rcv_nxt = 0;  // next sequence number we expect
     SimTime opened_at;
     SimTime last_activity;
+    bool client_role = false;  // we initiated via connect()
   };
 
   // Key: (local, remote) — enough because IPs are unique per node here.
@@ -186,6 +196,7 @@ class TcpStack {
   std::uint32_t isn_counter_ = 0x1000;
   TcpStackStats stats_;
   obs::DropCounters* drops_ = nullptr;
+  JourneyFn journey_;
 };
 
 /// DNS-over-TCP framing (RFC 1035 §4.2.2): each message is preceded by a

@@ -48,6 +48,36 @@ LrsSimulatorNode::LrsSimulatorNode(sim::Simulator& sim, std::string name,
               },
       },
       tcp::TcpStack::Options{});
+  stats_.bind(this->sim().metrics(), "driver");
+  // TCP handshake milestones ride under our client-side endpoint; the
+  // worker's journey aliases that key in start_tcp().
+  tcp_->set_journey_fn([this](net::SocketAddr client, std::string_view stage) {
+    this->sim().journeys().mark({client.ip.value(), client.port, 0}, stage,
+                                now());
+  });
+}
+
+void LrsSimulatorNode::journey_touch(Worker& worker, std::uint16_t qid,
+                                     std::uint32_t qhash) {
+  obs::JourneyTracker& jt = sim().journeys();
+  if (!jt.enabled()) return;
+  obs::JourneyKey key{config_.address.value(), qid, qhash};
+  if (!worker.jkey_open) {
+    worker.jkey = key;
+    worker.jkey_open = true;
+    jt.mark(key, "drv.send", now());
+  } else {
+    jt.alias(worker.jkey, key);
+    jt.mark(worker.jkey, "drv.exchange", now());
+  }
+}
+
+void LrsSimulatorNode::journey_end(Worker& worker, std::string_view stage,
+                                   bool ok) {
+  if (!worker.jkey_open) return;
+  worker.jkey_open = false;
+  if (!sim().journeys().enabled()) return;
+  sim().journeys().end(worker.jkey, stage, now(), ok);
 }
 
 void LrsSimulatorNode::start() {
@@ -157,6 +187,9 @@ void LrsSimulatorNode::send_exchange(int w, dns::Message query,
   worker.pending_qid = qid;
   qid_to_worker_[qid] = w;
   query.header.id = qid;
+  journey_touch(worker, qid,
+                query.question() != nullptr ? query.question()->qname.hash32()
+                                            : 0);
 
   stats_.exchanges_sent++;
   send(net::Packet::make_udp({config_.address, 32000}, to,
@@ -175,6 +208,7 @@ void LrsSimulatorNode::on_timeout(int w, std::uint64_t generation) {
   Worker& worker = workers_[static_cast<std::size_t>(w)];
   if (worker.timer_generation != generation) return;
   stats_.timeouts++;
+  journey_end(worker, "drv.timeout", /*ok=*/false);
   if (worker.pending_qid != 0) {
     qid_to_worker_.erase(worker.pending_qid);
     worker.pending_qid = 0;
@@ -212,6 +246,7 @@ void LrsSimulatorNode::complete(int w) {
     worker.primed = true;
     was_priming = true;  // priming exchange: not counted as steady state
   }
+  journey_end(worker, "drv.complete", /*ok=*/true);
   if (!was_priming) {
     stats_.completed++;
     latencies_.add((now() - worker.request_started).millis());
@@ -230,6 +265,8 @@ void LrsSimulatorNode::restart(int w) {
   // switched between pass-through and active): back off briefly instead
   // of busy-looping at wire speed.
   stats_.unexpected++;
+  journey_end(workers_[static_cast<std::size_t>(w)], "drv.restart",
+              /*ok=*/false);
   SimDuration backoff = config_.think_time.ns > 0 ? config_.think_time
                                                   : milliseconds(1);
   schedule_in(backoff, [this, w] {
@@ -393,6 +430,12 @@ void LrsSimulatorNode::start_tcp(int w) {
   dns::Message q = make_query(qid, qname_);
   worker.tcp_query = tcp::StreamFramer::frame(q.encode());
   stats_.exchanges_sent++;
+  journey_touch(worker, qid, qname_.hash32());
+  if (worker.jkey_open && sim().journeys().enabled()) {
+    // Fold the TCP stack's per-connection marks into this journey.
+    sim().journeys().alias(worker.jkey,
+                           {config_.address.value(), port, 0});
+  }
   worker.conn = tcp_->connect({config_.address, port}, config_.target);
   conn_to_worker_[worker.conn] = w;
 }

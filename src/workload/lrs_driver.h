@@ -19,6 +19,8 @@
 #include "common/stats.h"
 #include "crypto/cookie_hash.h"
 #include "dns/message.h"
+#include "obs/journey.h"
+#include "obs/metrics.h"
 #include "sim/node.h"
 #include "tcp/tcp_stack.h"
 
@@ -38,11 +40,21 @@ enum class DriveMode {
 
 [[nodiscard]] std::string drive_mode_name(DriveMode m);
 
+/// Counter cells; attached to the simulator's registry as "driver.*" so
+/// the time-series sampler can window goodput and timeout rates.
 struct DriverStats {
-  std::uint64_t completed = 0;
-  std::uint64_t exchanges_sent = 0;
-  std::uint64_t timeouts = 0;
-  std::uint64_t unexpected = 0;
+  obs::Counter completed;
+  obs::Counter exchanges_sent;
+  obs::Counter timeouts;
+  obs::Counter unexpected;
+
+  void bind(obs::MetricsRegistry& registry, std::string_view prefix) {
+    std::string p(prefix);
+    registry.attach_counter(p + ".completed", completed);
+    registry.attach_counter(p + ".exchanges_sent", exchanges_sent);
+    registry.attach_counter(p + ".timeouts", timeouts);
+    registry.attach_counter(p + ".unexpected", unexpected);
+  }
 };
 
 class LrsSimulatorNode : public sim::Node {
@@ -98,6 +110,9 @@ class LrsSimulatorNode : public sim::Node {
     bool primed = false;
     tcp::ConnId conn = 0;
     Bytes tcp_query;  // framed query awaiting ESTABLISHED
+    // Open journey for the in-flight request (first exchange's key).
+    obs::JourneyKey jkey{};
+    bool jkey_open = false;
   };
 
   void begin_request(int w);
@@ -113,6 +128,12 @@ class LrsSimulatorNode : public sim::Node {
 
   dns::Message make_query(std::uint16_t id, const dns::DomainName& name,
                           dns::RrType type = dns::RrType::A) const;
+
+  /// Opens the worker's journey on the first exchange of a request and
+  /// aliases every follow-up exchange's key onto it; `stage` must be a
+  /// string literal.
+  void journey_touch(Worker& worker, std::uint16_t qid, std::uint32_t qhash);
+  void journey_end(Worker& worker, std::string_view stage, bool ok);
 
   Config config_;
   dns::DomainName qname_;

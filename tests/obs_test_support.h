@@ -1,0 +1,70 @@
+// Dump-on-failure support for simulator tests: a gtest listener that, on
+// the first failing assertion of a test, fires a registered callback —
+// typically a FlightRecorder::dump() of the test's simulator — so a red
+// test leaves behind the metrics snapshot, time-series windows, trace
+// rings and open journeys that explain it.
+//
+// Usage inside a test body:
+//
+//   sim::Simulator sim;
+//   testing_support::arm_failure_dump([&](const std::string& test) {
+//     sim.flight_recorder().dump(test, sim.now());
+//   });
+//
+// The callback is cleared automatically when the test ends, so the
+// captured simulator can never dangle into the next test.
+#pragma once
+
+#include <gtest/gtest.h>
+
+#include <functional>
+#include <string>
+#include <utility>
+
+namespace dnsguard::testing_support {
+
+inline std::function<void(const std::string&)>& failure_dump_fn() {
+  static std::function<void(const std::string&)> fn;
+  return fn;
+}
+
+class FlightRecorderOnFailure : public ::testing::EmptyTestEventListener {
+ public:
+  void OnTestStart(const ::testing::TestInfo&) override { dumped_ = false; }
+
+  void OnTestPartResult(const ::testing::TestPartResult& result) override {
+    if (!result.failed() || dumped_) return;
+    auto& fn = failure_dump_fn();
+    if (!fn) return;
+    dumped_ = true;  // one recording per test is plenty
+    // Resolved here (not in OnTestStart) because the listener is first
+    // appended from inside a running test's body.
+    std::string label = "test";
+    if (const auto* info =
+            ::testing::UnitTest::GetInstance()->current_test_info()) {
+      label = std::string(info->test_suite_name()) + "." + info->name();
+    }
+    fn(label);
+  }
+
+  void OnTestEnd(const ::testing::TestInfo&) override {
+    failure_dump_fn() = nullptr;  // the test's simulator dies with it
+  }
+
+ private:
+  bool dumped_ = false;
+};
+
+/// Registers the listener once per process (safe to call repeatedly) and
+/// arms `fn` as the current test's failure dump.
+inline void arm_failure_dump(std::function<void(const std::string&)> fn) {
+  static bool installed = false;
+  if (!installed) {
+    installed = true;
+    ::testing::UnitTest::GetInstance()->listeners().Append(
+        new FlightRecorderOnFailure);
+  }
+  failure_dump_fn() = std::move(fn);
+}
+
+}  // namespace dnsguard::testing_support

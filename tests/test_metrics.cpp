@@ -82,6 +82,54 @@ TEST(GaugeCell, TracksHighWaterMark) {
   EXPECT_EQ(g.max(), 0);
 }
 
+TEST(GaugeCell, ResetKeepsNonZeroLevelAsNewMark) {
+  Gauge g;
+  g.set(12);
+  g.set(5);
+  ASSERT_EQ(g.max(), 12);
+  g.reset();
+  // The mark collapses to the current level, not to zero — a live queue
+  // of depth 5 is still depth 5 after the measurement window restarts.
+  EXPECT_EQ(g.value(), 5);
+  EXPECT_EQ(g.max(), 5);
+  g.set(9);
+  EXPECT_EQ(g.max(), 9);
+}
+
+TEST(Histogram, EmptyPercentilesAreZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  for (double p : {0.0, 50.0, 99.0, 100.0}) {
+    EXPECT_EQ(h.percentile(p), 0.0) << "p" << p;
+  }
+  EXPECT_EQ(h.mean_ns(), 0.0);
+}
+
+TEST(Histogram, SingleSamplePinsEveryPercentile) {
+  LatencyHistogram h;
+  h.observe_ns(7000);
+  for (double p : {1.0, 50.0, 99.0}) {
+    EXPECT_NEAR(h.percentile(p), 7000.0, 7000.0 * 0.19) << "p" << p;
+  }
+  EXPECT_EQ(h.mean_ns(), 7000.0);
+}
+
+TEST(Histogram, AllSamplesInHighestBucketStayBounded) {
+  // Absurd values land in the final reachable bucket; percentiles must
+  // stay inside that bucket's bounds rather than running off the array.
+  LatencyHistogram h;
+  const std::uint64_t huge = (1ull << 62) + 123;
+  for (int i = 0; i < 1000; ++i) {
+    h.observe_ns(static_cast<std::int64_t>(huge));
+  }
+  EXPECT_EQ(h.count(), 1000u);
+  std::size_t idx = LatencyHistogram::bucket_index(huge);
+  ASSERT_LT(idx, LatencyHistogram::kBuckets);
+  double p50 = h.percentile(50.0);
+  EXPECT_GE(p50, static_cast<double>(LatencyHistogram::bucket_lower(idx)));
+  EXPECT_LE(p50, static_cast<double>(LatencyHistogram::bucket_upper(idx)));
+}
+
 TEST(Histogram, SmallValuesGetExactBuckets) {
   for (std::uint64_t v = 0; v < 4; ++v) {
     EXPECT_EQ(LatencyHistogram::bucket_index(v), v);

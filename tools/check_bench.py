@@ -9,8 +9,16 @@ virtual-time results are bit-for-bit deterministic.
 
 Direction heuristics: metrics are higher-is-better (throughput,
 events/sec) unless the key matches a lower-is-better pattern (latency,
-cpu, p50/p90/p99). Only the "metrics" section gates; "counters" is
-informational (absolute counts legitimately shift as code evolves).
+cpu, p50/p90/p99).
+
+The "counters" section is mostly informational (absolute counts
+legitimately shift as code evolves): counters that appear or disappear
+only warn. Two classes of counters do gate, with a wider tolerance
+(default 20%): drop counters (keys containing ".drop." or "dropped")
+fail when they *increase* beyond tolerance, and goodput counters
+(completed / forwarded_to_ans / responses_relayed / responses_delivered)
+fail when they *decrease* beyond tolerance — together they catch a guard
+that silently starts shedding legitimate traffic.
 
 Usage:
   check_bench.py --baseline bench/baselines --current <dir> [--tolerance 0.1]
@@ -38,6 +46,72 @@ LOWER_IS_BETTER_PATTERNS = [
 def lower_is_better(key):
     k = key.lower()
     return any(fnmatch.fnmatch(k, pat) for pat in LOWER_IS_BETTER_PATTERNS)
+
+
+# Counter keys that gate (everything else in "counters" is warn-only).
+DROP_COUNTER_PATTERNS = ["*.drop.*", "*dropped*"]
+GOODPUT_COUNTER_PATTERNS = [
+    "*completed*",
+    "*forwarded_to_ans*",
+    "*responses_relayed*",
+    "*responses_delivered*",
+]
+
+
+def counter_class(key):
+    """'drop', 'goodput', or None for informational counters."""
+    k = key.lower()
+    if any(fnmatch.fnmatch(k, pat) for pat in DROP_COUNTER_PATTERNS):
+        return "drop"
+    if any(fnmatch.fnmatch(k, pat) for pat in GOODPUT_COUNTER_PATTERNS):
+        return "goodput"
+    return None
+
+
+def compare_counters(name, baseline, current, tolerance):
+    """Returns (failures, warnings) for the "counters" section."""
+    failures = []
+    warnings = []
+    for key in sorted(set(current) - set(baseline)):
+        warnings.append(f"{name}: new counter '{key}' (no baseline yet)")
+    for key, base_value in baseline.items():
+        if not isinstance(base_value, (int, float)) or isinstance(
+            base_value, bool
+        ):
+            continue
+        cls = counter_class(key)
+        if key not in current:
+            if cls is None:
+                warnings.append(
+                    f"{name}: counter '{key}' missing from current run"
+                )
+            else:
+                failures.append(
+                    f"{name}: {cls} counter '{key}' missing from current run"
+                )
+            continue
+        if cls is None or base_value == 0:
+            continue
+        cur_value = current[key]
+        if not isinstance(cur_value, (int, float)) or isinstance(
+            cur_value, bool
+        ):
+            failures.append(f"{name}: counter '{key}' is not numeric")
+            continue
+        change = (cur_value - base_value) / abs(base_value)
+        if cls == "drop" and change > tolerance:
+            failures.append(
+                f"{name}: drop counter '{key}' increased beyond "
+                f"{tolerance:.0%}: baseline {base_value:g} -> current "
+                f"{cur_value:g} ({change:+.1%})"
+            )
+        elif cls == "goodput" and change < -tolerance:
+            failures.append(
+                f"{name}: goodput counter '{key}' decreased beyond "
+                f"{tolerance:.0%}: baseline {base_value:g} -> current "
+                f"{cur_value:g} ({change:+.1%})"
+            )
+    return failures, warnings
 
 
 def compare_metrics(name, baseline, current, tolerance):
@@ -78,10 +152,10 @@ def compare_metrics(name, baseline, current, tolerance):
 def load_bench(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    return doc.get("metrics", {})
+    return doc.get("metrics", {}), doc.get("counters", {})
 
 
-def run_check(baseline_dir, current_dir, tolerance):
+def run_check(baseline_dir, current_dir, tolerance, counter_tolerance):
     baselines = sorted(
         f
         for f in os.listdir(baseline_dir)
@@ -92,6 +166,7 @@ def run_check(baseline_dir, current_dir, tolerance):
         return 2
 
     failures = []
+    warnings = []
     compared = 0
     for fname in baselines:
         current_path = os.path.join(current_dir, fname)
@@ -101,21 +176,39 @@ def run_check(baseline_dir, current_dir, tolerance):
             # subset of the baseline set.
             print(f"skip: {fname} (not produced by this run)")
             continue
-        base = load_bench(os.path.join(baseline_dir, fname))
-        cur = load_bench(current_path)
-        failures.extend(compare_metrics(fname, base, cur, tolerance))
+        baseline_path = os.path.join(baseline_dir, fname)
+        base_metrics, base_counters = load_bench(baseline_path)
+        cur_metrics, cur_counters = load_bench(current_path)
+        failures.extend(
+            compare_metrics(fname, base_metrics, cur_metrics, tolerance)
+        )
+        cfail, cwarn = compare_counters(
+            fname, base_counters, cur_counters, counter_tolerance
+        )
+        failures.extend(cfail)
+        warnings.extend(cwarn)
         compared += 1
-        print(f"compared: {fname} ({len(base)} metrics)")
+        print(
+            f"compared: {fname} ({len(base_metrics)} metrics, "
+            f"{len(base_counters)} counters) against {baseline_path}"
+        )
 
     if compared == 0:
         print("error: no benches compared (nothing produced?)")
         return 2
+    if warnings:
+        print(f"\n{len(warnings)} warning(s) (non-fatal):")
+        for w in warnings:
+            print(f"  warn: {w}")
     if failures:
         print(f"\nFAIL: {len(failures)} regression(s):")
         for f in failures:
             print(f"  {f}")
         return 1
-    print(f"\nOK: {compared} bench(es) within {tolerance:.0%} tolerance")
+    print(
+        f"\nOK: {compared} bench(es) within {tolerance:.0%} metric / "
+        f"{counter_tolerance:.0%} counter tolerance"
+    )
     return 0
 
 
@@ -149,6 +242,71 @@ def self_test():
     assert len(compare_metrics("t", {"rps": 100}, {"rps": 89}, 0.10)) == 1
     assert compare_metrics("t", {"rps": 100}, {"rps": 91}, 0.10) == []
 
+    # --- counters section ---
+    cbase = {
+        "guard.drop.bad_cookie": 1000,
+        "guard.spoofs_dropped": 1000,
+        "driver.completed": 500,
+        "guard.forwarded_to_ans": 500,
+        "sim.events_dispatched": 123456,
+    }
+    # Unchanged: clean.
+    f, w = compare_counters("t", cbase, dict(cbase), 0.20)
+    assert f == [] and w == []
+    # New counter key: warn-only, never fails.
+    f, w = compare_counters("t", cbase, dict(cbase, extra=1), 0.20)
+    assert f == [] and len(w) == 1
+    # Informational counter drifting wildly: not a failure.
+    f, _ = compare_counters(
+        "t", cbase, dict(cbase, **{"sim.events_dispatched": 999}), 0.20
+    )
+    assert f == []
+    # Drop counter up 30%: regression.
+    f, _ = compare_counters(
+        "t", cbase, dict(cbase, **{"guard.drop.bad_cookie": 1300}), 0.20
+    )
+    assert len(f) == 1
+    # Drop counter down: fine (fewer drops is not a regression).
+    f, _ = compare_counters(
+        "t", cbase, dict(cbase, **{"guard.spoofs_dropped": 100}), 0.20
+    )
+    assert f == []
+    # Goodput down 30%: regression; up: fine.
+    f, _ = compare_counters(
+        "t", cbase, dict(cbase, **{"driver.completed": 350}), 0.20
+    )
+    assert len(f) == 1
+    f, _ = compare_counters(
+        "t", cbase, dict(cbase, **{"guard.forwarded_to_ans": 900}), 0.20
+    )
+    assert f == []
+    # Within counter tolerance: fine both ways.
+    f, _ = compare_counters(
+        "t",
+        cbase,
+        dict(
+            cbase,
+            **{"guard.drop.bad_cookie": 1150, "driver.completed": 450},
+        ),
+        0.20,
+    )
+    assert f == []
+    # Gated counter disappearing: failure; informational one: warning.
+    f, w = compare_counters(
+        "t",
+        {k: v for k, v in cbase.items()},
+        {k: v for k, v in cbase.items() if k != "driver.completed"},
+        0.20,
+    )
+    assert len(f) == 1 and w == []
+    f, w = compare_counters(
+        "t",
+        cbase,
+        {k: v for k, v in cbase.items() if k != "sim.events_dispatched"},
+        0.20,
+    )
+    assert f == [] and len(w) == 1
+
     print("self-test: OK")
     return 0
 
@@ -158,6 +316,12 @@ def main():
     parser.add_argument("--baseline", help="directory with baseline JSONs")
     parser.add_argument("--current", help="directory with fresh JSONs")
     parser.add_argument("--tolerance", type=float, default=0.10)
+    parser.add_argument(
+        "--counter-tolerance",
+        type=float,
+        default=0.20,
+        help="relative tolerance for gated drop/goodput counters",
+    )
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
@@ -165,7 +329,9 @@ def main():
         return self_test()
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required (or --self-test)")
-    return run_check(args.baseline, args.current, args.tolerance)
+    return run_check(
+        args.baseline, args.current, args.tolerance, args.counter_tolerance
+    )
 
 
 if __name__ == "__main__":
