@@ -14,7 +14,6 @@
 // section are bit-stable and gated by tools/check_bench.py; wall-clock
 // ns/op goes to the informational "counters" section (machine-dependent,
 // not gated).
-#include <chrono>
 #include <cstdint>
 #include <cstdio>
 
@@ -33,15 +32,6 @@ std::uint64_t rng() {
   x ^= x << 17;
   g_rng_state = x;
   return x;
-}
-
-double wall_ns_per_op(std::chrono::steady_clock::time_point t0,
-                      std::uint64_t ops) {
-  auto dt = std::chrono::steady_clock::now() - t0;
-  return static_cast<double>(
-             std::chrono::duration_cast<std::chrono::nanoseconds>(dt)
-                 .count()) /
-         static_cast<double>(ops);
 }
 
 }  // namespace
@@ -63,7 +53,7 @@ int main() {
        .idle_timeout = milliseconds(20)});
   g_rng_state = 0x9e3779b97f4a7c15ULL;
   SimTime now{};
-  auto t0 = std::chrono::steady_clock::now();
+  auto t0 = bench::wall_now();
   for (std::uint64_t i = 0; i < churn_ops; ++i) {
     now = now + microseconds(1);
     const std::uint32_t key = static_cast<std::uint32_t>(rng() & 0xffff);
@@ -86,7 +76,7 @@ int main() {
         break;
     }
   }
-  const double churn_ns = wall_ns_per_op(t0, churn_ops);
+  const double churn_ns = bench::wall_ns_per_op(t0, churn_ops);
   const auto& cs = table.stats();
   json.add("churn_final_size", static_cast<std::uint64_t>(table.size()));
   json.add("churn_hits", cs.hits.value());
@@ -103,12 +93,12 @@ int main() {
   flood.set_evict_callback(
       [&flood_evict_cb](const std::uint32_t&, std::uint64_t&,
                         common::EvictReason) { ++flood_evict_cb; });
-  t0 = std::chrono::steady_clock::now();
+  t0 = bench::wall_now();
   for (std::uint64_t i = 0; i < flood_keys; ++i) {
     now = now + nanoseconds(100);
     flood.try_emplace(static_cast<std::uint32_t>(i), now, i);
   }
-  const double flood_ns = wall_ns_per_op(t0, flood_keys);
+  const double flood_ns = bench::wall_ns_per_op(t0, flood_keys);
   json.add("flood_final_size", static_cast<std::uint64_t>(flood.size()));
   json.add("flood_evicted_capacity", flood.stats().evicted_capacity.value());
 

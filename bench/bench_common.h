@@ -6,6 +6,7 @@
 // with the testbed's 0.4 ms LAN RTT.
 #pragma once
 
+#include <chrono>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
@@ -39,6 +40,28 @@ inline bool quick_mode() {
 template <typename T>
 T quick(T full_value, T quick_value) {
   return quick_mode() ? quick_value : full_value;
+}
+
+// --- wall-clock measurement ------------------------------------------------
+// Benches measure *host* throughput, so they legitimately read real time —
+// but only through these helpers. Everything else in the tree runs on the
+// sim clock; bench_common.h and src/common/time.cpp are the only files the
+// sim-time-purity lint rule exempts (tools/lint/dnsguard_lint.py), which
+// keeps stray wall-clock reads out of simulation code.
+
+using WallClock = std::chrono::steady_clock;
+
+/// Starts a wall-clock measurement.
+inline WallClock::time_point wall_now() { return WallClock::now(); }
+
+/// Seconds elapsed since `t0`.
+inline double wall_seconds_since(WallClock::time_point t0) {
+  return std::chrono::duration<double>(WallClock::now() - t0).count();
+}
+
+/// Mean wall nanoseconds per operation since `t0`.
+inline double wall_ns_per_op(WallClock::time_point t0, std::uint64_t ops) {
+  return wall_seconds_since(t0) * 1e9 / static_cast<double>(ops);
 }
 
 /// Machine-readable benchmark results: collects scalar metrics and writes

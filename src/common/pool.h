@@ -169,6 +169,9 @@ class BufferPool {
   /// keeping; past the cap the buffer just frees normally.
   void release(Bytes&& b) {
     if (b.capacity() == 0 || free_.size() >= kMaxPooled) return;
+    // DNSGUARD_LINT_ALLOW(alloc): free-list push reuses capacity after
+    // warmup (bounded by kMaxPooled); this is the recycling that keeps
+    // the rest of the hot path allocation-free
     free_.push_back(std::move(b));
   }
 

@@ -59,6 +59,8 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
       rl2_(config_.rl2),
       pending_({.capacity = config_.pending_table_capacity,
                 .ttl = config_.pending_ttl}),
+      framers_({.capacity = config_.proxy_max_connections,
+                .evict_lru_when_full = true}),
       nat_({.capacity = config_.nat_table_capacity, .ttl = config_.nat_ttl}),
       conn_buckets_({.capacity = config_.conn_bucket_capacity,
                      .idle_timeout = config_.conn_bucket_idle}) {
@@ -608,8 +610,15 @@ void RemoteGuardNode::do_tcp_redirect(const net::Packet& packet,
 }
 
 void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
-  auto& framer = framers_[conn];
-  for (Bytes& msg : framer.push(data)) {
+  auto ins = framers_.try_emplace(conn, now());
+  if (ins.value == nullptr) {
+    // Refused insert (only possible if eviction were disabled): reset the
+    // connection instead of carrying unframeable stream state.
+    drops_.count(obs::DropReason::kStateTableFull);
+    tcp_->abort(conn);
+    return;
+  }
+  for (Bytes& msg : ins.value->push(data)) {
     auto query = dns::Message::decode(BytesView(msg));
     if (!query || query->header.qr || query->question() == nullptr) {
       stats_.malformed++;

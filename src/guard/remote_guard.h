@@ -115,6 +115,8 @@ class RemoteGuardNode : public sim::Node {
     Scheme scheme = Scheme::NsName;
     /// Per-requester overrides (the Fig. 5 testbed serves one LRS with
     /// UDP cookies and redirects another to TCP).
+    // DNSGUARD_LINT_ALLOW(bounded): operator configuration written once at
+    // guard construction, never grown from packet input
     std::unordered_map<net::Ipv4Address, Scheme> per_source_scheme;
 
     std::uint64_t key_seed = 0x1337c00c1e5eedULL;
@@ -293,7 +295,10 @@ class RemoteGuardNode : public sim::Node {
   common::BoundedTable<PendingKey, PendingAction, PendingKeyHash> pending_;
 
   std::unique_ptr<tcp::TcpStack> tcp_;
-  std::unordered_map<tcp::ConnId, tcp::StreamFramer> framers_;
+  /// Per-connection DNS framing buffers. Connections are attacker-opened,
+  /// so this table is capped at proxy_max_connections like the TCP stack's
+  /// own connection table it shadows.
+  common::BoundedTable<tcp::ConnId, tcp::StreamFramer> framers_;
   struct NatEntry {
     tcp::ConnId conn;
     std::uint16_t query_id;

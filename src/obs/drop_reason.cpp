@@ -19,6 +19,7 @@ std::string_view drop_reason_name(DropReason r) {
     case DropReason::kLossInjected: return "loss_injected";
     case DropReason::kStateTableFull: return "state_table_full";
     case DropReason::kUnmatchedResponse: return "unmatched_response";
+    case DropReason::kStraySegment: return "stray_segment";
     case DropReason::kCount: break;
   }
   return "?";

@@ -31,6 +31,8 @@ enum class DropReason : std::uint8_t {
   kStateTableFull,    // bounded per-source table refused/recycled an entry
   kUnmatchedResponse,  // response with no matching outstanding query /
                        // NAT entry / pending state (likely spoofed or late)
+  kStraySegment,       // TCP segment matching no connection or listener
+                       // (RST'd away; spoofed, late, or port-scanning)
   kCount
 };
 

@@ -28,6 +28,8 @@ bool CookieResponseLimiter::allow(net::Ipv4Address requester, SimTime now) {
     stats_.allowed++;
     return true;
   }
+  // DNSGUARD_LINT_ALLOW(drop): allow() is a decision point, not a drop
+  // site — the guard charges kRateLimited1 when it acts on the false
   stats_.throttled++;
   return false;
 }
@@ -42,6 +44,8 @@ bool VerifiedRequestLimiter::allow(net::Ipv4Address host, SimTime now) {
     // only triggers with more *validated* distinct hosts than the cap,
     // which spoofing cannot cause; idle hosts are reaped so departed
     // clients free their slots.
+    // DNSGUARD_LINT_ALLOW(drop): decision point — the caller charges
+    // kRateLimited2 when it drops on the false
     stats_.throttled++;
     return false;
   }
@@ -49,6 +53,8 @@ bool VerifiedRequestLimiter::allow(net::Ipv4Address host, SimTime now) {
     stats_.allowed++;
     return true;
   }
+  // DNSGUARD_LINT_ALLOW(drop): decision point — the caller charges
+  // kRateLimited2 when it drops on the false
   stats_.throttled++;
   return false;
 }

@@ -103,6 +103,9 @@ class SpaceSaving {
 
   std::size_t capacity_;
   std::vector<Entry> entries_;
+  // DNSGUARD_LINT_ALLOW(bounded): SpaceSaving is capacity-capped by
+  // construction — the index only ever holds the fixed monitored set,
+  // recycling the minimum-count entry when full
   std::unordered_map<Key, std::size_t, Hash> index_;
 };
 

@@ -9,7 +9,10 @@ namespace dnsguard::server {
 AuthoritativeServerNode::AuthoritativeServerNode(sim::Simulator& sim,
                                                  std::string name,
                                                  Config config)
-    : sim::Node(sim, std::move(name)), config_(config) {
+    : sim::Node(sim, std::move(name)),
+      config_(config),
+      framers_({.capacity = config.max_tcp_connections,
+                .evict_lru_when_full = true}) {
   tcp_ = std::make_unique<tcp::TcpStack>(
       [this](net::Packet p) { send(std::move(p)); },
       [this] { return now(); },
@@ -19,10 +22,14 @@ AuthoritativeServerNode::AuthoritativeServerNode(sim::Simulator& sim,
                             BytesView data) { on_tcp_data(id, data); },
           .on_closed = [this](tcp::ConnId id) { framers_.erase(id); },
       },
-      tcp::TcpStack::Options{.syn_cookies = false});
+      tcp::TcpStack::Options{.syn_cookies = false,
+                             .max_connections = config.max_tcp_connections});
   tcp_->listen(net::kDnsPort);
+  tcp_->set_drop_counters(&drops_);
   ans_stats_.bind(this->sim().metrics(), "server.ans");
+  drops_.bind(this->sim().metrics(), "server.ans");
   tcp_->bind_metrics(this->sim().metrics(), "server.ans.tcp");
+  framers_.bind_metrics(this->sim().metrics(), "server.ans.framers");
 
   // Periodic reaping of dead TCP connections.
   schedule_in(config_.tcp_idle_timeout, [this] { reap_loop(); });
@@ -82,6 +89,8 @@ SimDuration AuthoritativeServerNode::process(const net::Packet& packet) {
     auto query = dns::Message::decode(BytesView(packet.payload));
     if (!query || query->header.qr || query->question() == nullptr) {
       ans_stats_.malformed++;
+      drops_.count(obs::DropReason::kMalformed);
+      trace(obs::TraceEvent::kDrop, packet, obs::DropReason::kMalformed);
       return config_.udp_query_cost;  // parsing junk still costs CPU
     }
     ans_stats_.udp_queries++;
@@ -109,11 +118,20 @@ SimDuration AuthoritativeServerNode::process(const net::Packet& packet) {
 }
 
 void AuthoritativeServerNode::on_tcp_data(tcp::ConnId conn, BytesView data) {
-  auto& framer = framers_[conn];
-  for (Bytes& msg : framer.push(data)) {
+  auto ins = framers_.try_emplace(conn, now());
+  if (ins.value == nullptr) {
+    // Framer table refused (cannot happen with LRU eviction enabled, but
+    // the contract is refuse-or-evict): drop the connection rather than
+    // process unframeable bytes.
+    drops_.count(obs::DropReason::kStateTableFull);
+    tcp_->abort(conn);
+    return;
+  }
+  for (Bytes& msg : ins.value->push(data)) {
     auto query = dns::Message::decode(BytesView(msg));
     if (!query || query->header.qr || query->question() == nullptr) {
       ans_stats_.malformed++;
+      drops_.count(obs::DropReason::kMalformed);
       continue;
     }
     ans_stats_.tcp_queries++;
@@ -137,6 +155,8 @@ SimDuration AnsSimulatorNode::process(const net::Packet& packet) {
   auto query = dns::Message::decode(BytesView(packet.payload));
   if (!query || query->header.qr || query->question() == nullptr) {
     ans_stats_.malformed++;
+    drops_.count(obs::DropReason::kMalformed);
+    trace(obs::TraceEvent::kDrop, packet, obs::DropReason::kMalformed);
     return config_.query_cost;
   }
   ans_stats_.udp_queries++;

@@ -14,9 +14,10 @@
 
 #include <memory>
 #include <optional>
-#include <unordered_map>
 
+#include "common/bounded_table.h"
 #include "dns/message.h"
+#include "obs/drop_reason.h"
 #include "server/zone.h"
 #include "sim/node.h"
 #include "tcp/tcp_stack.h"
@@ -61,6 +62,9 @@ class AuthoritativeServerNode : public sim::Node {
     SimDuration tcp_idle_timeout = seconds(30);
     /// Largest UDP payload served to EDNS0 requesters (RFC 6891).
     std::size_t max_edns_payload = 4096;
+    /// Cap on tracked TCP connections (and their framing buffers); the
+    /// LRU connection is reset at the cap, like a full accept backlog.
+    std::size_t max_tcp_connections = 65536;
   };
 
   AuthoritativeServerNode(sim::Simulator& sim, std::string name,
@@ -88,8 +92,12 @@ class AuthoritativeServerNode : public sim::Node {
   Config config_;
   AuthoritativeEngine engine_;
   std::unique_ptr<tcp::TcpStack> tcp_;
-  std::unordered_map<tcp::ConnId, tcp::StreamFramer> framers_;
+  /// Framing buffers keyed by connection id — attacker-driven state (any
+  /// client can open connections), so bounded to the TCP stack's own
+  /// connection cap.
+  common::BoundedTable<tcp::ConnId, tcp::StreamFramer> framers_;
   AnsStats ans_stats_;
+  obs::DropCounters drops_;  // bound as "server.ans.drop.<reason>"
   SimDuration pending_cost_{};  // cost accrued by TCP callbacks per packet
 };
 
@@ -108,6 +116,7 @@ class AnsSimulatorNode : public sim::Node {
   AnsSimulatorNode(sim::Simulator& sim, std::string name, Config config)
       : sim::Node(sim, std::move(name)), config_(config) {
     ans_stats_.bind(sim.metrics(), "server.ans_sim");
+    drops_.bind(sim.metrics(), "server.ans_sim");
   }
 
   [[nodiscard]] const AnsStats& ans_stats() const { return ans_stats_; }
@@ -120,6 +129,7 @@ class AnsSimulatorNode : public sim::Node {
  private:
   Config config_;
   AnsStats ans_stats_;
+  obs::DropCounters drops_;  // bound as "server.ans_sim.drop.<reason>"
 };
 
 }  // namespace dnsguard::server

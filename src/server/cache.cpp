@@ -5,6 +5,15 @@
 
 namespace dnsguard::server {
 
+RrCache::RrCache(Config config)
+    : config_(config),
+      // Per-entry lifetimes come from the records' own TTLs (set_expiry);
+      // at capacity the LRU record set is recycled — correct for a cache,
+      // where eviction only costs a refetch.
+      entries_({.capacity = config.capacity, .evict_lru_when_full = true}),
+      negative_({.capacity = config.negative_capacity,
+                 .evict_lru_when_full = true}) {}
+
 RrCache::Key RrCache::key_of(const dns::DomainName& name, dns::RrType type) {
   std::string s = name.to_string();
   for (char& c : s) {
@@ -17,33 +26,41 @@ void RrCache::put(const dns::ResourceRecord& rr, SimTime now) {
   if (rr.ttl == 0) return;
   Key key = key_of(rr.name, rr.type);
   SimTime expires = now + seconds(rr.ttl);
-  auto it = entries_.find(key);
-  if (it == entries_.end() || it->second.expires <= now) {
-    entries_[key] = Entry{{rr}, expires};
+  // try_emplace lazily evicts an expired entry under this key and hands
+  // back a fresh one, so the stale-entry replacement of the std::map
+  // version falls out of the table's own expiry handling.
+  auto r = entries_.try_emplace(key, now);
+  if (r.value == nullptr) return;  // refused (cannot happen with LRU evict)
+  Entry& e = *r.value;
+  if (r.inserted) {
+    e.rrs.push_back(rr);
+    e.expires = expires;
+    entries_.set_expiry(key, expires);
     stats_.inserts++;
     return;
   }
   // Merge into the existing set if this exact record is new; keep the
   // earlier of the two expiries so no record outlives its TTL.
-  Entry& e = it->second;
   if (std::none_of(e.rrs.begin(), e.rrs.end(),
                    [&rr](const dns::ResourceRecord& x) { return x == rr; })) {
     e.rrs.push_back(rr);
     stats_.inserts++;
   }
   e.expires = std::min(e.expires, expires);
+  entries_.set_expiry(key, e.expires);
 }
 
 std::optional<std::vector<dns::ResourceRecord>> RrCache::get(
     const dns::DomainName& name, dns::RrType type, SimTime now) {
-  auto it = entries_.find(key_of(name, type));
-  if (it == entries_.end() || it->second.expires <= now) {
-    if (it != entries_.end()) entries_.erase(it);
+  // find() evicts an expired entry on contact, mirroring the old
+  // erase-on-expired-lookup behaviour.
+  Entry* e = entries_.find(key_of(name, type), now);
+  if (e == nullptr) {
     stats_.misses++;
     return std::nullopt;
   }
   stats_.hits++;
-  return it->second.rrs;
+  return e->rrs;
 }
 
 void RrCache::evict(const dns::DomainName& name, dns::RrType type) {
@@ -54,19 +71,20 @@ void RrCache::evict(const dns::DomainName& name, dns::RrType type) {
 void RrCache::put_negative(const dns::DomainName& name, dns::RrType type,
                            dns::Rcode rcode, std::uint32_t ttl, SimTime now) {
   if (ttl == 0) return;
-  negative_[key_of(name, type)] = NegativeEntry{rcode, now + seconds(ttl)};
+  Key key = key_of(name, type);
+  auto r = negative_.try_emplace(key, now, NegativeEntry{rcode, now});
+  if (r.value == nullptr) return;
+  *r.value = NegativeEntry{rcode, now + seconds(ttl)};
+  negative_.set_expiry(key, r.value->expires);
 }
 
 std::optional<dns::Rcode> RrCache::get_negative(const dns::DomainName& name,
                                                 dns::RrType type,
                                                 SimTime now) {
-  auto it = negative_.find(key_of(name, type));
-  if (it == negative_.end() || it->second.expires <= now) {
-    if (it != negative_.end()) negative_.erase(it);
-    return std::nullopt;
-  }
+  NegativeEntry* e = negative_.find(key_of(name, type), now);
+  if (e == nullptr) return std::nullopt;
   stats_.hits++;
-  return it->second.rcode;
+  return e->rcode;
 }
 
 }  // namespace dnsguard::server

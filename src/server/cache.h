@@ -7,11 +7,11 @@
 // TTL=0 responses.
 #pragma once
 
-#include <map>
 #include <optional>
 #include <string>
 #include <vector>
 
+#include "common/bounded_table.h"
 #include "common/time.h"
 #include "dns/message.h"
 #include "dns/records.h"
@@ -27,6 +27,18 @@ class RrCache {
     obs::Counter misses;
     obs::Counter inserts;
   };
+
+  /// Cache keys are attacker-influenced (any qname a client asks for lands
+  /// here), so both record sets live in capacity-capped BoundedTables: a
+  /// random-subdomain query flood recycles LRU cache slots instead of
+  /// growing the resolver's heap — the §V state-exhaustion vector.
+  struct Config {
+    std::size_t capacity = 65536;
+    std::size_t negative_capacity = 16384;
+  };
+
+  explicit RrCache(Config config);
+  RrCache() : RrCache(Config{}) {}
 
   /// Caches one record set under (name, type). TTL 0 records are not
   /// cached (RFC 1035 semantics: use only for the current transaction).
@@ -60,21 +72,32 @@ class RrCache {
   }
   [[nodiscard]] std::size_t size() const { return entries_.size(); }
   [[nodiscard]] std::size_t negative_size() const { return negative_.size(); }
+  [[nodiscard]] std::size_t capacity() const { return config_.capacity; }
   [[nodiscard]] const Stats& stats() const { return stats_; }
 
-  /// Publishes hit/miss/insert counters as "<prefix>.hits" etc.
+  /// Publishes hit/miss/insert counters as "<prefix>.hits" etc., plus the
+  /// bounded tables' occupancy/eviction cells under "<prefix>.table".
   void bind_metrics(obs::MetricsRegistry& registry, std::string_view prefix) {
     std::string p(prefix);
     registry.attach_counter(p + ".hits", stats_.hits);
     registry.attach_counter(p + ".misses", stats_.misses);
     registry.attach_counter(p + ".inserts", stats_.inserts);
+    entries_.bind_metrics(registry, p + ".table");
+    negative_.bind_metrics(registry, p + ".negative_table");
   }
 
  private:
   struct Key {
     std::string name;  // canonical lowercase
     std::uint16_t type;
-    auto operator<=>(const Key&) const = default;
+    bool operator==(const Key&) const = default;
+  };
+  struct KeyHash {
+    std::size_t operator()(const Key& k) const {
+      std::size_t h = std::hash<std::string_view>{}(k.name);
+      return h ^ ((static_cast<std::size_t>(k.type) + 1) *
+                  0x9e3779b97f4a7c15ULL);
+    }
   };
   struct Entry {
     std::vector<dns::ResourceRecord> rrs;
@@ -88,8 +111,9 @@ class RrCache {
 
   static Key key_of(const dns::DomainName& name, dns::RrType type);
 
-  std::map<Key, Entry> entries_;
-  std::map<Key, NegativeEntry> negative_;
+  Config config_;
+  common::BoundedTable<Key, Entry, KeyHash> entries_;
+  common::BoundedTable<Key, NegativeEntry, KeyHash> negative_;
   Stats stats_;
 };
 

@@ -13,7 +13,12 @@ RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
       tasks_({.capacity = config_.max_inflight_tasks,
               .evict_lru_when_full = false}),
       pending_({.capacity = config_.max_pending_queries,
-                .evict_lru_when_full = false}) {
+                .evict_lru_when_full = false}),
+      // One entry per in-flight TCP fallback leg; a pending query backs
+      // each, so the same cap applies. LRU eviction just abandons the
+      // oldest leg's framing buffer — the query itself still times out.
+      tcp_queries_({.capacity = config_.max_pending_queries,
+                    .evict_lru_when_full = true}) {
   tcp_ = std::make_unique<tcp::TcpStack>(
       [this](net::Packet p) { send(std::move(p)); },
       [this] { return now(); },
@@ -21,11 +26,7 @@ RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
           .on_established = {},
           .on_data = [this](tcp::ConnId id,
                             BytesView data) { on_tcp_data(id, data); },
-          .on_closed =
-              [this](tcp::ConnId id) {
-                tcp_framers_.erase(id);
-                tcp_conn_query_.erase(id);
-              },
+          .on_closed = [this](tcp::ConnId id) { tcp_queries_.erase(id); },
       },
       tcp::TcpStack::Options{});
   // TCP fallback legs are keyed by our client-side endpoint (address,
@@ -40,6 +41,7 @@ RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
   tcp_->bind_metrics(this->sim().metrics(), "server.lrs.tcp");
   tasks_.bind_metrics(this->sim().metrics(), "server.lrs.tasks");
   pending_.bind_metrics(this->sim().metrics(), "server.lrs.pending");
+  tcp_queries_.bind_metrics(this->sim().metrics(), "server.lrs.tcp_queries");
 }
 
 void RecursiveResolverNode::resolve(const dns::DomainName& qname,
@@ -510,7 +512,12 @@ void RecursiveResolverNode::start_tcp_query(Task& task,
     tcp_->abort(conn);
     return;
   }
-  tcp_conn_query_[conn] = qid;
+  auto ins = tcp_queries_.try_emplace(conn, now());
+  if (ins.value == nullptr) {
+    tcp_->abort(conn);
+    return;
+  }
+  ins.value->query_id = qid;
 
   dns::Message query = dns::Message::query(qid, task.question.qname,
                                            task.question.qtype, false);
@@ -538,10 +545,9 @@ void RecursiveResolverNode::tcp_try_send(tcp::ConnId conn, Bytes framed,
 }
 
 void RecursiveResolverNode::on_tcp_data(tcp::ConnId conn, BytesView data) {
-  auto qit = tcp_conn_query_.find(conn);
-  if (qit == tcp_conn_query_.end()) return;
-  auto& framer = tcp_framers_[conn];
-  for (Bytes& msg : framer.push(data)) {
+  TcpQuery* q = tcp_queries_.find(conn, now());
+  if (q == nullptr) return;
+  for (Bytes& msg : q->framer.push(data)) {
     auto m = dns::Message::decode(BytesView(msg));
     if (!m || !m->header.qr) continue;
     auto remote = tcp_->remote_of(conn);
@@ -557,7 +563,12 @@ SimDuration RecursiveResolverNode::process(const net::Packet& packet) {
     tcp_->handle_packet(packet);
     return config_.per_packet_cost;
   }
-  if (!packet.is_udp()) return SimDuration{0};
+  if (!packet.is_udp()) {
+    // Neither TCP nor UDP: nothing a DNS server can parse.
+    drops_.count(obs::DropReason::kMalformed);
+    trace(obs::TraceEvent::kDrop, packet, obs::DropReason::kMalformed);
+    return SimDuration{0};
+  }
 
   auto m = dns::Message::decode(BytesView(packet.payload));
   if (!m) {

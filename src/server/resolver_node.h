@@ -17,7 +17,6 @@
 #include <memory>
 #include <optional>
 #include <string>
-#include <unordered_map>
 #include <vector>
 
 #include "common/bounded_table.h"
@@ -188,14 +187,23 @@ class RecursiveResolverNode : public sim::Node {
   void tcp_try_send(tcp::ConnId conn, Bytes framed, int attempts_left);
   void on_tcp_data(tcp::ConnId conn, BytesView data);
 
+  /// One TCP fallback leg: the pending query it resends plus its framing
+  /// buffer. Merged into one bounded table (was two parallel
+  /// unordered_maps) — connection ids are minted in response to
+  /// attacker-influenced truncation behaviour, so this state is capped
+  /// like every other per-source table.
+  struct TcpQuery {
+    std::uint16_t query_id = 0;
+    tcp::StreamFramer framer;
+  };
+
   Config config_;
   RrCache cache_;
   ResolverStats stats_;
   obs::DropCounters drops_;  // bound as "server.lrs.drop.<reason>"
   common::BoundedTable<std::uint64_t, Task> tasks_;
   common::BoundedTable<std::uint16_t, PendingQuery> pending_;  // by query id
-  std::unordered_map<tcp::ConnId, std::uint16_t> tcp_conn_query_;
-  std::unordered_map<tcp::ConnId, tcp::StreamFramer> tcp_framers_;
+  common::BoundedTable<tcp::ConnId, TcpQuery> tcp_queries_;
   std::unique_ptr<tcp::TcpStack> tcp_;
   std::uint64_t next_task_id_ = 1;
   std::uint16_t next_query_id_ = 1;

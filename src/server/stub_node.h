@@ -67,6 +67,9 @@ class StubResolverNode : public sim::Node {
   Config config_;
   Stats stats_;
   obs::DropCounters drops_;  // bound as "stub.drop.<reason>"
+  // DNSGUARD_LINT_ALLOW(bounded): keyed by the stub's own 16-bit query
+  // ids (self-chosen, not attacker input), so the keyspace caps it at
+  // 65535 entries
   std::unordered_map<std::uint16_t, Pending> pending_;
   std::uint16_t next_id_ = 1;
 };

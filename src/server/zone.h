@@ -65,6 +65,8 @@ class Zone {
   static NameKey key_of(const dns::DomainName& name);
 
   dns::DomainName origin_;
+  // DNSGUARD_LINT_ALLOW(bounded): operator-loaded zone data, populated
+  // from zone files at startup; queries only read it
   std::map<NameKey, std::vector<dns::ResourceRecord>> records_;
   std::vector<dns::DomainName> delegations_;  // child zone cut names
 };

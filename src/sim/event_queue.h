@@ -52,6 +52,9 @@ class EventQueue {
   void schedule(SimTime at, F&& fn) {
     const std::uint32_t s = acquire_slot();
     slot(s) = std::forward<F>(fn);
+    // DNSGUARD_LINT_ALLOW(alloc): heap vector reaches steady-state
+    // capacity after warmup and push_back then never reallocates; slots
+    // recycle through the free list (DESIGN.md section 7)
     heap_.push_back(make_key(at, (next_seq_++ << kSlotBits) | s));
     sift_up(heap_.size() - 1);
   }

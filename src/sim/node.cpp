@@ -24,6 +24,9 @@ void Node::deliver(net::Packet packet) {
   stats_.rx++;
   sim_.mutable_stats().packets_delivered++;
   trace(obs::TraceEvent::kRx, packet);
+  // DNSGUARD_LINT_ALLOW(alloc): deque push moves the packet (payloads are
+  // pooled); the queue is capped at rx_capacity_ so its chunk storage
+  // reaches steady state after warmup
   rx_queue_.push_back(std::move(packet));
   maybe_schedule_service();
 }

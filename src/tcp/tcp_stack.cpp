@@ -189,6 +189,7 @@ bool TcpStack::handle_packet(const net::Packet& packet) {
                                h.dst_port) != listen_ports_.end();
     if (h.flags.syn && !h.flags.ack) {
       if (!listening) {
+        if (drops_ != nullptr) drops_->count(obs::DropReason::kStraySegment);
         send_rst(packet);
         return false;
       }
@@ -247,6 +248,7 @@ bool TcpStack::handle_packet(const net::Packet& packet) {
       send_rst(packet);
       return false;
     }
+    if (drops_ != nullptr) drops_->count(obs::DropReason::kStraySegment);
     if (!h.flags.rst) send_rst(packet);
     return false;
   }

@@ -15,7 +15,6 @@
 
 #include <cstdint>
 #include <functional>
-#include <map>
 #include <optional>
 #include <string>
 #include <unordered_map>
@@ -190,6 +189,9 @@ class TcpStack {
   SynCookieGenerator syn_cookies_;
 
   common::BoundedTable<ConnKey, Connection, ConnKeyHash> conns_;
+  // DNSGUARD_LINT_ALLOW(bounded): 1:1 companion index of the bounded
+  // conns_ table above — every insert/erase is paired, so its size is
+  // capped by Options::max_connections transitively
   std::unordered_map<ConnId, ConnKey> by_id_;
   std::vector<std::uint16_t> listen_ports_;
   ConnId next_id_ = 1;

@@ -293,6 +293,29 @@ TEST(AttackDetectionEndToEnd, OnsetWithinTwoWindowsOfFloodStart) {
     }
   }
   EXPECT_GT(drops_traced, 0u);  // the flood must have left drop traces
+
+  // Counter-level half of the audit: every "*.drop.<reason>" counter the
+  // registry exports must carry a real taxonomy suffix. A ".drop.none"
+  // cell existing at all means a DropCounters::bind() started exporting
+  // the filler reason; a suffix outside the enum means a site invented an
+  // ad-hoc name instead of extending obs::DropReason.
+  std::size_t drop_counters_seen = 0;
+  for (const std::string& name : bed.sim.metrics().counter_names()) {
+    const std::size_t pos = name.rfind(".drop.");
+    if (pos == std::string::npos) continue;
+    drop_counters_seen++;
+    const std::string suffix = name.substr(pos + 6);
+    EXPECT_NE(suffix, "none") << name;
+    bool known = false;
+    for (std::size_t r = 1; r < obs::kDropReasonCount; ++r) {
+      if (suffix == obs::drop_reason_name(static_cast<obs::DropReason>(r))) {
+        known = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(known) << name << " uses a suffix outside the DropReason enum";
+  }
+  EXPECT_GT(drop_counters_seen, 0u);
 }
 
 TEST(AttackDetectionEndToEnd, AttackFreeControlRaisesNoAlerts) {

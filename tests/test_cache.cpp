@@ -1,6 +1,8 @@
 // TTL-honoring resource record cache.
 #include <gtest/gtest.h>
 
+#include <cstdio>
+
 #include "server/cache.h"
 
 namespace dnsguard::server {
@@ -109,6 +111,44 @@ TEST(RrCache, EvictRemovesEntry) {
   EXPECT_FALSE(cache.get(*DomainName::parse("foo.com"), RrType::A,
                          SimTime{} + seconds(1))
                    .has_value());
+}
+
+TEST(RrCache, BoundedUnderRandomSubdomainFlood) {
+  // §V state-exhaustion vector: a random-subdomain query flood must recycle
+  // LRU cache slots, not grow the resolver heap without bound.
+  RrCache cache(RrCache::Config{.capacity = 256, .negative_capacity = 64});
+  SimTime now{};
+  for (int i = 0; i < 4096; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "h%d.flood.example.com", i);
+    cache.put(a_record(name, 300, static_cast<std::uint8_t>(i & 0x7f)), now);
+    now = now + milliseconds(1);
+  }
+  EXPECT_LE(cache.size(), 256u);
+  // LRU keeps the tail of the flood: the newest key must still be resident.
+  EXPECT_TRUE(cache.get(*DomainName::parse("h4095.flood.example.com"),
+                        RrType::A, now)
+                  .has_value());
+  // ... and the head must have been evicted to make room.
+  EXPECT_FALSE(cache.get(*DomainName::parse("h0.flood.example.com"),
+                         RrType::A, now)
+                   .has_value());
+}
+
+TEST(RrCache, NegativeCacheBoundedUnderFlood) {
+  RrCache cache(RrCache::Config{.capacity = 64, .negative_capacity = 32});
+  SimTime now{};
+  for (int i = 0; i < 512; ++i) {
+    char name[64];
+    std::snprintf(name, sizeof(name), "nx%d.flood.example.com", i);
+    cache.put_negative(*DomainName::parse(name), RrType::A,
+                       dns::Rcode::NxDomain, 300, now);
+    now = now + milliseconds(1);
+  }
+  EXPECT_LE(cache.negative_size(), 32u);
+  EXPECT_TRUE(cache.get_negative(*DomainName::parse("nx511.flood.example.com"),
+                                 RrType::A, now)
+                  .has_value());
 }
 
 TEST(RrCache, StatsCountHitsAndMisses) {

@@ -94,6 +94,31 @@ TEST(TcpHandshake, SynToClosedPortGetsRst) {
   EXPECT_EQ(h.client->connection_count(), 0u);
 }
 
+TEST(TcpDropAccounting, StraySegmentsCharged) {
+  // Every discarded segment must land on a DropReason: segments matching no
+  // listener or connection are charged to kStraySegment (and RST'd away).
+  Harness h;
+  obs::DropCounters drops;
+  h.server->set_drop_counters(&drops);
+
+  // SYN to a non-listening port.
+  h.client->connect(Harness::client_addr(), {Ipv4Address(10, 0, 0, 1), 99});
+  h.pump();
+  EXPECT_EQ(drops.value(obs::DropReason::kStraySegment), 1u);
+
+  // Data segment for a connection the server has already torn down.
+  ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());
+  h.pump();
+  ASSERT_EQ(h.server_established.size(), 1u);
+  h.server->abort(h.server_established[0]);
+  h.wire_to_client.clear();  // drop the RST so the client still believes
+                             // the connection is up
+  EXPECT_TRUE(h.client->send_data(c, BytesView(Bytes{'h', 'i'})));
+  h.pump();
+  EXPECT_EQ(drops.value(obs::DropReason::kStraySegment), 2u);
+  EXPECT_TRUE(h.server_data.empty());
+}
+
 TEST(TcpData, RoundTripBothDirections) {
   Harness h;
   ConnId c = h.client->connect(Harness::client_addr(), Harness::server_addr());

@@ -1,0 +1,865 @@
+#!/usr/bin/env python3
+"""dnsguard-lint: project-invariant static analysis for the dnsguard tree.
+
+Four rules, each guarding an invariant that a previous PR established at
+runtime and that ordinary code review keeps failing to protect:
+
+  hot-path-alloc   Functions reachable from the registered hot-path roots
+                   (guard cookie verification, EventQueue::pop/run_next,
+                   packet encode/deliver/consume) must not allocate:
+                   no `new`/`malloc`, no growing std::string/std::vector
+                   calls, no std::function construction.
+  drop-reason      Every drop site in src/guard, src/tcp, src/ratelimit
+                   and src/server must charge a DropReason other than
+                   kNone (compile-time extension of the runtime audit in
+                   tests/test_anomaly.cpp).
+  bounded-state    No std::{unordered_,}map/set keyed by attacker-
+                   influenced values in those directories — per-source
+                   state must use common::BoundedTable.
+  sim-time-purity  No wall-clock reads (std::chrono clocks, ::time,
+                   gettimeofday, clock_gettime) anywhere except
+                   src/common/time.cpp and bench/bench_common.h.
+
+Escape hatch: a finding is suppressed by an annotation comment on the
+offending line or one of the two lines above it:
+
+    // DNSGUARD_LINT_ALLOW(<rule>): <reason>
+
+where <rule> is one of alloc, drop, bounded, simtime. The reason is
+mandatory; an annotation without one is itself a finding. The total
+annotation count across src/ is budgeted by tools/lint/baseline.json so
+the escape hatch cannot silently become the default (--check-baseline).
+
+Front-ends: when the python libclang bindings (clang.cindex) and a
+libclang shared library are available, the hot-path-alloc call graph is
+built from the AST using CMake's compile_commands.json (--compile-commands
+or autodetected at build*/compile_commands.json). Otherwise — including in
+minimal CI containers — a built-in lexer front-end computes the same four
+rules from tokenized sources; the fixture suite pins both front-ends to
+identical verdicts. Force one with --engine={auto,clang,text}.
+
+Exit codes: 0 clean, 1 findings (with --strict), 2 usage/internal error.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import re
+import sys
+from dataclasses import dataclass, field, asdict
+
+# --------------------------------------------------------------------------
+# Shared configuration
+# --------------------------------------------------------------------------
+
+RULES = ("hot-path-alloc", "drop-reason", "bounded-state", "sim-time-purity")
+
+ALLOW_TOKEN = {
+    "hot-path-alloc": "alloc",
+    "drop-reason": "drop",
+    "bounded-state": "bounded",
+    "sim-time-purity": "simtime",
+}
+
+# Directories whose per-source state and drop bookkeeping are in scope for
+# the drop-reason and bounded-state rules (attacker-facing subsystems).
+ATTACK_SURFACE_DIRS = ("src/guard", "src/tcp", "src/ratelimit", "src/server")
+
+# The hot-path root set: functions whose transitive callees must stay
+# allocation-free. Matched against qualified names ("Class::name"); a
+# trailing '*' is a prefix wildcard.
+HOT_PATH_ROOTS = (
+    "EventQueue::schedule",
+    "EventQueue::pop",
+    "EventQueue::run_next",
+    "CookieEngine::verify*",
+    "SynCookieGenerator::validate",
+    "DropCounters::count",
+    "TokenBucket::try_consume",
+    "Packet::release_payload",
+    "Node::deliver",
+)
+
+# Callee names never followed and never flagged (std/builtin vocabulary the
+# tokenizer would otherwise resolve to unrelated project functions).
+CALL_IGNORE = {
+    "if", "for", "while", "switch", "return", "sizeof", "alignof",
+    "static_cast", "reinterpret_cast", "const_cast", "dynamic_cast",
+    "static_assert", "assert", "defined", "decltype", "noexcept",
+    "size", "empty", "begin", "end", "data", "value", "reset", "get",
+    "front", "back", "first", "second", "count", "min", "max", "swap",
+    "move", "forward", "find", "erase", "clear", "contains", "at",
+}
+
+# Direct allocation constructs (regexes over comment/string-stripped code).
+ALLOC_PATTERNS = (
+    (r"\bnew\b(?!\s*\()", "operator new"),
+    (r"\b(?:malloc|calloc|realloc|strdup)\s*\(", "C allocation"),
+    (r"\bstd::make_(?:unique|shared)\b", "std::make_unique/make_shared"),
+    (r"\.\s*push_back\s*\(", "vector/string growth (push_back)"),
+    (r"\.\s*emplace_back\s*\(", "vector growth (emplace_back)"),
+    (r"\.\s*emplace\s*\(", "container growth (emplace)"),
+    (r"\.\s*resize\s*\(", "container growth (resize)"),
+    (r"\.\s*reserve\s*\(", "container growth (reserve)"),
+    (r"\.\s*append\s*\(", "string growth (append)"),
+    (r"\.\s*substr\s*\(", "string allocation (substr)"),
+    (r"\bstd::to_string\s*\(", "string allocation (to_string)"),
+    (r"\bstd::string\s*[({]", "std::string construction"),
+    (r"\bstd::function\s*<", "std::function construction"),
+)
+
+# Wall-clock constructs and their sanctioned homes.
+TIME_PATTERNS = (
+    r"\bstd::chrono::system_clock\b",
+    r"\bstd::chrono::steady_clock\b",
+    r"\bstd::chrono::high_resolution_clock\b",
+    r"\bgettimeofday\s*\(",
+    r"\bclock_gettime\s*\(",
+    r"(?<![\w:.])::time\s*\(",
+    r"(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)\s*\)",
+)
+TIME_EXEMPT_FILES = ("src/common/time.cpp", "bench/bench_common.h")
+
+# Counter names whose increment marks a drop decision and therefore needs a
+# DropReason charged in the surrounding statement window.
+DROPPISH_COUNTER = re.compile(
+    r"\b\w*(?:dropped|throttled|rejected|malformed|refused)\w*\s*"
+    r"(?:\+\+|\.inc\s*\(|\+=)"
+)
+DROP_COUNT_CALL = re.compile(r"\bdrops_?\s*(?:\.|->)\s*count\s*\(")
+DROP_REASON_USE = re.compile(r"\bDropReason::k(?!None\b)\w+")
+DROP_REASON_NONE = re.compile(r"\bDropReason::kNone\b")
+SEND_RST_CALL = re.compile(r"\bsend_rst\s*\(")
+# A DropReason-typed parameter in the enclosing function signature also
+# satisfies the rule (drop_spoof/drop_other style helpers charge a reason
+# the caller chose).
+DROP_REASON_PARAM = re.compile(r"(?:obs::)?DropReason\s+\w+")
+DROP_WINDOW = 4  # lines of context around a drop site that may carry the reason
+
+STD_CONTAINER_DECL = re.compile(
+    r"\bstd::(unordered_map|unordered_set|map|set)\s*<")
+
+ALLOW_RE = re.compile(
+    r"//\s*DNSGUARD_LINT_ALLOW\((alloc|drop|bounded|simtime)\)\s*(?::\s*(.*))?")
+NOLINT_RE = re.compile(r"//\s*NOLINT")
+
+CPP_EXTS = (".cpp", ".h", ".cc", ".hpp")
+
+
+@dataclass
+class Finding:
+    rule: str
+    file: str
+    line: int
+    message: str
+    context: str = ""
+    allowed: bool = False  # suppressed by a DNSGUARD_LINT_ALLOW annotation
+
+    def format(self) -> str:
+        tag = "allowed" if self.allowed else "error"
+        return f"{self.file}:{self.line}: [{self.rule}] {tag}: {self.message}"
+
+
+@dataclass
+class SourceFile:
+    path: str          # repo-relative, forward slashes
+    raw_lines: list = field(default_factory=list)
+    code_lines: list = field(default_factory=list)  # comments/strings blanked
+    allows: dict = field(default_factory=dict)      # line -> (token, reason)
+
+
+# --------------------------------------------------------------------------
+# Lexing helpers (shared by the text front-end and the fixture tests)
+# --------------------------------------------------------------------------
+
+def strip_comments_and_strings(text: str) -> str:
+    """Blanks comments and string/char literals, preserving line structure
+    (and preserving the DNSGUARD_LINT_ALLOW/NOLINT markers, which live in
+    comments but are meaningful to the linter)."""
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        nxt = text[i + 1] if i + 1 < n else ""
+        if c == "/" and nxt == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            comment = text[i:j]
+            if "DNSGUARD_LINT_ALLOW" in comment or "NOLINT" in comment:
+                out.append(comment)
+            else:
+                out.append(" " * (j - i))
+            i = j
+        elif c == "/" and nxt == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            seg = text[i:j + 2]
+            out.append("".join(ch if ch == "\n" else " " for ch in seg))
+            i = j + 2
+        elif c == "'" and i > 0 and text[i - 1].isalnum() and nxt.isalnum():
+            # C++14 digit separator (1'000'000), not a char literal.
+            out.append(c)
+            i += 1
+        elif c in "\"'":
+            q = c
+            j = i + 1
+            while j < n and text[j] != q and text[j] != "\n":
+                j += 2 if text[j] == "\\" else 1
+            closed = j < n and text[j] == q
+            out.append(q + " " * max(0, j - i - 1) + (q if closed else ""))
+            i = j + 1 if closed else j
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def load_source(root: str, rel: str) -> SourceFile:
+    abspath = os.path.join(root, rel)
+    with open(abspath, encoding="utf-8", errors="replace") as f:
+        text = f.read()
+    sf = SourceFile(path=rel.replace(os.sep, "/"))
+    sf.raw_lines = text.splitlines()
+    sf.code_lines = strip_comments_and_strings(text).splitlines()
+    for idx, line in enumerate(sf.raw_lines, start=1):
+        m = ALLOW_RE.search(line)
+        if m:
+            sf.allows[idx] = (m.group(1), (m.group(2) or "").strip())
+    return sf
+
+
+def allow_covers(sf: SourceFile, line: int, token: str) -> bool:
+    """An annotation covers its own line, the line directly after it, and
+    — when it heads a comment block — the first code line below that
+    block. So both of these are covered:
+
+        x = grow();  // DNSGUARD_LINT_ALLOW(alloc): reason
+        // DNSGUARD_LINT_ALLOW(alloc): reason spanning
+        // several comment lines
+        x = grow();
+    """
+    for probe in (line, line - 1):
+        entry = sf.allows.get(probe)
+        if entry and entry[0] == token:
+            return True
+    lno = line - 1
+    while lno > 0 and lno <= len(sf.raw_lines):
+        if sf.raw_lines[lno - 1].lstrip().startswith("//"):
+            entry = sf.allows.get(lno)
+            if entry and entry[0] == token:
+                return True
+            lno -= 1
+            continue
+        break
+    return False
+
+
+# --------------------------------------------------------------------------
+# Text front-end: function extraction + name-based call graph
+# --------------------------------------------------------------------------
+
+FUNC_DEF = re.compile(
+    r"""(?:^|[;}\s])
+        (?P<qual>(?:[A-Za-z_]\w*::)*)          # optional Class:: scope
+        (?P<name>~?[A-Za-z_]\w*)\s*
+        \((?P<args>[^;{}()]*(?:\([^()]*\)[^;{}()]*)*)\)\s*
+        (?:const\s*|noexcept\s*|override\s*|final\s*|->\s*[\w:<>,&*\s]+)*
+        \{""",
+    re.VERBOSE,
+)
+
+KEYWORD_NONFUNC = {
+    "if", "for", "while", "switch", "catch", "return", "else", "do",
+    "new", "delete", "sizeof", "alignas", "alignof", "case", "default",
+}
+
+CALL_SITE = re.compile(r"(?<![.>\w:])([A-Za-z_]\w*)\s*\(")
+METHOD_CALL_SITE = re.compile(r"(?:\.|->|::)\s*([A-Za-z_]\w*)\s*\(")
+
+
+@dataclass
+class FunctionDef:
+    qualified: str     # e.g. "EventQueue::pop" or "scheme_name"
+    name: str          # unqualified tail
+    file: str
+    start_line: int    # line of the opening brace match start
+    end_line: int
+    body: str          # code-stripped body text (between braces)
+
+
+def extract_functions(sf: SourceFile) -> list:
+    """Heuristic function-definition extractor over stripped code. Good
+    enough for this codebase's clang-format-enforced style; the clang
+    front-end replaces it when libclang is available."""
+    text = "\n".join(sf.code_lines)
+    line_of = _line_index(text)
+    funcs = []
+    for m in FUNC_DEF.finditer(text):
+        name = m.group("name")
+        if name in KEYWORD_NONFUNC:
+            continue
+        qual = (m.group("qual") or "").rstrip(":")
+        # Reject control-flow false positives: `= [...] {`, `struct X {`.
+        open_idx = m.end() - 1
+        body_end = _match_brace(text, open_idx)
+        if body_end == -1:
+            continue
+        # Class name context: walk back for "ClassName::" already captured;
+        # nested in-class definitions just get the unqualified name.
+        qualified = f"{qual}::{name}" if qual else name
+        funcs.append(FunctionDef(
+            qualified=qualified,
+            name=name,
+            file=sf.path,
+            start_line=line_of(m.start()),
+            end_line=line_of(body_end),
+            body=text[open_idx + 1:body_end],
+        ))
+    return funcs
+
+
+def _match_brace(text: str, open_idx: int) -> int:
+    depth = 0
+    for i in range(open_idx, len(text)):
+        c = text[i]
+        if c == "{":
+            depth += 1
+        elif c == "}":
+            depth -= 1
+            if depth == 0:
+                return i
+    return -1
+
+
+def _line_index(text: str):
+    starts = [0]
+    for i, c in enumerate(text):
+        if c == "\n":
+            starts.append(i + 1)
+
+    def line_of(pos: int) -> int:
+        lo, hi = 0, len(starts) - 1
+        while lo < hi:
+            mid = (lo + hi + 1) // 2
+            if starts[mid] <= pos:
+                lo = mid
+            else:
+                hi = mid - 1
+        return lo + 1
+
+    return line_of
+
+
+def calls_of(fn: FunctionDef) -> set:
+    names = set()
+    for m in CALL_SITE.finditer(fn.body):
+        names.add(m.group(1))
+    for m in METHOD_CALL_SITE.finditer(fn.body):
+        names.add(m.group(1))
+    return {n for n in names if n not in CALL_IGNORE and n not in KEYWORD_NONFUNC}
+
+
+def root_matches(qualified: str, name: str, roots) -> bool:
+    for r in roots:
+        if r.endswith("*"):
+            if qualified.startswith(r[:-1]) or name.startswith(r[:-1].split("::")[-1]):
+                return True
+        elif qualified == r or (("::" not in r) and name == r):
+            return True
+    return False
+
+
+# --------------------------------------------------------------------------
+# Rule: hot-path-alloc (text engine)
+# --------------------------------------------------------------------------
+
+def check_hot_path_alloc(sources, roots=HOT_PATH_ROOTS, max_depth=3):
+    """BFS over the name-resolved call graph from the hot-path roots;
+    every reached function is scanned for direct allocation constructs.
+    Depth is bounded (default 3) because name-based resolution loses
+    precision with distance; the clang engine raises it."""
+    by_name: dict = {}
+    all_funcs = []
+    func_src: dict = {}
+    for sf in sources:
+        if not (sf.path.startswith("src/") or _is_fixture(sf.path)):
+            continue
+        for fn in extract_functions(sf):
+            by_name.setdefault(fn.name, []).append(fn)
+            all_funcs.append(fn)
+            func_src[id(fn)] = sf
+
+    # Seed with roots.
+    work = [(fn, 0, fn.qualified)
+            for fn in all_funcs if root_matches(fn.qualified, fn.name, roots)]
+    seen = {id(fn) for fn, _, _ in work}
+    findings = []
+    while work:
+        fn, depth, path = work.pop()
+        sf = func_src[id(fn)]
+        findings.extend(_scan_alloc(fn, sf, path))
+        if depth >= max_depth:
+            continue
+        for callee in calls_of(fn):
+            defs = by_name.get(callee, [])
+            # Name-based resolution: only follow unambiguous project
+            # functions (a name defined once, or methods of one class).
+            if not defs or len({d.qualified for d in defs}) > 1:
+                continue
+            for d in defs:
+                if id(d) not in seen:
+                    seen.add(id(d))
+                    work.append((d, depth + 1, f"{path} -> {d.qualified}"))
+    return findings
+
+
+def _scan_alloc(fn: FunctionDef, sf: SourceFile, path: str):
+    findings = []
+    for off, line in enumerate(fn.body.splitlines()):
+        lineno = fn.start_line + off  # body starts on the brace line
+        for pat, what in ALLOC_PATTERNS:
+            if re.search(pat, line):
+                findings.append(Finding(
+                    rule="hot-path-alloc",
+                    file=sf.path,
+                    line=lineno,
+                    message=(f"{what} in hot-path function "
+                             f"'{fn.qualified}' (reachable via {path})"),
+                    context=sf.raw_lines[lineno - 1].strip()
+                    if lineno <= len(sf.raw_lines) else "",
+                    allowed=allow_covers(sf, lineno, "alloc"),
+                ))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: drop-reason
+# --------------------------------------------------------------------------
+
+def _is_fixture(path: str) -> bool:
+    return "tools/lint/fixtures/" in path or path.startswith("fixtures/")
+
+
+def _in_scope(path: str, scope_dirs=ATTACK_SURFACE_DIRS) -> bool:
+    if _is_fixture(path):
+        return True
+    return any(path.startswith(d + "/") or path == d for d in scope_dirs)
+
+
+def check_drop_reason(sources, scope_dirs=ATTACK_SURFACE_DIRS):
+    findings = []
+    for sf in sources:
+        if not _in_scope(sf.path, scope_dirs):
+            continue
+        funcs = extract_functions(sf) if sf.path.endswith(CPP_EXTS) else []
+        reason_param_spans = []
+        for fn in funcs:
+            # Signature text: the raw line(s) right before the body.
+            sig_line = sf.raw_lines[fn.start_line - 1] if \
+                fn.start_line <= len(sf.raw_lines) else ""
+            sig = " ".join(sf.code_lines[max(0, fn.start_line - 3):fn.start_line])
+            if DROP_REASON_PARAM.search(sig) or DROP_REASON_PARAM.search(sig_line):
+                reason_param_spans.append((fn.start_line, fn.end_line))
+
+        def has_reason_param(lineno: int) -> bool:
+            return any(a <= lineno <= b for a, b in reason_param_spans)
+
+        for idx, line in enumerate(sf.code_lines, start=1):
+            window = "\n".join(
+                sf.code_lines[max(0, idx - 1 - DROP_WINDOW):idx + DROP_WINDOW])
+
+            if DROP_REASON_NONE.search(line) and DROP_COUNT_CALL.search(line):
+                findings.append(Finding(
+                    rule="drop-reason", file=sf.path, line=idx,
+                    message="drop charged to DropReason::kNone",
+                    context=sf.raw_lines[idx - 1].strip(),
+                    allowed=allow_covers(sf, idx, "drop")))
+                continue
+
+            hit = None
+            if DROPPISH_COUNTER.search(line):
+                hit = "drop-classed counter incremented"
+            elif SEND_RST_CALL.search(line) and not re.search(
+                    r"\bvoid\b[^;()]*send_rst", line):
+                # (the `void ... send_rst(...)` form is the declaration or
+                # definition of the helper itself, not a drop site)
+                hit = "RST emitted (segment discarded)"
+            elif DROP_COUNT_CALL.search(line) and not (
+                    DROP_REASON_USE.search(line) or has_reason_param(idx)):
+                hit = "DropCounters::count() call"
+            if hit is None:
+                continue
+            if (DROP_REASON_USE.search(window)
+                    or DROP_COUNT_CALL.search(window)
+                    or has_reason_param(idx)):
+                continue
+            findings.append(Finding(
+                rule="drop-reason", file=sf.path, line=idx,
+                message=(f"{hit} without a DropReason charged within "
+                         f"{DROP_WINDOW} lines"),
+                context=sf.raw_lines[idx - 1].strip(),
+                allowed=allow_covers(sf, idx, "drop")))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: bounded-state
+# --------------------------------------------------------------------------
+
+def check_bounded_state(sources, scope_dirs=ATTACK_SURFACE_DIRS):
+    findings = []
+    for sf in sources:
+        if not _in_scope(sf.path, scope_dirs):
+            continue
+        for idx, line in enumerate(sf.code_lines, start=1):
+            raw = sf.raw_lines[idx - 1] if idx <= len(sf.raw_lines) else ""
+            if "#include" in raw:
+                continue
+            m = STD_CONTAINER_DECL.search(line)
+            if not m:
+                continue
+            # Declaration heuristic: using/typedef/member/local declaration,
+            # not a template parameter mention inside another type.
+            findings.append(Finding(
+                rule="bounded-state", file=sf.path, line=idx,
+                message=(f"std::{m.group(1)} in attack-surface code — "
+                         "attacker-keyed state must use common::BoundedTable "
+                         "(annotate benign config/zone-keyed tables)"),
+                context=sf.raw_lines[idx - 1].strip(),
+                allowed=allow_covers(sf, idx, "bounded")))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: sim-time-purity
+# --------------------------------------------------------------------------
+
+def check_sim_time(sources, exempt=TIME_EXEMPT_FILES):
+    findings = []
+    for sf in sources:
+        if sf.path in exempt:
+            continue
+        if not (sf.path.startswith("src/") or sf.path.startswith("bench/")
+                or sf.path.startswith("examples/")
+                or sf.path.startswith("tools/lint/fixtures/")):
+            continue
+        for idx, line in enumerate(sf.code_lines, start=1):
+            for pat in TIME_PATTERNS:
+                if re.search(pat, line):
+                    findings.append(Finding(
+                        rule="sim-time-purity", file=sf.path, line=idx,
+                        message=("wall-clock read outside "
+                                 "src/common/time.cpp / bench/bench_common.h "
+                                 "— simulation code must use the sim clock"),
+                        context=sf.raw_lines[idx - 1].strip(),
+                        allowed=allow_covers(sf, idx, "simtime")))
+                    break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Annotation audit (reasons mandatory; budget vs baseline.json)
+# --------------------------------------------------------------------------
+
+def check_annotations(sources):
+    findings = []
+    for sf in sources:
+        for lineno, (token, reason) in sorted(sf.allows.items()):
+            if not reason:
+                findings.append(Finding(
+                    rule="annotation", file=sf.path, line=lineno,
+                    message=(f"DNSGUARD_LINT_ALLOW({token}) without a reason "
+                             "— the justification is the contract"),
+                    context=sf.raw_lines[lineno - 1].strip()))
+    return findings
+
+
+def count_annotations(sources):
+    allow_total = 0
+    nolint_total = 0
+    per_file = {}
+    for sf in sources:
+        if not sf.path.startswith("src/"):
+            continue
+        a = len(sf.allows)
+        n = sum(1 for line in sf.raw_lines if NOLINT_RE.search(line))
+        if a or n:
+            per_file[sf.path] = {"allow": a, "nolint": n}
+        allow_total += a
+        nolint_total += n
+    return {"allow_total": allow_total, "nolint_total": nolint_total,
+            "per_file": per_file}
+
+
+def check_baseline(counts, baseline_path):
+    try:
+        with open(baseline_path, encoding="utf-8") as f:
+            baseline = json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        return [Finding(rule="annotation-budget", file=baseline_path, line=1,
+                        message=f"unreadable baseline: {e}")]
+    findings = []
+    for key in ("allow_total", "nolint_total"):
+        have = counts[key]
+        budget = baseline.get(key, 0)
+        if have > budget:
+            findings.append(Finding(
+                rule="annotation-budget", file=baseline_path, line=1,
+                message=(f"{key} grew to {have} (budget {budget}) — update "
+                         "tools/lint/baseline.json in the same commit to "
+                         "acknowledge the new annotation")))
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Optional clang front-end (hot-path-alloc precision)
+# --------------------------------------------------------------------------
+
+def try_clang_engine(root, compile_commands):
+    """Returns a callable with the check_hot_path_alloc signature, or None
+    when libclang is unavailable. The clang engine builds the call graph
+    from the AST (qualified names, overload-resolved), so it follows calls
+    the text engine's unique-name heuristic must skip."""
+    try:
+        from clang import cindex  # noqa: F401
+    except ImportError:
+        return None
+    try:
+        index = cindex.Index.create()
+    except Exception:
+        return None
+
+    def engine(sources, roots=HOT_PATH_ROOTS, max_depth=6):
+        from clang.cindex import CursorKind
+        db = None
+        if compile_commands and os.path.isdir(os.path.dirname(compile_commands)):
+            try:
+                db = cindex.CompilationDatabase.fromDirectory(
+                    os.path.dirname(compile_commands))
+            except cindex.CompilationDatabaseError:
+                db = None
+
+        defs = {}        # USR -> (cursor extent info, qualified name)
+        callees = {}     # USR -> set(USR)
+        alloc_sites = {}  # USR -> [(file, line, what)]
+        src_paths = {os.path.join(root, sf.path) for sf in sources
+                     if sf.path.startswith("src/")}
+
+        def qualified_name(cur):
+            parts = []
+            c = cur
+            while c is not None and c.kind != CursorKind.TRANSLATION_UNIT:
+                if c.spelling:
+                    parts.append(c.spelling)
+                c = c.semantic_parent
+            return "::".join(reversed(parts[:2]))  # Class::name at most
+
+        def args_for(path):
+            base = ["-std=c++20", f"-I{os.path.join(root, 'src')}"]
+            if db is None:
+                return base
+            cmds = db.getCompileCommands(path)
+            if not cmds:
+                return base
+            out = []
+            it = iter(list(cmds[0].arguments)[1:-1])
+            for a in it:
+                if a in ("-c", "-o"):
+                    next(it, None)
+                    continue
+                out.append(a)
+            return out or base
+
+        for path in sorted(src_paths):
+            if not path.endswith(".cpp"):
+                continue
+            try:
+                tu = index.parse(path, args=args_for(path))
+            except cindex.TranslationUnitLoadError:
+                continue
+
+            def visit(cur, current=None):
+                if cur.kind in (CursorKind.FUNCTION_DECL, CursorKind.CXX_METHOD,
+                                CursorKind.CONSTRUCTOR) and cur.is_definition():
+                    current = cur.get_usr()
+                    defs[current] = (cur.location.file.name if cur.location.file
+                                     else path, cur.location.line,
+                                     qualified_name(cur))
+                    callees.setdefault(current, set())
+                    alloc_sites.setdefault(current, [])
+                if current is not None:
+                    if cur.kind == CursorKind.CALL_EXPR:
+                        ref = cur.referenced
+                        if ref is not None:
+                            callees[current].add(ref.get_usr())
+                            nm = ref.spelling or ""
+                            if nm in ("malloc", "calloc", "realloc", "strdup",
+                                      "push_back", "emplace_back", "emplace",
+                                      "resize", "reserve", "append", "substr",
+                                      "to_string", "make_unique", "make_shared"):
+                                loc = cur.location
+                                alloc_sites[current].append(
+                                    (loc.file.name if loc.file else path,
+                                     loc.line, f"allocating call '{nm}'"))
+                    elif cur.kind == CursorKind.CXX_NEW_EXPR:
+                        loc = cur.location
+                        alloc_sites[current].append(
+                            (loc.file.name if loc.file else path, loc.line,
+                             "operator new"))
+                for child in cur.get_children():
+                    visit(child, current)
+
+            visit(tu.cursor)
+
+        by_path = {os.path.join(root, sf.path): sf for sf in sources}
+        work = [(usr, 0, info[2]) for usr, info in defs.items()
+                if root_matches(info[2], info[2].split("::")[-1], roots)]
+        seen = {usr for usr, _, _ in work}
+        findings = []
+        while work:
+            usr, depth, trail = work.pop()
+            for fpath, line, what in alloc_sites.get(usr, []):
+                sf = by_path.get(os.path.abspath(fpath)) or by_path.get(fpath)
+                rel = sf.path if sf else os.path.relpath(fpath, root)
+                findings.append(Finding(
+                    rule="hot-path-alloc", file=rel, line=line,
+                    message=f"{what} in hot-path (reachable via {trail})",
+                    allowed=bool(sf and allow_covers(sf, line, "alloc"))))
+            if depth >= max_depth:
+                continue
+            for cal in callees.get(usr, ()):
+                if cal in defs and cal not in seen:
+                    seen.add(cal)
+                    work.append((cal, depth + 1,
+                                 f"{trail} -> {defs[cal][2]}"))
+        return findings
+
+    return engine
+
+
+# --------------------------------------------------------------------------
+# Driver
+# --------------------------------------------------------------------------
+
+def gather_sources(root, paths):
+    rels = []
+    for p in paths:
+        absolute = p if os.path.isabs(p) else os.path.join(root, p)
+        if os.path.isdir(absolute):
+            for dirpath, _, names in os.walk(absolute):
+                for nm in sorted(names):
+                    if nm.endswith(CPP_EXTS):
+                        rels.append(os.path.relpath(
+                            os.path.join(dirpath, nm), root))
+        elif absolute.endswith(CPP_EXTS):
+            rels.append(os.path.relpath(absolute, root))
+    return [load_source(root, rel) for rel in sorted(set(rels))]
+
+
+def find_compile_commands(root, explicit):
+    if explicit:
+        return explicit if os.path.isfile(explicit) else None
+    for cand in ("build", "build-san", "."):
+        p = os.path.join(root, cand, "compile_commands.json")
+        if os.path.isfile(p):
+            return p
+    return None
+
+
+def run(argv=None):
+    ap = argparse.ArgumentParser(
+        prog="dnsguard_lint.py",
+        description="Project-invariant static analysis for dnsguard.")
+    ap.add_argument("paths", nargs="*", default=[],
+                    help="files/dirs to lint (default: src/ and bench/)")
+    ap.add_argument("--root", default=None,
+                    help="repo root (default: two levels above this script)")
+    ap.add_argument("--rule", action="append", choices=RULES, default=None,
+                    help="run only the named rule(s)")
+    ap.add_argument("--engine", choices=("auto", "clang", "text"),
+                    default="auto",
+                    help="hot-path-alloc front-end (default auto: clang "
+                         "when libclang is importable, else text)")
+    ap.add_argument("--compile-commands", default=None,
+                    help="path to compile_commands.json for the clang engine")
+    ap.add_argument("--strict", action="store_true",
+                    help="exit 1 on any unannotated finding")
+    ap.add_argument("--json", dest="json_out", default=None,
+                    help="write the full report (findings + annotation "
+                         "census) to this file")
+    ap.add_argument("--check-baseline", default=None, metavar="BASELINE",
+                    help="fail if the src/ annotation count exceeds the "
+                         "budget recorded in this baseline.json")
+    ap.add_argument("--quiet", action="store_true")
+    args = ap.parse_args(argv)
+
+    root = args.root or os.path.abspath(
+        os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
+    paths = args.paths or ["src", "bench"]
+    sources = gather_sources(root, paths)
+    if not sources:
+        print("dnsguard-lint: no sources found", file=sys.stderr)
+        return 2
+    rules = args.rule or list(RULES)
+
+    findings = []
+    if "hot-path-alloc" in rules:
+        engine = None
+        if args.engine in ("auto", "clang"):
+            engine = try_clang_engine(
+                root, find_compile_commands(root, args.compile_commands))
+            if engine is None and args.engine == "clang":
+                print("dnsguard-lint: --engine=clang requested but libclang "
+                      "is unavailable", file=sys.stderr)
+                return 2
+        engine_name = "clang" if engine else "text"
+        findings += (engine or check_hot_path_alloc)(sources)
+    else:
+        engine_name = "n/a"
+    if "drop-reason" in rules:
+        findings += check_drop_reason(sources)
+    if "bounded-state" in rules:
+        findings += check_bounded_state(sources)
+    if "sim-time-purity" in rules:
+        findings += check_sim_time(sources)
+    findings += check_annotations(sources)
+
+    counts = count_annotations(sources)
+    if args.check_baseline:
+        findings += check_baseline(counts, args.check_baseline)
+
+    errors = [f for f in findings if not f.allowed]
+    allowed = [f for f in findings if f.allowed]
+
+    if not args.quiet:
+        for f in sorted(errors, key=lambda f: (f.file, f.line)):
+            print(f.format())
+            if f.context:
+                print(f"    {f.context}")
+        print(f"dnsguard-lint [{engine_name} engine]: "
+              f"{len(errors)} finding(s), {len(allowed)} annotated, "
+              f"{counts['allow_total']} ALLOW / "
+              f"{counts['nolint_total']} NOLINT across src/")
+
+    if args.json_out:
+        report = {
+            "engine": engine_name,
+            "rules": rules,
+            "findings": [asdict(f) for f in findings],
+            "error_count": len(errors),
+            "allowed_count": len(allowed),
+            "annotations": counts,
+        }
+        with open(args.json_out, "w", encoding="utf-8") as f:
+            json.dump(report, f, indent=2)
+            f.write("\n")
+
+    if errors and args.strict:
+        return 1
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(run())

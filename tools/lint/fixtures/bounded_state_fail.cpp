@@ -1,0 +1,19 @@
+// Fixture: MUST FAIL the bounded-state rule.
+//
+// A per-source table keyed by an attacker-controlled IPv4 address in a
+// std::unordered_map: unbounded growth under a spoofed flood, the exact
+// state-exhaustion vector of Guo et al. section V.
+#include <cstdint>
+#include <unordered_map>
+
+namespace dnsguard {
+
+struct PerSourceState {
+  std::uint64_t packets = 0;
+};
+
+struct FloodTarget {
+  std::unordered_map<std::uint32_t, PerSourceState> per_source_;
+};
+
+}  // namespace dnsguard

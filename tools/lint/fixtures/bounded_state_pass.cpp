@@ -1,0 +1,28 @@
+// Fixture: MUST PASS the bounded-state rule.
+//
+// Attacker-keyed state lives in common::BoundedTable (capacity-capped, so
+// a spoofed flood cannot exhaust memory); the one std::map is keyed by
+// operator configuration and carries an annotation saying so.
+#include <cstdint>
+#include <map>
+
+namespace common {
+template <typename K, typename V>
+struct BoundedTable {};
+}  // namespace common
+
+namespace dnsguard {
+
+struct PerSourceState {
+  std::uint64_t packets = 0;
+};
+
+struct FloodTarget {
+  common::BoundedTable<std::uint32_t, PerSourceState> per_source_;
+
+  // DNSGUARD_LINT_ALLOW(bounded): keyed by operator-configured scheme
+  // overrides loaded at startup, never by attacker-influenced input
+  std::map<int, int> scheme_overrides_;
+};
+
+}  // namespace dnsguard

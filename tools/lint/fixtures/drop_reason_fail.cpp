@@ -1,0 +1,30 @@
+// Fixture: MUST FAIL the drop-reason rule.
+//
+// Two classic violations: a drop-classed counter incremented with no
+// DropReason charged anywhere nearby, and a drop charged explicitly to
+// DropReason::kNone (which the PR 4 runtime audit would only catch if a
+// test happened to drive this path).
+
+namespace obs {
+enum class DropReason { kNone, kMalformed };
+struct DropCounters {
+  void count(DropReason) {}
+};
+}  // namespace obs
+
+namespace dnsguard {
+
+struct Stats {
+  unsigned long long dropped = 0;
+};
+
+bool handle_bad_packet(Stats& stats) {
+  stats.dropped++;
+  return false;
+}
+
+void charge_none(obs::DropCounters* drops) {
+  drops->count(obs::DropReason::kNone);
+}
+
+}  // namespace dnsguard

@@ -1,0 +1,35 @@
+// Fixture: MUST PASS the drop-reason rule.
+//
+// Every drop site charges a concrete DropReason — either directly in the
+// statement window, or by taking the reason as a parameter (the
+// drop_spoof/drop_other helper pattern from src/guard/remote_guard.cpp).
+
+namespace obs {
+enum class DropReason { kNone, kMalformed, kRateLimited1 };
+struct DropCounters {
+  void count(DropReason) {}
+};
+}  // namespace obs
+
+namespace dnsguard {
+
+struct Stats {
+  unsigned long long dropped = 0;
+  unsigned long long throttled = 0;
+};
+
+bool handle_bad_packet(Stats& stats, obs::DropCounters* drops) {
+  stats.dropped++;
+  drops->count(obs::DropReason::kMalformed);
+  return false;
+}
+
+// A helper that takes the reason as a parameter satisfies the rule: the
+// caller chose the reason, this function just does the bookkeeping.
+void drop_with(Stats& stats, obs::DropCounters* drops,
+               obs::DropReason reason) {
+  stats.throttled++;
+  drops->count(reason);
+}
+
+}  // namespace dnsguard

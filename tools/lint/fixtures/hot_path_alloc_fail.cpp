@@ -1,0 +1,19 @@
+// Fixture: MUST FAIL the hot-path-alloc rule.
+//
+// EventQueue::pop is a registered hot-path root; growing a vector inside
+// it is exactly the regression the rule exists to catch (the PR 1 event
+// loop recycles slots instead).
+#include <vector>
+
+namespace dnsguard {
+
+struct EventQueue {
+  void pop();
+  std::vector<int> heap_;
+};
+
+void EventQueue::pop() {
+  heap_.push_back(42);
+}
+
+}  // namespace dnsguard

@@ -1,0 +1,14 @@
+// Fixture: MUST FAIL the sim-time-purity rule.
+//
+// Reading a wall clock inside simulation code makes runs nondeterministic
+// and decouples telemetry windows from the sim clock; only
+// src/common/time.cpp and bench/bench_common.h may touch real time.
+#include <chrono>
+
+namespace dnsguard {
+
+long long wall_now_ns() {
+  return std::chrono::steady_clock::now().time_since_epoch().count();
+}
+
+}  // namespace dnsguard

@@ -1,0 +1,23 @@
+// Fixture: MUST PASS the sim-time-purity rule.
+//
+// Simulation code takes the sim clock as input (SimTime parameters or a
+// clock callback) instead of reading a wall clock.
+#include <cstdint>
+
+namespace dnsguard {
+
+using SimTime = std::int64_t;
+
+struct Reaper {
+  SimTime last_sweep = 0;
+
+  bool due(SimTime now, SimTime interval) {
+    if (now - last_sweep < interval) {
+      return false;
+    }
+    last_sweep = now;
+    return true;
+  }
+};
+
+}  // namespace dnsguard

