@@ -27,8 +27,11 @@
 //
 // Reentrancy rule: the eviction callback runs after the entry has been
 // fully unlinked (it receives the moved-out key and value), so it may
-// touch *other* tables and send packets, but it must not mutate the table
-// that is evicting.
+// touch *other* tables, send packets, and even erase() or insert *other*
+// entries of the evicting table itself (slot storage is stable and the
+// evicted entry is already off the index/LRU when the callback runs —
+// the guard's NAT-evict -> TCP-close -> NAT-erase_if chain relies on
+// this). The one thing it must not do is clear() the evicting table.
 #pragma once
 
 #include <cstdint>
@@ -198,7 +201,15 @@ class BoundedTable {
         ++stats_.insert_refused;
         return {nullptr, false};
       }
-      remove_slot(lru_tail_, EvictReason::kCapacity);
+      // Charge the eviction honestly: if the LRU entry is already past
+      // its TTL/idle deadline, this is an expiry that a find() or reap()
+      // would have reported as kTtl/kIdle — not capacity pressure. The
+      // contact path and the cursor sweep must agree, or the
+      // evicted_capacity gauge reads "table thrashing" when the table is
+      // merely full of expired entries.
+      const Slot& tail = slots_[lru_tail_];
+      remove_slot(lru_tail_, expired(tail, now) ? expire_reason(tail, now)
+                                                : EvictReason::kCapacity);
     }
     const std::uint32_t si = alloc_slot();
     Slot& s = slots_[si];
@@ -251,14 +262,18 @@ class BoundedTable {
   /// Evicts expired entries, scanning at most `max_scan` slots from a
   /// wrapping cursor — call with a small budget from packet handlers for
   /// amortized O(1) reaping, or with the default to sweep everything.
+  /// The slot count is re-read every step instead of cached: an eviction
+  /// callback may insert entries (growing the slot array — the sweep then
+  /// covers them instead of wrapping early past live slots) and a table
+  /// whose storage shrinks mid-sweep terminates instead of walking off
+  /// the end.
   std::size_t reap(SimTime now,
                    std::size_t max_scan = std::numeric_limits<
                        std::size_t>::max()) {
-    const std::size_t n = slots_.size();
-    if (n == 0) return 0;
     std::size_t reaped = 0;
-    const std::size_t scan = max_scan < n ? max_scan : n;
-    for (std::size_t i = 0; i < scan; ++i) {
+    for (std::size_t i = 0; i < max_scan; ++i) {
+      const std::size_t n = slots_.size();
+      if (n == 0 || i >= n) break;
       if (cursor_ >= n) cursor_ = 0;
       Slot& s = slots_[cursor_];
       if (s.value && expired(s, now)) {
@@ -268,6 +283,23 @@ class BoundedTable {
       ++cursor_;
     }
     return reaped;
+  }
+
+  /// Issues a hardware prefetch for `key`'s home bucket and, when the
+  /// bucket is occupied, its slot. The shard batch pre-pass calls this for
+  /// every source address in a burst so the limiter-bucket lookups that
+  /// follow hit warm lines. No LRU motion, no stats, no side effects.
+  void prefetch(const Key& key) const {
+#if defined(__GNUC__) || defined(__clang__)
+    const std::size_t b = bucket_of(key);
+    __builtin_prefetch(&index_[b]);
+    const std::uint32_t ref = index_[b];
+    if (ref != 0 && ref - 1 < slots_.size()) {
+      __builtin_prefetch(&slots_[ref - 1]);
+    }
+#else
+    (void)key;
+#endif
   }
 
   template <typename Fn>
@@ -445,8 +477,9 @@ class BoundedTable {
         case EvictReason::kTtl: ++stats_.expired_ttl; break;
         case EvictReason::kIdle: ++stats_.expired_idle; break;
       }
-      // Entry is fully unlinked: the callback may reenter other tables
-      // or send packets, just not mutate this one.
+      // Entry is fully unlinked: the callback may reenter this table or
+      // others (see the reentrancy rule in the file header); only clear()
+      // of this table is off-limits.
       if (on_evict_) on_evict_(key, value, *reason);
     }
   }

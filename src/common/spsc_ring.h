@@ -1,0 +1,70 @@
+// Fixed-capacity single-producer/single-consumer ring.
+//
+// The shard-per-core guard feeds each shard through one of these: the
+// delivery path pushes arriving packets, the shard's service loop pops
+// them in bursts. Capacity is rounded up to a power of two so push/pop are
+// a masked index increment; the buffer is allocated once at construction
+// and steady state never touches the allocator (same discipline as
+// EventQueue's slot pool).
+//
+// In the single-threaded simulator the SPSC contract is trivially met (one
+// producer call site, one consumer call site, never interleaved); the
+// monotonic head/tail counter layout is the same one a lock-free multi-core
+// build would use, so the data path is shaped for that future without
+// carrying atomics the simulator doesn't need.
+#pragma once
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+namespace dnsguard::common {
+
+template <typename T>
+class SpscRing {
+ public:
+  /// `min_capacity` is rounded up to a power of two (at least 2).
+  explicit SpscRing(std::size_t min_capacity) {
+    std::size_t cap = 2;
+    while (cap < min_capacity) cap <<= 1;
+    buf_.resize(cap);
+    mask_ = cap - 1;
+  }
+  SpscRing() : SpscRing(2) {}
+
+  SpscRing(SpscRing&&) = default;
+  SpscRing& operator=(SpscRing&&) = default;
+  SpscRing(const SpscRing&) = delete;
+  SpscRing& operator=(const SpscRing&) = delete;
+
+  [[nodiscard]] std::size_t capacity() const { return mask_ + 1; }
+  [[nodiscard]] std::size_t size() const {
+    return static_cast<std::size_t>(head_ - tail_);
+  }
+  [[nodiscard]] bool empty() const { return head_ == tail_; }
+  [[nodiscard]] bool full() const { return size() == capacity(); }
+
+  /// Producer side: false (value untouched) when the ring is full.
+  [[nodiscard]] bool try_push(T&& v) {
+    if (full()) return false;
+    buf_[static_cast<std::size_t>(head_) & mask_] = std::move(v);
+    ++head_;
+    return true;
+  }
+
+  /// Consumer side: false (out untouched) when the ring is empty.
+  [[nodiscard]] bool try_pop(T& out) {
+    if (empty()) return false;
+    out = std::move(buf_[static_cast<std::size_t>(tail_) & mask_]);
+    ++tail_;
+    return true;
+  }
+
+ private:
+  std::vector<T> buf_;
+  std::size_t mask_ = 0;
+  std::uint64_t head_ = 0;  // producer position (monotonic)
+  std::uint64_t tail_ = 0;  // consumer position (monotonic)
+};
+
+}  // namespace dnsguard::common

@@ -47,26 +47,37 @@ std::optional<CookieEngine::ParsedLabel> CookieEngine::parse_cookie_label(
 // Mint and verify must agree on the divisor: a config with r_y == 0 still
 // mints addresses in (base, base + 1] (divisor clamped to 1), so the
 // verify path has to clamp identically or every legitimate follow-up
-// query under that config is rejected as a spoof.
-static constexpr std::uint32_t sanitized_r_y(std::uint32_t r_y) {
-  return r_y == 0 ? 1 : r_y;
+// query under that config is rejected as a spoof. The upper clamp closes
+// the symmetric bug for huge R_y: cookie addresses live in
+// (base, base + divisor], and with r_y near 2^32 the mint side used to
+// wrap the 32-bit address space and produce addresses the verifier's
+// range check (correctly) rejects — every legitimate follow-up query
+// under such a config was dropped as a spoof. Capping the divisor so
+// base + divisor cannot wrap keeps both sides in agreement for any r_y.
+static constexpr std::uint32_t sanitized_r_y(std::uint32_t r_y,
+                                             std::uint32_t subnet_base) {
+  const std::uint32_t max_div = 0xffffffffU - subnet_base;
+  std::uint32_t d = r_y == 0 ? 1 : r_y;
+  if (max_div > 0 && d > max_div) d = max_div;
+  return d == 0 ? 1 : d;
 }
 
 net::Ipv4Address CookieEngine::make_cookie_address(
     net::Ipv4Address requester, net::Ipv4Address subnet_base,
     std::uint32_t r_y) const {
   crypto::Cookie c = mint(requester);
-  std::uint32_t y = crypto::cookie_prefix32(c) % sanitized_r_y(r_y);
+  std::uint32_t y =
+      crypto::cookie_prefix32(c) % sanitized_r_y(r_y, subnet_base.value());
   return net::Ipv4Address(subnet_base.value() + 1 + y);
 }
 
 crypto::VerifyResult CookieEngine::verify_cookie_address_ex(
     net::Ipv4Address requester, net::Ipv4Address dst,
     net::Ipv4Address subnet_base, std::uint32_t r_y) const {
-  const std::uint32_t divisor = sanitized_r_y(r_y);
-  if (dst.value() <= subnet_base.value()) return {false, false};
+  const std::uint32_t divisor = sanitized_r_y(r_y, subnet_base.value());
+  if (dst.value() <= subnet_base.value()) return {false, false, false};
   std::uint32_t offset = dst.value() - subnet_base.value() - 1;
-  if (offset >= divisor) return {false, false};
+  if (offset >= divisor) return {false, false, false};
   // Both current and previous key generation must be checked, mirroring
   // verify_prefix semantics: recompute under the generation the requester
   // might hold. The IP encoding carries no generation bit (mod R_y folds
@@ -74,14 +85,50 @@ crypto::VerifyResult CookieEngine::verify_cookie_address_ex(
   // drop every legitimate follow-up query holding a pre-rotation address.
   crypto::Cookie current = mint(requester);
   if (crypto::cookie_prefix32(current) % divisor == offset) {
-    return {true, false};
+    return {true, false, false};
   }
   if (auto prev = keys_.mint_previous(requester.value())) {
     if (crypto::cookie_prefix32(*prev) % divisor == offset) {
-      return {true, true};
+      return {true, true, false};
     }
   }
-  return {false, false};
+  // Failure classification: an address that matches the *retired* key
+  // (two rotations back) belongs to a real client whose cookie aged out,
+  // not to a guesser — charge it to kStaleKey, not kBadCookie. The mod-R_y
+  // fold makes this a probabilistic signal (a guess lands on the retired
+  // offset with probability 1/R_y), which is exactly the 1/R_y confusion
+  // bound the encoding already concedes (§III.G).
+  if (auto retired = keys_.mint_retired(requester.value())) {
+    if (crypto::cookie_prefix32(*retired) % divisor == offset) {
+      return {false, false, true};
+    }
+  }
+  return {false, false, false};
+}
+
+void CookieEngine::verify_jobs(const VerifyJob* jobs,
+                               crypto::VerifyResult* out, std::size_t n,
+                               net::Ipv4Address subnet_base,
+                               std::uint32_t r_y) const {
+  // One call verifies a whole shard batch. Grouping the checks keeps the
+  // pre-keyed MD5 midstates and the key schedule hot across items; each
+  // item still costs exactly the per-kind verification it would cost
+  // individually (the virtual-time cost model is charged by the caller).
+  for (std::size_t i = 0; i < n; ++i) {
+    const VerifyJob& j = jobs[i];
+    switch (j.kind) {
+      case VerifyJob::Kind::kFull:
+        out[i] = keys_.verify_ex(j.requester.value(), j.cookie);
+        break;
+      case VerifyJob::Kind::kPrefix:
+        out[i] = keys_.verify_prefix32_ex(j.requester.value(), j.prefix);
+        break;
+      case VerifyJob::Kind::kAddress:
+        out[i] = verify_cookie_address_ex(j.requester, j.dst, subnet_base,
+                                          r_y);
+        break;
+    }
+  }
 }
 
 std::optional<crypto::Cookie> CookieEngine::extract_txt_cookie(

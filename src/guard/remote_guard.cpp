@@ -49,21 +49,85 @@ void GuardStats::bind(obs::MetricsRegistry& registry,
   registry.attach_counter(p + ".key_rotations", key_rotations);
 }
 
+namespace {
+
+/// Ceiling division for splitting total table capacities across shards.
+std::size_t ceil_div(std::size_t total, std::size_t n) {
+  std::size_t per = (total + n - 1) / n;
+  return per == 0 ? 1 : per;
+}
+
+// NAT source ports live in [20000, 60000); with N shards each gets a
+// disjoint span so a response's destination port identifies its shard.
+constexpr std::uint16_t kNatPortBase = 20000;
+constexpr std::uint32_t kNatPortSpan = 40000;
+
+}  // namespace
+
+ratelimit::CookieResponseLimiter::Config RemoteGuardNode::divide_rl1(
+    ratelimit::CookieResponseLimiter::Config cfg, std::size_t n) {
+  cfg.max_buckets = ceil_div(cfg.max_buckets, n);
+  cfg.tracker_capacity = ceil_div(cfg.tracker_capacity, n);
+  return cfg;
+}
+
+ratelimit::VerifiedRequestLimiter::Config RemoteGuardNode::divide_rl2(
+    ratelimit::VerifiedRequestLimiter::Config cfg, std::size_t n) {
+  cfg.max_hosts = ceil_div(cfg.max_hosts, n);
+  return cfg;
+}
+
 RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
                                  Config config, sim::Node* ans)
     : sim::Node(sim, std::move(name), config.rx_queue_capacity),
       config_(std::move(config)),
       ans_(ans),
       engine_(config_.key_seed),
-      rl1_(config_.rl1),
-      rl2_(config_.rl2),
-      pending_({.capacity = config_.pending_table_capacity,
-                .ttl = config_.pending_ttl}),
       framers_({.capacity = config_.proxy_max_connections,
-                .evict_lru_when_full = true}),
-      nat_({.capacity = config_.nat_table_capacity, .ttl = config_.nat_ttl}),
-      conn_buckets_({.capacity = config_.conn_bucket_capacity,
-                     .idle_timeout = config_.conn_bucket_idle}) {
+                .evict_lru_when_full = true}) {
+  if (config_.num_shards == 0) config_.num_shards = 1;
+  if (config_.shard_batch_max == 0) config_.shard_batch_max = 1;
+  if (config_.shard_batch_max > kMaxShardBatch) {
+    config_.shard_batch_max = kMaxShardBatch;
+  }
+  const std::size_t n = config_.num_shards;
+  batch_fastpath_ = config_.activation_threshold_rps <= 0;
+
+  const std::uint32_t ports_per_shard = kNatPortSpan / static_cast<std::uint32_t>(n);
+  nat_ports_per_shard_ = ports_per_shard;
+  shards_.reserve(n);
+  for (std::size_t k = 0; k < n; ++k) {
+    auto sh = std::make_unique<Shard>(Shard{
+        ratelimit::CookieResponseLimiter(divide_rl1(config_.rl1, n)),
+        ratelimit::VerifiedRequestLimiter(divide_rl2(config_.rl2, n)),
+        common::BoundedTable<PendingKey, PendingAction, PendingKeyHash>(
+            {.capacity = ceil_div(config_.pending_table_capacity, n),
+             .ttl = config_.pending_ttl}),
+        common::BoundedTable<std::uint16_t, NatEntry>(
+            {.capacity = ceil_div(config_.nat_table_capacity, n),
+             .ttl = config_.nat_ttl}),
+        common::BoundedTable<net::Ipv4Address, ratelimit::TokenBucket>(
+            {.capacity = ceil_div(config_.conn_bucket_capacity, n),
+             .idle_timeout = config_.conn_bucket_idle}),
+        /*nat_port_base=*/
+        static_cast<std::uint16_t>(kNatPortBase + k * ports_per_shard),
+        /*nat_port_limit=*/
+        n == 1 ? std::uint16_t{0}
+               : static_cast<std::uint16_t>(kNatPortBase +
+                                            (k + 1) * ports_per_shard),
+        /*next_nat_port=*/
+        static_cast<std::uint16_t>(kNatPortBase + k * ports_per_shard)});
+    shards_.push_back(std::move(sh));
+  }
+  cur_shard_ = shards_[0].get();
+
+  if (n > 1 || config_.force_shard_service) {
+    enable_sharded_service(n,
+                           std::max<std::size_t>(
+                               config_.rx_queue_capacity / n, std::size_t{16}),
+                           config_.shard_batch_max);
+  }
+
   tcp_ = std::make_unique<tcp::TcpStack>(
       [this](net::Packet p) { emit(std::move(p)); },
       [this] { return now(); },
@@ -74,9 +138,15 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
           .on_closed =
               [this](tcp::ConnId id) {
                 framers_.erase(id);
-                nat_.erase_if([id](const std::uint16_t&, const NatEntry& e) {
-                  return e.conn == id;
-                });
+                // A connection's NAT entries live in the shard of its
+                // client address; close can fire from timer context where
+                // cur_shard_ is stale, so sweep every shard.
+                for (auto& sh : shards_) {
+                  sh->nat.erase_if(
+                      [id](const std::uint16_t&, const NatEntry& e) {
+                        return e.conn == id;
+                      });
+                }
               },
       },
       tcp::TcpStack::Options{.syn_cookies = true,
@@ -89,28 +159,43 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
   // A NAT entry leaving involuntarily means its ANS reply is never coming
   // (TTL) or its port was recycled under pressure (capacity): close the
   // proxied connection rather than leave the client hanging.
-  nat_.set_evict_callback([this](const std::uint16_t&, NatEntry& e,
-                                 common::EvictReason reason) {
-    drops_.count(reason == common::EvictReason::kCapacity
-                     ? obs::DropReason::kStateTableFull
-                     : obs::DropReason::kProxyTimeout);
-    tcp_->close(e.conn);
-  });
+  for (auto& sh : shards_) {
+    sh->nat.set_evict_callback([this](const std::uint16_t&, NatEntry& e,
+                                      common::EvictReason reason) {
+      drops_.count(reason == common::EvictReason::kCapacity
+                       ? obs::DropReason::kStateTableFull
+                       : obs::DropReason::kProxyTimeout);
+      tcp_->close(e.conn);
+    });
+  }
 
   obs::MetricsRegistry& registry = this->sim().metrics();
   stats_.bind(registry, "guard");
   drops_.bind(registry, "guard");
-  rl1_.bind_metrics(registry, "guard.rl1");
-  rl2_.bind_metrics(registry, "guard.rl2");
   tcp_->bind_metrics(registry, "guard.tcp");
   tcp_->set_drop_counters(&drops_);
   tcp_->set_journey_fn([this](net::SocketAddr client, std::string_view stage) {
     this->sim().journeys().mark({client.ip.value(), client.port, 0}, stage,
                                 now());
   });
-  pending_.bind_metrics(registry, "guard.pending");
-  nat_.bind_metrics(registry, "guard.nat");
-  conn_buckets_.bind_metrics(registry, "guard.conn_buckets");
+  if (n == 1) {
+    // Single shard keeps the historical metric names so existing tests,
+    // baselines and dashboards are untouched.
+    shards_[0]->rl1.bind_metrics(registry, "guard.rl1");
+    shards_[0]->rl2.bind_metrics(registry, "guard.rl2");
+    shards_[0]->pending.bind_metrics(registry, "guard.pending");
+    shards_[0]->nat.bind_metrics(registry, "guard.nat");
+    shards_[0]->conn_buckets.bind_metrics(registry, "guard.conn_buckets");
+  } else {
+    for (std::size_t k = 0; k < n; ++k) {
+      const std::string p = "guard.shard" + std::to_string(k);
+      shards_[k]->rl1.bind_metrics(registry, p + ".rl1");
+      shards_[k]->rl2.bind_metrics(registry, p + ".rl2");
+      shards_[k]->pending.bind_metrics(registry, p + ".pending");
+      shards_[k]->nat.bind_metrics(registry, p + ".nat");
+      shards_[k]->conn_buckets.bind_metrics(registry, p + ".conn_buckets");
+    }
+  }
   for (std::size_t i = 0; i < kSchemeCount; ++i) {
     std::string p =
         "guard.scheme." + std::string(scheme_token(static_cast<Scheme>(i)));
@@ -244,9 +329,140 @@ void RemoteGuardNode::forward_to_ans(const net::Packet& original,
   emit_direct(ans_, std::move(p));
 }
 
+std::size_t RemoteGuardNode::shard_of_ip(net::Ipv4Address ip) const {
+  // Multiply-shift: spread the (often sequential) source space over the
+  // shards without modulo bias.
+  const std::uint32_t h = ip.value() * 0x9e3779b9u;
+  return static_cast<std::size_t>(
+      (static_cast<std::uint64_t>(h) * shards_.size()) >> 32);
+}
+
+std::size_t RemoteGuardNode::shard_of(const net::Packet& packet) const {
+  if (shards_.size() == 1) return 0;
+  if (packet.is_udp() && packet.src_ip == config_.ans_address) {
+    if (packet.dst_ip == config_.guard_address) {
+      // Proxied-query reply: the NAT destination port identifies the
+      // shard that allocated it (the client's shard).
+      const std::uint32_t port = packet.udp().dst_port;
+      if (port >= kNatPortBase && nat_ports_per_shard_ > 0) {
+        const std::size_t k = (port - kNatPortBase) / nat_ports_per_shard_;
+        return k < shards_.size() ? k : 0;
+      }
+      return 0;
+    }
+    // Plain ANS response: owned by the requester's shard.
+    return shard_of_ip(packet.dst_ip);
+  }
+  return shard_of_ip(packet.src_ip);
+}
+
+std::optional<crypto::VerifyResult> RemoteGuardNode::take_batch_verdict() {
+  if (!in_batch()) return std::nullopt;
+  BatchSlot& slot = batch_slots_[batch_index()];
+  if (!slot.has_verdict) return std::nullopt;
+  slot.has_verdict = false;  // one verdict per packet
+  return slot.verdict;
+}
+
+void RemoteGuardNode::on_batch_begin(std::size_t lane,
+                                     const net::Packet* batch,
+                                     std::size_t n) {
+  if (n > kMaxShardBatch) n = kMaxShardBatch;  // batch_max is clamped; belt
+  // One trace entry covers the whole burst (the per-packet classify
+  // trace is amortized away on the sharded hot path).
+  mutable_trace_ring().record(now(), obs::TraceEvent::kBatch, 0, 0,
+                              static_cast<std::uint16_t>(n));
+  Shard& sh = *shards_[lane];
+  const auto& zone = config_.protected_zone;
+  std::size_t jobs = 0;
+  std::uint64_t requests = 0;
+
+  for (std::size_t k = 0; k < n; ++k) {
+    BatchSlot& slot = batch_slots_[k];
+    slot.msg.reset();
+    slot.has_verdict = false;
+    const net::Packet& p = batch[k];
+    if (!p.is_udp() || p.src_ip == config_.ans_address) continue;
+    auto m = dns::Message::decode(BytesView(p.payload));
+    if (!m || m->header.qr || m->question() == nullptr) continue;
+    ++requests;
+    // Pull the limiter buckets this request will touch toward the cache
+    // while the rest of the burst decodes.
+    sh.rl1.prefetch(p.src_ip);
+    sh.rl2.prefetch(p.src_ip);
+
+    // Collect cookie-verification work, mirroring handle_request's
+    // dispatch exactly: a TXT cookie wins regardless of scheme, then the
+    // per-scheme classification. Only meaningful when protection is
+    // unconditionally active — otherwise sub-threshold requests bypass
+    // verification and the precompute would diverge.
+    if (batch_fastpath_) {
+      const dns::Question& q = *m->question();
+      if (auto cookie = CookieEngine::extract_txt_cookie(*m)) {
+        if (!CookieEngine::is_zero_cookie(*cookie)) {
+          batch_jobs_[jobs] = CookieEngine::VerifyJob{
+              CookieEngine::VerifyJob::Kind::kFull, p.src_ip, *cookie, 0, {}};
+          batch_job_pos_[jobs++] = static_cast<std::uint8_t>(k);
+        }
+      } else {
+        switch (effective_scheme(p.src_ip)) {
+          case Scheme::ModifiedDns:  // falls back to NS-name classification
+          case Scheme::NsName:
+            if (q.qname.label_count() == zone.label_count() + 1 &&
+                q.qname.is_subdomain_of(zone)) {
+              if (auto parsed =
+                      CookieEngine::parse_cookie_label(q.qname.first_label())) {
+                batch_jobs_[jobs] = CookieEngine::VerifyJob{
+                    CookieEngine::VerifyJob::Kind::kPrefix, p.src_ip, {},
+                    parsed->cookie_prefix, {}};
+                batch_job_pos_[jobs++] = static_cast<std::uint8_t>(k);
+              }
+            }
+            break;
+          case Scheme::FabricatedNsIp:
+            if (!(p.dst_ip == config_.ans_address)) {
+              batch_jobs_[jobs] = CookieEngine::VerifyJob{
+                  CookieEngine::VerifyJob::Kind::kAddress, p.src_ip, {}, 0,
+                  p.dst_ip};
+              batch_job_pos_[jobs++] = static_cast<std::uint8_t>(k);
+            } else if (q.qname.label_count() >= 1) {
+              if (auto parsed =
+                      CookieEngine::parse_cookie_label(q.qname.first_label())) {
+                batch_jobs_[jobs] = CookieEngine::VerifyJob{
+                    CookieEngine::VerifyJob::Kind::kPrefix, p.src_ip, {},
+                    parsed->cookie_prefix, {}};
+                batch_job_pos_[jobs++] = static_cast<std::uint8_t>(k);
+              }
+            }
+            break;
+          case Scheme::PassThrough:
+          case Scheme::TcpRedirect:
+            break;
+        }
+      }
+    }
+    slot.msg = std::move(*m);
+  }
+
+  if (jobs > 0) {
+    engine_.verify_jobs(batch_jobs_.data(), batch_results_.data(), jobs,
+                        config_.subnet_base, config_.r_y);
+    for (std::size_t j = 0; j < jobs; ++j) {
+      BatchSlot& slot = batch_slots_[batch_job_pos_[j]];
+      slot.verdict = batch_results_[j];
+      slot.has_verdict = true;
+    }
+  }
+  // Amortize the request-rate estimator: one bulk record per burst
+  // instead of one call per packet (only valid when the threshold logic
+  // never reads mid-burst rates, i.e. protection is always on).
+  if (batch_fastpath_ && requests > 0) request_rate_.record(now(), requests);
+}
+
 SimDuration RemoteGuardNode::process(const net::Packet& packet) {
   cost_ = config_.costs.packet;  // ingress processing
   cur_jkey_valid_ = false;
+  cur_shard_ = shards_[shard_of(packet)].get();
 
   if (packet.is_tcp()) {
     // TCP path: either the proxy itself, or (pass-through schemes) raw
@@ -261,8 +477,8 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
       // bounded: idle clients are reaped incrementally and the LRU client
       // is recycled at capacity, so a SYN flood from spoofed sources
       // cannot grow it without limit.
-      conn_buckets_.reap(now(), 8);
-      auto bucket = conn_buckets_.try_emplace(
+      cur_shard_->conn_buckets.reap(now(), 8);
+      auto bucket = cur_shard_->conn_buckets.try_emplace(
           packet.src_ip, now(),
           ratelimit::TokenBucket(config_.proxy_conn_rate,
                                  config_.proxy_conn_burst));
@@ -293,6 +509,13 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
     return cost_;
   }
 
+  // On the sharded path the batch pre-pass already decoded this packet;
+  // reuse its message instead of decoding twice.
+  if (in_batch() && batch_slots_[batch_index()].msg.has_value()) {
+    handle_request(packet, *batch_slots_[batch_index()].msg);
+    return cost_;
+  }
+
   auto m = dns::Message::decode(BytesView(packet.payload));
   if (!m || m->header.qr || m->question() == nullptr) {
     stats_.malformed++;
@@ -308,14 +531,17 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
 void RemoteGuardNode::handle_request(const net::Packet& packet,
                                      const dns::Message& query) {
   stats_.requests_seen++;
-  trace(obs::TraceEvent::kClassify, packet);
+  // In a shard burst the classify trace and the rate-estimator update are
+  // amortized: one kBatch trace entry and one bulk record() per burst
+  // (mathematically identical — same sim instant, summed count).
+  if (!in_batch()) trace(obs::TraceEvent::kClassify, packet);
   if (sim().journeys().enabled()) {
     cur_jkey_ = {packet.src_ip.value(), query.header.id,
                  query.question()->qname.hash32()};
     cur_jkey_valid_ = true;
     jmark("guard.rx");
   }
-  request_rate_.record(now());
+  if (!(in_batch() && batch_fastpath_)) request_rate_.record(now());
 
   bool to_subnet = !(packet.dst_ip == config_.ans_address);
 
@@ -364,7 +590,7 @@ void RemoteGuardNode::do_modified_dns(const net::Packet& packet,
   if (CookieEngine::is_zero_cookie(cookie)) {
     // msg 2: a cookie request. Reply msg 3 (same size; no amplification),
     // through Rate-Limiter1.
-    if (!rl1_.allow(packet.src_ip, now())) {
+    if (!cur_shard_->rl1.allow(packet.src_ip, now())) {
       stats_.rl1_throttled++;
       drop_other(packet, obs::DropReason::kRateLimited1);
       return;
@@ -383,15 +609,23 @@ void RemoteGuardNode::do_modified_dns(const net::Packet& packet,
 
   charge(config_.costs.cookie);
   stats_.cookie_checks++;
-  crypto::VerifyResult vr = engine_.verify_ex(packet.src_ip, cookie);
+  crypto::VerifyResult vr;
+  if (auto pre = take_batch_verdict()) {
+    vr = *pre;  // verified in bulk by the batch pre-pass
+  } else {
+    vr = engine_.verify_ex(packet.src_ip, cookie);
+  }
   if (!vr.ok) {
+    // `stale` (not `used_previous`) picks the reason: only a failure that
+    // matches a retired key generation is a stale-cookie retry; anything
+    // else is a forgery.
     drop_spoof(packet, Scheme::ModifiedDns,
-               vr.used_previous ? obs::DropReason::kStaleKey
-                                : obs::DropReason::kBadCookie);
+               vr.stale ? obs::DropReason::kStaleKey
+                        : obs::DropReason::kBadCookie);
     return;
   }
   note_verified(Scheme::ModifiedDns, vr.used_previous);
-  if (!rl2_.allow(packet.src_ip, now())) {
+  if (!cur_shard_->rl2.allow(packet.src_ip, now())) {
     stats_.rl2_throttled++;
     drop_other(packet, obs::DropReason::kRateLimited2);
     return;
@@ -418,16 +652,20 @@ void RemoteGuardNode::do_ns_name(const net::Packet& packet,
     if (auto parsed = CookieEngine::parse_cookie_label(q.qname.first_label())) {
       charge(config_.costs.cookie);
       stats_.cookie_checks++;
-      crypto::VerifyResult vr =
-          engine_.verify_prefix_ex(packet.src_ip, parsed->cookie_prefix);
+      crypto::VerifyResult vr;
+      if (auto pre = take_batch_verdict()) {
+        vr = *pre;
+      } else {
+        vr = engine_.verify_prefix_ex(packet.src_ip, parsed->cookie_prefix);
+      }
       if (!vr.ok) {
         drop_spoof(packet, Scheme::NsName,
-                   vr.used_previous ? obs::DropReason::kStaleKey
-                                    : obs::DropReason::kBadCookie);
+                   vr.stale ? obs::DropReason::kStaleKey
+                            : obs::DropReason::kBadCookie);
         return;
       }
       note_verified(Scheme::NsName, vr.used_previous);
-      if (!rl2_.allow(packet.src_ip, now())) {
+      if (!cur_shard_->rl2.allow(packet.src_ip, now())) {
         stats_.rl2_throttled++;
         drop_other(packet, obs::DropReason::kRateLimited2);
         return;
@@ -446,8 +684,9 @@ void RemoteGuardNode::do_ns_name(const net::Packet& packet,
       action.fabricated_qname = q.qname;
       action.original_qtype = q.qtype;
       const PendingKey pkey{query.header.id, packet.src_ip.value()};
-      pending_.erase(pkey);  // retransmission: refresh, don't duplicate
-      pending_.try_emplace(pkey, now(), std::move(action));
+      // retransmission: refresh, don't duplicate
+      cur_shard_->pending.erase(pkey);
+      cur_shard_->pending.try_emplace(pkey, now(), std::move(action));
 
       dns::Message rewritten = query;
       rewritten.questions.front().qname = *restored;
@@ -466,7 +705,7 @@ void RemoteGuardNode::do_ns_name(const net::Packet& packet,
   dns::DomainName next_level = q.qname.suffix(zone.label_count() + 1);
   std::string next_label(next_level.first_label());
 
-  if (!rl1_.allow(packet.src_ip, now())) {
+  if (!cur_shard_->rl1.allow(packet.src_ip, now())) {
     stats_.rl1_throttled++;
     drop_other(packet, obs::DropReason::kRateLimited1);
     return;
@@ -504,14 +743,23 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
     // msg 7: the destination address is the cookie (COOKIE2).
     charge(config_.costs.cookie);
     stats_.cookie_checks++;
-    crypto::VerifyResult vr = engine_.verify_cookie_address_ex(
-        packet.src_ip, packet.dst_ip, config_.subnet_base, config_.r_y);
+    crypto::VerifyResult vr;
+    if (auto pre = take_batch_verdict()) {
+      vr = *pre;
+    } else {
+      vr = engine_.verify_cookie_address_ex(packet.src_ip, packet.dst_ip,
+                                            config_.subnet_base, config_.r_y);
+    }
     if (!vr.ok) {
-      drop_spoof(packet, Scheme::FabricatedNsIp, obs::DropReason::kBadCookie);
+      // This path used to charge every failure as kBadCookie, hiding
+      // stale-generation retries from the drop breakdown.
+      drop_spoof(packet, Scheme::FabricatedNsIp,
+                 vr.stale ? obs::DropReason::kStaleKey
+                          : obs::DropReason::kBadCookie);
       return;
     }
     note_verified(Scheme::FabricatedNsIp, vr.used_previous);
-    if (!rl2_.allow(packet.src_ip, now())) {
+    if (!cur_shard_->rl2.allow(packet.src_ip, now())) {
       stats_.rl2_throttled++;
       drop_other(packet, obs::DropReason::kRateLimited2);
       return;
@@ -520,8 +768,8 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
     action.kind = PendingAction::Kind::RelaySourceIp;
     action.reply_src = packet.dst_ip;
     const PendingKey pkey{query.header.id, packet.src_ip.value()};
-    pending_.erase(pkey);
-    pending_.try_emplace(pkey, now(), std::move(action));
+    cur_shard_->pending.erase(pkey);
+    cur_shard_->pending.try_emplace(pkey, now(), std::move(action));
     forward_to_ans(packet, query);  // msg 8: unchanged question
     return;
   }
@@ -531,16 +779,20 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
     if (auto parsed = CookieEngine::parse_cookie_label(q.qname.first_label())) {
       charge(config_.costs.cookie);
       stats_.cookie_checks++;
-      crypto::VerifyResult vr =
-          engine_.verify_prefix_ex(packet.src_ip, parsed->cookie_prefix);
+      crypto::VerifyResult vr;
+      if (auto pre = take_batch_verdict()) {
+        vr = *pre;
+      } else {
+        vr = engine_.verify_prefix_ex(packet.src_ip, parsed->cookie_prefix);
+      }
       if (!vr.ok) {
         drop_spoof(packet, Scheme::FabricatedNsIp,
-                   vr.used_previous ? obs::DropReason::kStaleKey
-                                    : obs::DropReason::kBadCookie);
+                   vr.stale ? obs::DropReason::kStaleKey
+                            : obs::DropReason::kBadCookie);
         return;
       }
       note_verified(Scheme::FabricatedNsIp, vr.used_previous);
-      if (!rl2_.allow(packet.src_ip, now())) {
+      if (!cur_shard_->rl2.allow(packet.src_ip, now())) {
         stats_.rl2_throttled++;
         drop_other(packet, obs::DropReason::kRateLimited2);
         return;
@@ -562,7 +814,7 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
   }
 
   // msg 1 -> msg 2: fabricate an ANS for the queried name itself.
-  if (!rl1_.allow(packet.src_ip, now())) {
+  if (!cur_shard_->rl1.allow(packet.src_ip, now())) {
     stats_.rl1_throttled++;
     drop_other(packet, obs::DropReason::kRateLimited1);
     return;
@@ -597,7 +849,7 @@ void RemoteGuardNode::do_fabricated_ns_ip(const net::Packet& packet,
 
 void RemoteGuardNode::do_tcp_redirect(const net::Packet& packet,
                                       const dns::Message& query) {
-  if (!rl1_.allow(packet.src_ip, now())) {
+  if (!cur_shard_->rl1.allow(packet.src_ip, now())) {
     stats_.rl1_throttled++;
     drop_other(packet, obs::DropReason::kRateLimited1);
     return;
@@ -639,7 +891,7 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
     }
     // TCP handshake completion already proved the source address; still
     // apply Rate-Limiter2 like any verified requester.
-    if (!rl2_.allow(remote->ip, now())) {
+    if (!cur_shard_->rl2.allow(remote->ip, now())) {
       stats_.rl2_throttled++;
       drops_.count(obs::DropReason::kRateLimited2);
       continue;
@@ -649,14 +901,25 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
     // Source-port allocation probes past ports with a live NAT entry: a
     // collision used to overwrite the old entry, orphaning its in-flight
     // ANS query and leaking the client connection. Expired entries are
-    // reaped incrementally on the same path.
-    nat_.reap(now(), 16);
+    // reaped incrementally on the same path. Candidates stay inside the
+    // shard's disjoint port range so the ANS reply routes back here.
+    Shard& sh = *cur_shard_;
+    sh.nat.reap(now(), 16);
     std::optional<std::uint16_t> port;
     for (int probe = 0; probe < config_.nat_port_probe_limit; ++probe) {
-      const std::uint16_t candidate = next_nat_port_++;
-      if (next_nat_port_ < 20000) next_nat_port_ = 20000;
-      auto r = nat_.try_emplace(candidate, now(),
-                                NatEntry{conn, query->header.id});
+      const std::uint16_t candidate = sh.next_nat_port++;
+      if (sh.nat_port_limit == 0) {
+        // Single shard: the historical full-range wrap (uint16 overflow
+        // lands below the base and resets to it).
+        if (sh.next_nat_port < sh.nat_port_base) {
+          sh.next_nat_port = sh.nat_port_base;
+        }
+      } else if (sh.next_nat_port < sh.nat_port_base ||
+                 sh.next_nat_port >= sh.nat_port_limit) {
+        sh.next_nat_port = sh.nat_port_base;
+      }
+      auto r = sh.nat.try_emplace(candidate, now(),
+                                  NatEntry{conn, query->header.id});
       if (r.inserted) {
         port = candidate;
         break;
@@ -678,7 +941,7 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
 
 void RemoteGuardNode::handle_proxy_nat_response(const net::Packet& packet) {
   const std::uint16_t port = packet.udp().dst_port;
-  NatEntry* found = nat_.find(port, now());
+  NatEntry* found = cur_shard_->nat.find(port, now());
   if (found == nullptr) {
     // No NAT entry: the proxied connection is gone (reaped / recycled) or
     // the response is a stray. Used to be a silent discard.
@@ -692,7 +955,7 @@ void RemoteGuardNode::handle_proxy_nat_response(const net::Packet& packet) {
                             "guard.proxy_relay", now());
     }
   }
-  nat_.erase(port);
+  cur_shard_->nat.erase(port);
   charge(config_.costs.transform);
   stats_.responses_relayed++;
   tcp_->send_data(entry.conn,
@@ -704,7 +967,7 @@ void RemoteGuardNode::handle_proxy_nat_response(const net::Packet& packet) {
 
 void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
   // Amortized reaping of expired rewrite state.
-  pending_.reap(now(), 16);
+  cur_shard_->pending.reap(now(), 16);
 
   auto m = dns::Message::decode(BytesView(packet.payload));
   if (!m || !m->header.qr) {
@@ -721,14 +984,14 @@ void RemoteGuardNode::handle_ans_response(const net::Packet& packet) {
   }
 
   const PendingKey pkey{m->header.id, packet.dst_ip.value()};
-  PendingAction* found = pending_.find(pkey, now());
+  PendingAction* found = cur_shard_->pending.find(pkey, now());
   if (found == nullptr) {
     stats_.responses_relayed++;
     emit(packet);
     return;
   }
   PendingAction action = std::move(*found);
-  pending_.erase(pkey);
+  cur_shard_->pending.erase(pkey);
 
   switch (action.kind) {
     case PendingAction::Kind::RestoreNsName: {

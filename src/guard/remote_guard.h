@@ -30,6 +30,7 @@
 #include <optional>
 #include <string>
 #include <unordered_map>
+#include <vector>
 
 #include "common/bounded_table.h"
 #include "dns/message.h"
@@ -169,6 +170,20 @@ class RemoteGuardNode : public sim::Node {
     /// flight, and dropping those (our mini-TCP has no retransmission)
     /// would stall connections rather than just delay them.
     std::size_t rx_queue_capacity = 65536;
+
+    /// Shard-per-core model: all per-source state (RL1/RL2 buckets,
+    /// pending rewrites, NAT entries, connection buckets) is partitioned
+    /// by source hash into this many independent shards, each fed by its
+    /// own SPSC ring and drained in bursts with batched cookie
+    /// verification. 1 (the default) keeps the classic sequential guard
+    /// bit-for-bit. Table capacities above are totals; each shard gets
+    /// its share (rounded up).
+    std::size_t num_shards = 1;
+    /// Max packets a shard drains per service burst (clamped to 64).
+    std::size_t shard_batch_max = 32;
+    /// Run the ring/batch service path even with num_shards == 1 (tests:
+    /// equivalence of the batched path with the sequential discipline).
+    bool force_shard_service = false;
   };
 
   /// `ans` is the protected server node. The constructor does not touch
@@ -203,22 +218,35 @@ class RemoteGuardNode : public sim::Node {
   [[nodiscard]] std::size_t proxy_connections() const {
     return tcp_ ? tcp_->connection_count() : 0;
   }
+  /// Shard-0 limiter views (the whole guard when num_shards == 1).
   [[nodiscard]] const ratelimit::CookieResponseLimiter& rl1() const {
-    return rl1_;
+    return shards_[0]->rl1;
   }
   [[nodiscard]] const ratelimit::VerifiedRequestLimiter& rl2() const {
-    return rl2_;
+    return shards_[0]->rl2;
   }
+  [[nodiscard]] std::size_t shard_count() const { return shards_.size(); }
   /// NAT-table introspection (tests: collision probing, TTL reaping).
-  [[nodiscard]] std::size_t nat_entries() const { return nat_.size(); }
-  [[nodiscard]] const common::BoundedTableStats& nat_table_stats() const {
-    return nat_.stats();
+  /// Entries are summed across shards.
+  [[nodiscard]] std::size_t nat_entries() const {
+    std::size_t total = 0;
+    for (const auto& sh : shards_) total += sh->nat.size();
+    return total;
   }
-  /// Tests: pin the next NAT source-port candidate to force collisions.
-  void set_next_nat_port(std::uint16_t port) { next_nat_port_ = port; }
+  [[nodiscard]] const common::BoundedTableStats& nat_table_stats() const {
+    return shards_[0]->nat.stats();
+  }
+  /// Tests: pin shard 0's next NAT source-port candidate to force
+  /// collisions (single-shard guards only).
+  void set_next_nat_port(std::uint16_t port) {
+    shards_[0]->next_nat_port = port;
+  }
 
  protected:
   SimDuration process(const net::Packet& packet) override;
+  [[nodiscard]] std::size_t shard_of(const net::Packet& packet) const override;
+  void on_batch_begin(std::size_t lane, const net::Packet* batch,
+                      std::size_t n) override;
 
  private:
   // Response-rewrite actions awaiting the ANS's reply.
@@ -286,26 +314,77 @@ class RemoteGuardNode : public sim::Node {
   void proxy_reap_loop();
   void rotation_loop();
 
-  Config config_;
-  sim::Node* ans_;
-  CookieEngine engine_;
-  ratelimit::CookieResponseLimiter rl1_;
-  ratelimit::VerifiedRequestLimiter rl2_;
-  ratelimit::RateEstimator request_rate_;
-  common::BoundedTable<PendingKey, PendingAction, PendingKeyHash> pending_;
-
-  std::unique_ptr<tcp::TcpStack> tcp_;
-  /// Per-connection DNS framing buffers. Connections are attacker-opened,
-  /// so this table is capped at proxy_max_connections like the TCP stack's
-  /// own connection table it shadows.
-  common::BoundedTable<tcp::ConnId, tcp::StreamFramer> framers_;
   struct NatEntry {
     tcp::ConnId conn;
     std::uint16_t query_id;
   };
-  common::BoundedTable<std::uint16_t, NatEntry> nat_;  // by guard src port
-  common::BoundedTable<net::Ipv4Address, ratelimit::TokenBucket> conn_buckets_;
-  std::uint16_t next_nat_port_ = 20000;
+
+  /// One shard owns every piece of per-source state for its slice of the
+  /// address space: RL1/RL2 buckets, pending rewrites, NAT entries (with a
+  /// disjoint source-port range) and connection-rate buckets. Shards never
+  /// touch each other's tables, so on real hardware each could run on its
+  /// own core without locks; in the simulator they share one thread and
+  /// stay deterministic.
+  struct Shard {
+    ratelimit::CookieResponseLimiter rl1;
+    ratelimit::VerifiedRequestLimiter rl2;
+    common::BoundedTable<PendingKey, PendingAction, PendingKeyHash> pending;
+    common::BoundedTable<std::uint16_t, NatEntry> nat;  // by guard src port
+    common::BoundedTable<net::Ipv4Address, ratelimit::TokenBucket>
+        conn_buckets;
+    /// NAT source ports allocated from [port_base, port_limit); the full
+    /// shard-disjoint ranges partition [20000, 60000).
+    std::uint16_t nat_port_base = 20000;
+    std::uint16_t nat_port_limit = 0;  // 0 => legacy full-range wrap
+    std::uint16_t next_nat_port = 20000;
+  };
+
+  [[nodiscard]] static ratelimit::CookieResponseLimiter::Config divide_rl1(
+      ratelimit::CookieResponseLimiter::Config cfg, std::size_t n);
+  [[nodiscard]] static ratelimit::VerifiedRequestLimiter::Config divide_rl2(
+      ratelimit::VerifiedRequestLimiter::Config cfg, std::size_t n);
+
+  /// The shard owning `ip`'s per-source state (multiply-shift hash).
+  [[nodiscard]] std::size_t shard_of_ip(net::Ipv4Address ip) const;
+
+  /// Batch scratch: per-packet decoded query + precomputed cookie verdict
+  /// for the burst the current lane is processing.
+  static constexpr std::size_t kMaxShardBatch = 64;
+  struct BatchSlot {
+    std::optional<dns::Message> msg;
+    bool has_verdict = false;
+    crypto::VerifyResult verdict{};
+  };
+  /// Consumes the precomputed verdict for the packet being processed, if
+  /// the batch pre-pass produced one.
+  [[nodiscard]] std::optional<crypto::VerifyResult> take_batch_verdict();
+
+  Config config_;
+  sim::Node* ans_;
+  CookieEngine engine_;
+  ratelimit::RateEstimator request_rate_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  /// Shard owning the packet currently in process(); set at the top of
+  /// process() (in classic mode this is always shard 0).
+  Shard* cur_shard_ = nullptr;
+  std::size_t nat_ports_per_shard_ = 0;
+
+  std::array<BatchSlot, kMaxShardBatch> batch_slots_;
+  std::array<CookieEngine::VerifyJob, kMaxShardBatch> batch_jobs_;
+  std::array<std::uint8_t, kMaxShardBatch> batch_job_pos_{};
+  std::array<crypto::VerifyResult, kMaxShardBatch> batch_results_;
+  /// Verdict precompute + amortized rate recording require protection to
+  /// be unconditionally active (activation_threshold_rps <= 0); otherwise
+  /// the pre-pass only decodes and prefetches.
+  bool batch_fastpath_ = false;
+
+  std::unique_ptr<tcp::TcpStack> tcp_;
+  /// Per-connection DNS framing buffers. Connections are attacker-opened,
+  /// so this table is capped at proxy_max_connections like the TCP stack's
+  /// own connection table it shadows. Shared across shards (the TCP stack
+  /// itself is shared; connection state is not per-source-hash).
+  common::BoundedTable<tcp::ConnId, tcp::StreamFramer> framers_;
 
   GuardStats stats_;
   std::array<SchemeCounters, kSchemeCount> scheme_counters_;

@@ -12,6 +12,12 @@ void TokenBucket::refill(SimTime now) {
   last_ = now;
 }
 
+void TokenBucket::set_rate(double rate_per_sec, SimTime now) {
+  refill(now);  // settle the elapsed window under the old rate
+  rate_ = rate_per_sec;
+  if (tokens_ > burst_) tokens_ = burst_;
+}
+
 bool TokenBucket::try_consume(SimTime now, double cost) {
   refill(now);
   if (tokens_ + 1e-12 < cost) return false;

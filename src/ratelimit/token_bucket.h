@@ -23,7 +23,14 @@ class TokenBucket {
 
   [[nodiscard]] double rate() const { return rate_; }
   [[nodiscard]] double burst() const { return burst_; }
-  void set_rate(double rate_per_sec) { rate_ = rate_per_sec; }
+
+  /// Changes the accrual rate at `now`. Tokens earned since the last
+  /// refill are settled under the *old* rate first — swapping `rate_`
+  /// without refilling retroactively re-priced the elapsed window, so a
+  /// mid-window rate cut confiscated already-earned tokens (and a raise
+  /// granted tokens the old rate never accrued). Settled tokens are
+  /// clamped to `burst_` as everywhere else.
+  void set_rate(double rate_per_sec, SimTime now);
 
  private:
   void refill(SimTime now);

@@ -14,7 +14,100 @@ void Node::trace(obs::TraceEvent event, const net::Packet& packet,
                 info, reason);
 }
 
+void Node::enable_sharded_service(std::size_t lanes,
+                                  std::size_t ring_capacity,
+                                  std::size_t batch_max) {
+  if (lanes == 0) lanes = 1;
+  if (batch_max == 0) batch_max = 1;
+  lanes_.clear();
+  lanes_.reserve(lanes);
+  for (std::size_t i = 0; i < lanes; ++i) {
+    lanes_.push_back(ShardLane{
+        common::SpscRing<net::Packet>(ring_capacity), SimTime{},
+        SimDuration{}, false});
+  }
+  batch_max_ = batch_max;
+  batch_.resize(batch_max);
+}
+
+void Node::deliver_sharded(net::Packet packet) {
+  const std::size_t lane_idx = shard_of(packet);
+  ShardLane& lane = lanes_[lane_idx < lanes_.size() ? lane_idx : 0];
+  if (lane.ring.full()) {
+    stats_.dropped_queue_full++;
+    sim_.mutable_stats().packets_dropped_queue_full++;
+    trace(obs::TraceEvent::kQueueDrop, packet, obs::DropReason::kQueueFull);
+    return;
+  }
+  stats_.rx++;
+  sim_.mutable_stats().packets_delivered++;
+  trace(obs::TraceEvent::kRx, packet);
+  (void)lane.ring.try_push(std::move(packet));  // full() checked above
+  maybe_schedule_lane(lane_idx < lanes_.size() ? lane_idx : 0);
+}
+
+void Node::maybe_schedule_lane(std::size_t lane_idx) {
+  ShardLane& lane = lanes_[lane_idx];
+  if (lane.scheduled || lane.ring.empty()) return;
+  lane.scheduled = true;
+  SimTime start = std::max(now(), lane.busy_until);
+  sim_.schedule_at(start, [this, lane_idx] { serve_lane(lane_idx); });
+}
+
+void Node::serve_lane(std::size_t lane_idx) {
+  ShardLane& lane = lanes_[lane_idx];
+  lane.scheduled = false;
+  std::size_t n = 0;
+  while (n < batch_max_ && lane.ring.try_pop(batch_[n])) ++n;
+  if (n == 0) return;
+
+  in_batch_ = true;
+  on_batch_begin(lane_idx, batch_.data(), n);
+
+  // The burst is classified at one sim instant, but each packet's service
+  // cost advances the lane clock and its emissions leave at its own
+  // completion time — the same release discipline as the sequential path.
+  SimTime t = std::max(now(), lane.busy_until);
+  for (std::size_t k = 0; k < n; ++k) {
+    batch_index_ = k;
+    in_process_ = true;
+    SimDuration cost = process(batch_[k]);
+    in_process_ = false;
+    batch_[k].release_payload();
+    if (cost.ns < 0) cost.ns = 0;
+    stats_.busy = stats_.busy + cost;
+    lane.busy = lane.busy + cost;
+    t = t + cost;
+    if (!outbox_.empty()) flush_outbox_at(t);
+  }
+  lane.busy_until = t;
+  on_batch_end(lane_idx, n);
+  in_batch_ = false;
+
+  maybe_schedule_lane(lane_idx);
+}
+
+void Node::flush_outbox_at(SimTime at) {
+  auto sends = std::move(outbox_);
+  outbox_.clear();
+  sim_.schedule_at(at, [this, sends = std::move(sends)]() mutable {
+    for (auto& s : sends) {
+      stats_.tx++;
+      trace(obs::TraceEvent::kTx, s.packet);
+      if (s.direct_to != nullptr) {
+        sim_.send_direct(this, s.direct_to, std::move(s.packet));
+      } else {
+        sim_.send_packet(this, std::move(s.packet));
+      }
+    }
+  });
+}
+
 void Node::deliver(net::Packet packet) {
+  if (!lanes_.empty()) {
+    deliver_sharded(std::move(packet));
+    return;
+  }
   if (rx_queue_.size() >= rx_capacity_) {
     stats_.dropped_queue_full++;
     sim_.mutable_stats().packets_dropped_queue_full++;
@@ -56,21 +149,7 @@ void Node::service_one() {
   busy_until_ = now() + cost;
 
   // Packets emitted during process() leave when the service time elapses.
-  if (!outbox_.empty()) {
-    auto sends = std::move(outbox_);
-    outbox_.clear();
-    sim_.schedule_at(busy_until_, [this, sends = std::move(sends)]() mutable {
-      for (auto& s : sends) {
-        stats_.tx++;
-        trace(obs::TraceEvent::kTx, s.packet);
-        if (s.direct_to != nullptr) {
-          sim_.send_direct(this, s.direct_to, std::move(s.packet));
-        } else {
-          sim_.send_packet(this, std::move(s.packet));
-        }
-      }
-    });
-  }
+  if (!outbox_.empty()) flush_outbox_at(busy_until_);
 
   maybe_schedule_service();
 }

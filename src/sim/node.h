@@ -9,13 +9,26 @@
 // packets it emitted leave the node when that service time completes. When
 // the receive queue is full, arrivals are dropped — which is what pushes a
 // saturated BIND server's goodput off a cliff in Fig. 5.
+//
+// Shard-per-core mode (enable_sharded_service): the node models N
+// independent cores, each fed by a fixed-capacity SPSC ring. deliver()
+// routes arrivals by the subclass's shard_of(); each lane drains its ring
+// in bursts of up to batch_max packets, with its own busy clock.
+// Determinism rules: the simulator is single-threaded, lane service
+// events tie-break in schedule order (EventQueue FIFO at equal
+// timestamps), a burst is processed at one sim instant, and every
+// packet's emissions are released at that packet's own completion time on
+// its lane — so a 1-lane node below saturation behaves exactly like the
+// sequential discipline, and N-lane runs are bit-for-bit reproducible.
 #pragma once
 
 #include <cstdint>
 #include <deque>
 #include <string>
 #include <utility>
+#include <vector>
 
+#include "common/spsc_ring.h"
 #include "common/time.h"
 #include "net/packet.h"
 #include "obs/trace.h"
@@ -47,7 +60,10 @@ class Node {
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] const Simulator& sim() const { return sim_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
-  void reset_stats() { stats_ = NodeStats{}; }
+  void reset_stats() {
+    stats_ = NodeStats{};
+    for (auto& lane : lanes_) lane.busy = SimDuration{};
+  }
 
   /// CPU utilization between `reset_stats()` (or construction) and now,
   /// given the elapsed window length.
@@ -60,7 +76,22 @@ class Node {
   /// Entry point used by the Simulator: enqueue an arriving packet.
   void deliver(net::Packet packet);
 
-  [[nodiscard]] std::size_t rx_queue_depth() const { return rx_queue_.size(); }
+  [[nodiscard]] std::size_t rx_queue_depth() const {
+    if (!lanes_.empty()) {
+      std::size_t total = 0;
+      for (const auto& lane : lanes_) total += lane.ring.size();
+      return total;
+    }
+    return rx_queue_.size();
+  }
+
+  /// Number of shard lanes (0 when the node runs the classic sequential
+  /// discipline).
+  [[nodiscard]] std::size_t shard_lane_count() const { return lanes_.size(); }
+  /// CPU time accumulated by one lane since the last reset_stats().
+  [[nodiscard]] SimDuration shard_busy(std::size_t lane) const {
+    return lanes_[lane].busy;
+  }
 
   /// The node's packet-lifecycle trace ring (rx -> classify -> rewrite /
   /// drop -> tx). Bounded, always on, dumpable on test failure:
@@ -73,6 +104,41 @@ class Node {
   /// packets via `send()` / `send_direct()`, and return the CPU time the
   /// work cost. Emitted packets leave the node when that time has elapsed.
   virtual SimDuration process(const net::Packet& packet) = 0;
+
+  // --- shard-per-core service (opt-in) -------------------------------------
+
+  /// Switches this node to N shard lanes, each a `ring_capacity` SPSC ring
+  /// drained in bursts of up to `batch_max` packets. Call once, from the
+  /// subclass constructor, before any packet is delivered.
+  void enable_sharded_service(std::size_t lanes, std::size_t ring_capacity,
+                              std::size_t batch_max);
+
+  /// Maps an arriving packet to a lane index in [0, shard_lane_count()).
+  /// Must be a pure function of the packet (determinism).
+  [[nodiscard]] virtual std::size_t shard_of(const net::Packet&) const {
+    return 0;
+  }
+
+  /// Batch hooks: a lane's burst of `n` packets is announced before the
+  /// per-packet process() calls and closed after them. Subclasses use
+  /// them to prefetch state, pre-verify cookies in bulk and amortize
+  /// metric updates; the default is a no-op.
+  virtual void on_batch_begin(std::size_t lane, const net::Packet* batch,
+                              std::size_t n) {
+    (void)lane;
+    (void)batch;
+    (void)n;
+  }
+  virtual void on_batch_end(std::size_t lane, std::size_t n) {
+    (void)lane;
+    (void)n;
+  }
+
+  /// True while a shard burst is being processed; batch_index() is the
+  /// current packet's position within it (matches the `batch` array the
+  /// hooks saw).
+  [[nodiscard]] bool in_batch() const { return in_batch_; }
+  [[nodiscard]] std::size_t batch_index() const { return batch_index_; }
 
   /// Emits a packet into the routed network (released at service end).
   void send(net::Packet packet);
@@ -98,8 +164,19 @@ class Node {
     net::Packet packet;
   };
 
+  struct ShardLane {
+    common::SpscRing<net::Packet> ring;
+    SimTime busy_until{};
+    SimDuration busy{};
+    bool scheduled = false;
+  };
+
   void maybe_schedule_service();
   void service_one();
+  void deliver_sharded(net::Packet packet);
+  void maybe_schedule_lane(std::size_t lane);
+  void serve_lane(std::size_t lane);
+  void flush_outbox_at(SimTime at);
 
   Simulator& sim_;
   std::string name_;
@@ -109,6 +186,11 @@ class Node {
   SimTime busy_until_{};
   bool service_scheduled_ = false;
   bool in_process_ = false;
+  std::vector<ShardLane> lanes_;       // empty => classic discipline
+  std::vector<net::Packet> batch_;     // burst scratch, sized batch_max
+  std::size_t batch_max_ = 0;
+  std::size_t batch_index_ = 0;
+  bool in_batch_ = false;
   NodeStats stats_;
   obs::TraceRing trace_{128};
 };

@@ -258,5 +258,75 @@ TEST(BoundedTable, ExpiredEntryIsReplacedNotReturned) {
   EXPECT_EQ(t.size(), 1u);
 }
 
+TEST(BoundedTable, TtlBoundaryExactDeadlineConsistentAcrossPaths) {
+  // An entry whose deadline equals `now` is expired on every path at
+  // once — find(), peek(), reap() and the gauges must agree, or the same
+  // instant yields a hit on one path and an expiry on another.
+  Table t({.capacity = 4, .ttl = milliseconds(100)});
+  t.try_emplace(1, at(0), "a");
+  EXPECT_NE(t.peek(1, at(99)), nullptr);
+  EXPECT_EQ(t.peek(1, at(100)), nullptr) << "now == expires_at is expired";
+  EXPECT_EQ(t.find(1, at(100)), nullptr);
+  EXPECT_EQ(t.stats().expired_ttl.value(), 1u);
+
+  t.try_emplace(2, at(0), "b");
+  EXPECT_EQ(t.reap(at(100)), 1u) << "reap uses the same boundary as find";
+  EXPECT_EQ(t.stats().expired_ttl.value(), 2u);
+  EXPECT_EQ(t.size(), 0u);
+}
+
+TEST(BoundedTable, FullTableOfExpiredEntriesChargesExpiryNotCapacity) {
+  // Displacing an already-dead LRU tail at capacity is an expiry that a
+  // sweep would have found — charging it to evicted_capacity makes a
+  // table full of corpses read as live-entry thrashing.
+  Table t({.capacity = 3, .ttl = milliseconds(10)});
+  for (std::uint32_t k = 0; k < 3; ++k) t.try_emplace(k, at(0), "old");
+  for (std::uint32_t k = 10; k < 13; ++k) {
+    auto r = t.try_emplace(k, at(20), "live");
+    EXPECT_TRUE(r.inserted);
+  }
+  EXPECT_EQ(t.stats().evicted_capacity.value(), 0u);
+  EXPECT_EQ(t.stats().expired_ttl.value(), 3u);
+  // A genuinely live tail displaced at capacity still counts as such.
+  EXPECT_TRUE(t.try_emplace(20, at(21), "new").inserted);
+  EXPECT_EQ(t.stats().evicted_capacity.value(), 1u);
+  EXPECT_EQ(t.stats().expired_ttl.value(), 3u);
+}
+
+TEST(BoundedTable, ReapSurvivesCallbackErasingSiblingEntries) {
+  // The eviction callback may erase *other* entries of the evicting
+  // table (the guard's NAT-evict -> TCP-close -> NAT-erase_if chain);
+  // the reap cursor must neither crash nor skip live slots over it.
+  Table t({.capacity = 8, .ttl = milliseconds(10)});
+  for (std::uint32_t k = 1; k <= 8; ++k) t.try_emplace(k, at(0), "v");
+  t.set_evict_callback(
+      [&t](const std::uint32_t& k, std::string&, EvictReason) {
+        if (k == 1) t.erase(2);
+      });
+  EXPECT_EQ(t.reap(at(20)), 7u) << "key 2 left voluntarily, not reaped";
+  EXPECT_EQ(t.size(), 0u);
+  EXPECT_EQ(t.stats().expired_ttl.value(), 7u);
+}
+
+TEST(BoundedTable, ReapCoversEntriesInsertedByEvictionCallback) {
+  // Insertions from the callback can grow the slot array mid-sweep; the
+  // re-read bound must cover them instead of wrapping early (and fresh
+  // entries must of course survive the sweep that created them).
+  Table t({.capacity = 8, .ttl = milliseconds(10)});
+  for (std::uint32_t k = 1; k <= 4; ++k) t.try_emplace(k, at(0), "old");
+  bool seeded = false;
+  t.set_evict_callback([&](const std::uint32_t&, std::string&, EvictReason) {
+    if (!seeded) {
+      seeded = true;
+      t.try_emplace(100, at(20), "fresh");
+      t.try_emplace(101, at(20), "fresh");
+    }
+  });
+  EXPECT_EQ(t.reap(at(20)), 4u);
+  EXPECT_EQ(t.size(), 2u);
+  EXPECT_NE(t.peek(100, at(21)), nullptr);
+  EXPECT_NE(t.peek(101, at(21)), nullptr);
+}
+
 }  // namespace
 }  // namespace dnsguard::common

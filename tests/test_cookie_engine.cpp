@@ -258,5 +258,113 @@ TEST(Rotation, CookieAddressSurvivesOneRotationButNotTwo) {
   EXPECT_LT(after_two, n / 5);
 }
 
+TEST(CookieAddress, DegenerateRyMintVerifySymmetry) {
+  // Regression: mint clamps r_y == 0 to 1, and caps huge divisors so
+  // base + 1 + y cannot wrap the 32-bit address space. The verify path
+  // must clamp identically for every degenerate R_y, across rotation,
+  // or each legitimate follow-up query under that config is dropped.
+  CookieEngine e(31);
+  Ipv4Address base(10, 7, 7, 0);
+  const std::uint32_t max_u32 = 0xffffffffu;
+  for (std::uint32_t r_y : {0u, 1u, 2u, 250u, max_u32}) {
+    CookieEngine fresh(31);
+    for (std::uint32_t i = 0; i < 16; ++i) {
+      Ipv4Address requester(0x0a000200u + i);
+      Ipv4Address c2 = fresh.make_cookie_address(requester, base, r_y);
+      EXPECT_GT(c2.value(), base.value()) << "r_y=" << r_y;
+      EXPECT_TRUE(fresh.verify_cookie_address(requester, c2, base, r_y))
+          << "r_y=" << r_y << " i=" << i;
+    }
+    // Pre-rotation addresses still verify afterwards, same divisor math.
+    Ipv4Address requester(10, 0, 3, 9);
+    Ipv4Address c2 = fresh.make_cookie_address(requester, base, r_y);
+    fresh.rotate(32);
+    EXPECT_TRUE(fresh.verify_cookie_address(requester, c2, base, r_y))
+        << "r_y=" << r_y;
+  }
+  // A subnet base near the top of the address space forces the cap even
+  // for moderate R_y values.
+  Ipv4Address high_base(0xfffffff0u);
+  Ipv4Address requester(10, 0, 4, 4);
+  Ipv4Address c2 = e.make_cookie_address(requester, high_base, 250);
+  EXPECT_GT(c2.value(), high_base.value()) << "mint must not wrap";
+  EXPECT_TRUE(e.verify_cookie_address(requester, c2, high_base, 250));
+}
+
+TEST(CookieAddress, RetiredAddressClassifiedStaleOnFailure) {
+  CookieEngine e(47);
+  Ipv4Address base(10, 7, 7, 0);
+  Ipv4Address requester(10, 0, 5, 5);
+  const std::uint32_t r_y = 250;
+  Ipv4Address old_addr = e.make_cookie_address(requester, base, r_y);
+  e.rotate(48);
+  e.rotate(49);
+  crypto::VerifyResult vr =
+      e.verify_cookie_address_ex(requester, old_addr, base, r_y);
+  // The offset could collide with one of the two live generations
+  // (probability ~2/R_y); in the common case it fails and must be
+  // classified stale, never accepted as current.
+  if (!vr.ok) {
+    EXPECT_TRUE(vr.stale);
+  }
+  // Out-of-range destinations are forgeries, not stale clients.
+  crypto::VerifyResult out_of_range =
+      e.verify_cookie_address_ex(requester, base, base, r_y);
+  EXPECT_FALSE(out_of_range.ok);
+  EXPECT_FALSE(out_of_range.stale);
+}
+
+TEST(VerifyJobs, BatchMatchesScalarVerifiersPerKind) {
+  CookieEngine e(77);
+  Ipv4Address base(10, 7, 7, 0);
+  const std::uint32_t r_y = 250;
+
+  std::vector<CookieEngine::VerifyJob> jobs;
+  // kFull: one valid, one forged.
+  Ipv4Address a(10, 0, 6, 1);
+  crypto::Cookie good = e.mint(a);
+  crypto::Cookie bad = good;
+  bad[5] ^= 0xff;
+  jobs.push_back({CookieEngine::VerifyJob::Kind::kFull, a, good, 0, {}});
+  jobs.push_back({CookieEngine::VerifyJob::Kind::kFull, a, bad, 0, {}});
+  // kPrefix: one valid, one forged.
+  Ipv4Address b(10, 0, 6, 2);
+  std::uint32_t prefix = crypto::cookie_prefix32(e.mint(b));
+  jobs.push_back({CookieEngine::VerifyJob::Kind::kPrefix, b, {}, prefix, {}});
+  jobs.push_back(
+      {CookieEngine::VerifyJob::Kind::kPrefix, b, {}, prefix ^ 0x2, {}});
+  // kAddress: one valid, one wrong offset.
+  Ipv4Address c(10, 0, 6, 3);
+  Ipv4Address c2 = e.make_cookie_address(c, base, r_y);
+  Ipv4Address wrong(c2.value() == base.value() + 1 ? base.value() + 2
+                                                   : base.value() + 1);
+  jobs.push_back({CookieEngine::VerifyJob::Kind::kAddress, c, {}, 0, c2});
+  jobs.push_back({CookieEngine::VerifyJob::Kind::kAddress, c, {}, 0, wrong});
+
+  std::vector<crypto::VerifyResult> out(jobs.size());
+  e.verify_jobs(jobs.data(), out.data(), jobs.size(), base, r_y);
+
+  EXPECT_TRUE(out[0].ok);
+  EXPECT_FALSE(out[1].ok);
+  EXPECT_TRUE(out[2].ok);
+  EXPECT_FALSE(out[3].ok);
+  EXPECT_TRUE(out[4].ok);
+  EXPECT_FALSE(out[5].ok);
+  // And each agrees with its scalar counterpart, field for field.
+  const crypto::VerifyResult scalar[] = {
+      e.verify_ex(a, good),
+      e.verify_ex(a, bad),
+      e.verify_prefix_ex(b, prefix),
+      e.verify_prefix_ex(b, prefix ^ 0x2),
+      e.verify_cookie_address_ex(c, c2, base, r_y),
+      e.verify_cookie_address_ex(c, wrong, base, r_y),
+  };
+  for (std::size_t i = 0; i < jobs.size(); ++i) {
+    EXPECT_EQ(out[i].ok, scalar[i].ok) << i;
+    EXPECT_EQ(out[i].used_previous, scalar[i].used_previous) << i;
+    EXPECT_EQ(out[i].stale, scalar[i].stale) << i;
+  }
+}
+
 }  // namespace
 }  // namespace dnsguard::guard

@@ -1,6 +1,8 @@
 // MD5 (RFC 1321 appendix test suite) and the paper's cookie construction.
 #include <gtest/gtest.h>
 
+#include <vector>
+
 #include "common/hex.h"
 #include "crypto/cookie_hash.h"
 #include "crypto/md5.h"
@@ -185,6 +187,90 @@ INSTANTIATE_TEST_SUITE_P(ManyIps, CookieSweep,
                                            0x08080808u, 0xfffffffeu, 0x1u,
                                            0xdeadbeefu, 0x7f000001u,
                                            0x0b16212cu));
+
+TEST(CookieHasher, MidstateMatchesOneShotCompute) {
+  // The pre-keyed hasher caches the MD5 midstate after the 76-byte key
+  // (64 bytes = one full compression block); resuming from the copy must
+  // be bit-identical to hashing key || ip from scratch.
+  CookieKey key = derive_key(0xfeedULL);
+  CookieHasher hasher(key);
+  for (std::uint32_t ip :
+       {0x0a000001u, 0xffffffffu, 0x0u, 0xdeadbeefu, 0x7f000001u}) {
+    EXPECT_EQ(hasher.compute(ip), compute_cookie(key, ip)) << ip;
+  }
+}
+
+TEST(RotatingKeys, GenZeroPreviousBitFailureIsNotStale) {
+  // Before the first rotation there is no previous generation: a cookie
+  // whose generation bit selects it is a plain forgery. This used to
+  // report used_previous=true, which the guard charged to "stale key".
+  RotatingKeys keys(501);
+  Cookie forged = keys.mint(0x0a000001);
+  forged[0] ^= 0x80;  // flip the generation bit to "previous"
+  VerifyResult vr = keys.verify_ex(0x0a000001, forged);
+  EXPECT_FALSE(vr.ok);
+  EXPECT_FALSE(vr.used_previous);
+  EXPECT_FALSE(vr.stale);
+  VerifyResult pr = keys.verify_prefix32_ex(0x0a000001,
+                                            cookie_prefix32(forged));
+  EXPECT_FALSE(pr.ok);
+  EXPECT_FALSE(pr.used_previous);
+  EXPECT_FALSE(pr.stale);
+}
+
+TEST(RotatingKeys, RetiredGenerationCookieClassifiedStaleNotForged) {
+  // A cookie from two rotations back carries the current parity (the bit
+  // alternates), fails the current-key check, but matches the retired key
+  // exactly: a real-but-outdated client, reported via `stale`. A random
+  // forgery with the same parity stays stale=false.
+  RotatingKeys keys(501);
+  Cookie old_cookie = keys.mint(0x0a000001);
+  keys.rotate(502);
+  keys.rotate(503);
+  VerifyResult vr = keys.verify_ex(0x0a000001, old_cookie);
+  EXPECT_FALSE(vr.ok);
+  EXPECT_TRUE(vr.stale);
+  VerifyResult pr = keys.verify_prefix32_ex(0x0a000001,
+                                            cookie_prefix32(old_cookie));
+  EXPECT_FALSE(pr.ok);
+  EXPECT_TRUE(pr.stale);
+
+  Cookie forged{};
+  forged[0] = static_cast<std::uint8_t>((keys.generation() & 1) << 7);
+  VerifyResult fr = keys.verify_ex(0x0a000001, forged);
+  EXPECT_FALSE(fr.ok);
+  EXPECT_FALSE(fr.stale);
+  // And never on success.
+  EXPECT_FALSE(keys.verify_ex(0x0a000001, keys.mint(0x0a000001)).stale);
+}
+
+TEST(RotatingKeys, Prefix32BatchMatchesScalarAcrossRotation) {
+  RotatingKeys keys(901);
+  // A mix of current, previous-generation, retired and forged prefixes.
+  std::vector<std::uint32_t> ips;
+  std::vector<std::uint32_t> prefixes;
+  for (std::uint32_t i = 0; i < 8; ++i) {
+    ips.push_back(0x0a010000u + i);
+    prefixes.push_back(cookie_prefix32(keys.mint(0x0a010000u + i)));
+  }
+  keys.rotate(902);
+  for (std::uint32_t i = 8; i < 16; ++i) {
+    ips.push_back(0x0a010000u + i);
+    prefixes.push_back(cookie_prefix32(keys.mint(0x0a010000u + i)) ^
+                       (i % 3 == 0 ? 0x5au : 0x0u));
+  }
+  keys.rotate(903);
+
+  std::vector<VerifyResult> batch(ips.size());
+  keys.verify_prefix32_batch(ips.data(), prefixes.data(), batch.data(),
+                             ips.size());
+  for (std::size_t i = 0; i < ips.size(); ++i) {
+    VerifyResult scalar = keys.verify_prefix32_ex(ips[i], prefixes[i]);
+    EXPECT_EQ(batch[i].ok, scalar.ok) << i;
+    EXPECT_EQ(batch[i].used_previous, scalar.used_previous) << i;
+    EXPECT_EQ(batch[i].stale, scalar.stale) << i;
+  }
+}
 
 }  // namespace
 }  // namespace dnsguard::crypto

@@ -58,6 +58,43 @@ TEST(TokenBucket, FractionalCosts) {
   EXPECT_FALSE(tb.try_consume(t, 0.1));
 }
 
+TEST(TokenBucket, SetRateSettlesElapsedWindowUnderOldRate) {
+  // Regression: set_rate used to swap rate_ without refilling, so the
+  // window since the last refill was retroactively re-priced under the
+  // NEW rate. A mid-window rate cut confiscated already-earned tokens.
+  TokenBucket tb(100.0, 50.0);
+  SimTime t{};
+  while (tb.try_consume(t)) {
+  }
+  // 100 ms at 100/s earns 10 tokens...
+  t = t + milliseconds(100);
+  tb.set_rate(1.0, t);  // ...which a cut to 1/s must not confiscate.
+  EXPECT_NEAR(tb.available(t), 10.0, 1e-9);
+  // And from here tokens accrue at the new rate.
+  t = t + seconds(2);
+  EXPECT_NEAR(tb.available(t), 12.0, 1e-9);
+}
+
+TEST(TokenBucket, SetRateDoesNotGrantUnearnedTokens) {
+  // The mirror bug: raising the rate mid-window granted tokens the old
+  // rate never accrued (elapsed * new_rate instead of elapsed * old_rate).
+  TokenBucket tb(1.0, 100.0);
+  SimTime t{};
+  while (tb.try_consume(t)) {
+  }
+  t = t + seconds(10);  // 10 tokens at the old 1/s rate
+  tb.set_rate(1000.0, t);
+  EXPECT_NEAR(tb.available(t), 10.0, 1e-9);
+}
+
+TEST(TokenBucket, SetRateClampsSettledTokensToBurst) {
+  TokenBucket tb(10.0, 5.0);
+  SimTime t = SimTime{} + seconds(100);  // long idle: bucket full
+  tb.set_rate(2.0, t);
+  EXPECT_NEAR(tb.available(t), 5.0, 1e-9);
+  EXPECT_NEAR(tb.rate(), 2.0, 1e-12);
+}
+
 TEST(RateEstimator, ConvergesToSteadyRate) {
   RateEstimator est(milliseconds(250));
   SimTime t{};

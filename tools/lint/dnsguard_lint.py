@@ -80,6 +80,14 @@ HOT_PATH_ROOTS = (
     "TokenBucket::try_consume",
     "Packet::release_payload",
     "Node::deliver",
+    # Shard service path: ring transfer, batched MD5, and table prefetch
+    # all run once per packet (or per burst) inside serve_lane.
+    "SpscRing::try_push",
+    "SpscRing::try_pop",
+    "CookieHasher::compute",
+    "BoundedTable::prefetch",
+    "Node::maybe_schedule_lane",
+    "Node::flush_outbox_at",
 )
 
 # Callee names never followed and never flagged (std/builtin vocabulary the
