@@ -55,6 +55,25 @@ net::Packet SpoofedFloodNode::next_packet() {
                                q.encode_pooled());
 }
 
+net::Packet PrefixHopFloodNode::next_packet() {
+  const std::uint32_t hop = hop_index(now());
+  net::Ipv4Address src(
+      hop_.prefix_base.value() + hop * hop_.prefix_span +
+      static_cast<std::uint32_t>(
+          rng_.bounded(hop_.prefix_span == 0 ? 1 : hop_.prefix_span)));
+  dns::Message q = dns::Message::query(
+      static_cast<std::uint16_t>(rng_.next()),
+      dns::DomainName::parse(config_.qname_base).value_or(dns::DomainName{}),
+      dns::RrType::A, false);
+  if (hop_.random_txt_cookie) {
+    crypto::Cookie c;
+    for (auto& b : c) b = static_cast<std::uint8_t>(rng_.next());
+    guard::CookieEngine::attach_txt_cookie(q, c, 0);
+  }
+  return net::Packet::make_udp({src, 33000}, config_.target,
+                               q.encode_pooled());
+}
+
 net::Packet CookieGuessNode::next_packet() {
   std::uint16_t id = static_cast<std::uint16_t>(rng_.next());
   switch (guess_.mode) {

@@ -89,6 +89,46 @@ class SpoofedFloodNode : public FloodNodeBase {
   SpoofConfig spoof_;
 };
 
+/// "Whac-A-Mole" spoofer: a spoofed flood that *hops* its source prefix
+/// on a schedule (the evasion pattern the root-DDoS defense literature
+/// names after the arcade game — block one prefix and the attack pops up
+/// from another). Each hop churns the guard's per-source tables with a
+/// fresh source population, stressing LRU bounds and making source-growth
+/// a signal the anomaly discriminator must not confuse with a flash
+/// crowd: hopped sources never verify, so the malicious mix stays high.
+class PrefixHopFloodNode : public FloodNodeBase {
+ public:
+  struct HopConfig {
+    /// First spoofed prefix; hop i uses base + i * prefix_span.
+    net::Ipv4Address prefix_base{10, 200, 0, 0};
+    /// Addresses drawn per prefix (the per-hop source population).
+    std::uint32_t prefix_span = 1 << 12;
+    /// Hop cycle length before wrapping back to the first prefix.
+    std::uint32_t num_prefixes = 64;
+    SimDuration hop_interval = seconds(1);
+    /// Attach random (never-verifying) TXT cookies, as SpoofedFloodNode.
+    bool random_txt_cookie = true;
+  };
+
+  PrefixHopFloodNode(sim::Simulator& sim, std::string name, Config config,
+                     HopConfig hop)
+      : FloodNodeBase(sim, std::move(name), std::move(config)), hop_(hop) {}
+
+  /// The prefix index in use at time `t` (deterministic hop schedule).
+  [[nodiscard]] std::uint32_t hop_index(SimTime t) const {
+    if (hop_.hop_interval.ns <= 0 || hop_.num_prefixes == 0) return 0;
+    return static_cast<std::uint32_t>(
+        (t.ns / hop_.hop_interval.ns) %
+        static_cast<std::int64_t>(hop_.num_prefixes));
+  }
+
+ protected:
+  net::Packet next_packet() override;
+
+ private:
+  HopConfig hop_;
+};
+
 /// Cookie-guessing attacker (§III.G "guess the value of a cookie").
 class CookieGuessNode : public FloodNodeBase {
  public:

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <utility>
 
 namespace dnsguard::obs {
 
@@ -73,6 +74,23 @@ void AttackMonitor::watch(std::string series_name) {
   wanted_.push_back(std::move(series_name));
 }
 
+void AttackMonitor::set_discriminator(DiscriminatorConfig cfg) {
+  disc_ = std::move(cfg);
+  discriminate_ = true;
+}
+
+namespace {
+void resolve_indices(const TimeSeriesSampler& sampler,
+                     const std::vector<std::string>& names,
+                     std::vector<int>& out) {
+  out.clear();
+  for (const std::string& name : names) {
+    const int idx = sampler.series_index(name);
+    if (idx >= 0) out.push_back(idx);
+  }
+}
+}  // namespace
+
 void AttackMonitor::bind(TimeSeriesSampler& sampler,
                          MetricsRegistry& registry,
                          std::string_view gauge_name) {
@@ -82,13 +100,41 @@ void AttackMonitor::bind(TimeSeriesSampler& sampler,
     if (idx < 0) continue;
     series_.push_back(Watched{name, idx, AnomalyDetector(cfg_)});
   }
+  resolve_indices(sampler, disc_.malicious_series, malicious_idx_);
+  resolve_indices(sampler, disc_.load_series, load_idx_);
+  resolve_indices(sampler, disc_.source_series, source_idx_);
   registry.attach_gauge(gauge_name, under_attack_);
   under_attack_.set(0);
+  if (discriminate_) {
+    registry.attach_gauge("anomaly.flash_crowd", flash_crowd_);
+    flash_crowd_.set(0);
+  }
   sampler.set_on_window(
       [this](const TimeSeriesSampler::Window& w) { on_window(w); });
 }
 
+double AttackMonitor::sum_deltas(const TimeSeriesSampler::Window& w,
+                                 const std::vector<int>& indices) {
+  double total = 0.0;
+  for (int idx : indices) {
+    total += static_cast<double>(w.deltas[static_cast<std::size_t>(idx)]);
+  }
+  return total;
+}
+
 void AttackMonitor::on_window(const TimeSeriesSampler::Window& w) {
+  // Discriminator signals for this window (shared by every watched series
+  // that fires in it): how much of the guard's work was provably
+  // malicious, and how many first-contact sources appeared.
+  double mix = 0.0;
+  double growth = 0.0;
+  if (discriminate_) {
+    const double malicious = sum_deltas(w, malicious_idx_);
+    const double load = sum_deltas(w, load_idx_);
+    mix = load > 0.0 ? malicious / load : 0.0;
+    growth = sum_deltas(w, source_idx_);
+  }
+
   for (Watched& s : series_) {
     const double value =
         static_cast<double>(w.deltas[static_cast<std::size_t>(s.index)]);
@@ -96,9 +142,21 @@ void AttackMonitor::on_window(const TimeSeriesSampler::Window& w) {
     const AnomalyDetector::Signal sig = s.detector.update(value);
     if (sig == AnomalyDetector::Signal::kNone) continue;
     const bool onset = sig == AnomalyDetector::Signal::kOnset;
-    attacking_ += onset ? 1 : -1;
+    if (onset) {
+      // A load surge that is mostly verified-clean traffic is a flash
+      // crowd, not an attack; the drop taxonomy is what betrays a flood
+      // (spoofed cookies never verify, so the malicious mix jumps).
+      s.active_kind = discriminate_ && mix < disc_.attack_mix_threshold
+                          ? Kind::kFlashCrowd
+                          : Kind::kAttack;
+    }
+    const Kind kind = s.active_kind;
+    int& level = kind == Kind::kAttack ? attacking_ : flash_crowds_;
+    level += onset ? 1 : -1;
     under_attack_.set(attacking_ > 0 ? 1 : 0);
-    events_.push_back(Event{w.end, s.name, onset, value, thresh});
+    flash_crowd_.set(flash_crowds_ > 0 ? 1 : 0);
+    events_.push_back(
+        Event{w.end, s.name, onset, value, thresh, kind, mix, growth});
     if (onset && on_onset_) on_onset_(events_.back());
   }
 }
@@ -108,14 +166,18 @@ std::string AttackMonitor::events_json(int indent) const {
                         ' ');
   std::string out = "[";
   bool first = true;
-  char buf[160];
+  char buf[256];
   for (const Event& e : events_) {
-    std::snprintf(buf, sizeof(buf),
-                  "%s\n%s  {\"t_s\": %.6f, \"series\": \"%s\", "
-                  "\"onset\": %s, \"value\": %.3f, \"threshold\": %.3f}",
-                  first ? "" : ",", pad.c_str(),
-                  static_cast<double>(e.at.ns) / 1e9, e.series.c_str(),
-                  e.onset ? "true" : "false", e.value, e.threshold);
+    std::snprintf(
+        buf, sizeof(buf),
+        "%s\n%s  {\"t_s\": %.6f, \"series\": \"%s\", "
+        "\"onset\": %s, \"value\": %.3f, \"threshold\": %.3f, "
+        "\"kind\": \"%s\", \"malicious_mix\": %.3f, "
+        "\"source_growth\": %.0f}",
+        first ? "" : ",", pad.c_str(), static_cast<double>(e.at.ns) / 1e9,
+        e.series.c_str(), e.onset ? "true" : "false", e.value, e.threshold,
+        std::string(kind_name(e.kind)).c_str(), e.malicious_mix,
+        e.source_growth);
     out += buf;
     first = false;
   }

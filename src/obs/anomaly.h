@@ -71,22 +71,57 @@ class AnomalyDetector {
   bool in_anomaly_ = false;
 };
 
+/// Classifies a load anomaly: an onset is an *attack* when the guard is
+/// doing mostly malicious work (drop-taxonomy deltas dominate the load
+/// delta), a *flash crowd* when the surge verifies clean and comes with
+/// genuine source-population growth. All inputs are sampler series names
+/// resolved at bind(); missing series contribute zero.
+struct DiscriminatorConfig {
+  /// Summed into the window's "malicious work": spoof/bad-cookie drops,
+  /// rate-limiter kills — everything the guard rejected.
+  std::vector<std::string> malicious_series;
+  /// Summed into the window's offered load (e.g. guard.requests_seen).
+  std::vector<std::string> load_series;
+  /// First-contact source counters (e.g. limiter table inserts): how many
+  /// never-seen sources appeared this window. Both attacks and flash
+  /// crowds grow the source population — what separates them is whether
+  /// those new sources *verify* (tracked via malicious mix), so this
+  /// series is reported on events for forensics rather than thresholded.
+  std::vector<std::string> source_series;
+  /// An onset classifies as attack when malicious/load exceeds this.
+  double attack_mix_threshold = 0.5;
+};
+
 /// Watches selected sampler series with one detector each and turns
 /// per-window signals into discrete attack onset/offset events.
 class AttackMonitor {
  public:
+  enum class Kind : std::uint8_t { kAttack = 0, kFlashCrowd };
+
   struct Event {
     SimTime at{};        // end of the window that triggered the transition
     std::string series;  // which watched series fired
-    bool onset = false;  // true = attack started, false = subsided
+    bool onset = false;  // true = anomaly started, false = subsided
     double value = 0.0;  // the window's value
     double threshold = 0.0;
+    Kind kind = Kind::kAttack;   // discriminator verdict (offset events
+                                 // carry the kind their onset classified)
+    double malicious_mix = 0.0;  // malicious/load in the onset window
+    double source_growth = 0.0;  // first-contact sources in that window
   };
+
+  [[nodiscard]] static std::string_view kind_name(Kind k) {
+    return k == Kind::kFlashCrowd ? "flash_crowd" : "attack";
+  }
 
   explicit AttackMonitor(AnomalyConfig cfg = {}) : cfg_(cfg) {}
 
   /// Adds a series (sampler counter name) to watch. Call before bind().
   void watch(std::string series_name);
+
+  /// Enables flash-crowd discrimination. Call before bind(); without it,
+  /// every onset classifies as an attack (the legacy binary alarm).
+  void set_discriminator(DiscriminatorConfig cfg);
 
   /// Installs this monitor as `sampler`'s window callback and attaches the
   /// under-attack gauge to `registry`. Series that do not exist in the
@@ -94,9 +129,19 @@ class AttackMonitor {
   void bind(TimeSeriesSampler& sampler, MetricsRegistry& registry,
             std::string_view gauge_name = "anomaly.under_attack");
 
+  /// True while any watched series is in an *attack*-classified anomaly;
+  /// flash-crowd anomalies do NOT raise this (that is the point).
   [[nodiscard]] bool under_attack() const { return attacking_ > 0; }
+  [[nodiscard]] bool in_flash_crowd() const { return flash_crowds_ > 0; }
   [[nodiscard]] const std::vector<Event>& events() const { return events_; }
   [[nodiscard]] std::size_t watched() const { return series_.size(); }
+  [[nodiscard]] std::size_t onsets(Kind kind) const {
+    std::size_t n = 0;
+    for (const Event& e : events_) {
+      if (e.onset && e.kind == kind) ++n;
+    }
+    return n;
+  }
 
   /// Fired on every onset event (after it is recorded) — the flight
   /// recorder hook.
@@ -111,16 +156,26 @@ class AttackMonitor {
     std::string name;
     int index = -1;  // sampler series index
     AnomalyDetector detector;
+    Kind active_kind = Kind::kAttack;  // classification of open anomaly
   };
 
   void on_window(const TimeSeriesSampler::Window& w);
+  [[nodiscard]] static double sum_deltas(
+      const TimeSeriesSampler::Window& w, const std::vector<int>& indices);
 
   AnomalyConfig cfg_;
+  DiscriminatorConfig disc_;
+  bool discriminate_ = false;
   std::vector<std::string> wanted_;
   std::vector<Watched> series_;
+  std::vector<int> malicious_idx_;  // resolved discriminator columns
+  std::vector<int> load_idx_;
+  std::vector<int> source_idx_;
   std::vector<Event> events_;
-  int attacking_ = 0;  // number of watched series currently in anomaly
+  int attacking_ = 0;      // series currently in attack-classified anomaly
+  int flash_crowds_ = 0;   // series currently in flash-classified anomaly
   Gauge under_attack_;
+  Gauge flash_crowd_;
   AnomalyFn on_onset_;
 };
 

@@ -328,5 +328,128 @@ TEST(AttackDetectionEndToEnd, AttackFreeControlRaisesNoAlerts) {
   EXPECT_EQ(g->max(), 0);
 }
 
+// --- Flash-crowd discrimination -------------------------------------------
+//
+// Shared scaffolding: a registry with guard-shaped counters, a sampler
+// over all of them, and a monitor watching offered load with the
+// discriminator wired to the drop-taxonomy and first-contact series.
+struct DiscriminationBed {
+  obs::MetricsRegistry reg;
+  obs::Counter& requests = reg.counter("guard.requests_seen");
+  obs::Counter& drops = reg.counter("guard.spoofs_dropped");
+  obs::Counter& inserts = reg.counter("guard.rl2.table.inserts");
+  obs::TimeSeriesSampler ts;
+  AttackMonitor mon;
+  std::int64_t t = 0;
+
+  DiscriminationBed() {
+    ts.start(reg, at(0), milliseconds(100), 64);
+    mon.watch("guard.requests_seen");
+    obs::DiscriminatorConfig disc;
+    disc.malicious_series = {"guard.spoofs_dropped"};
+    disc.load_series = {"guard.requests_seen"};
+    disc.source_series = {"guard.rl2.table.inserts"};
+    disc.attack_mix_threshold = 0.5;
+    mon.set_discriminator(disc);
+    mon.bind(ts, reg);
+    // Steady baseline past warmup: 1000 requests/window, no drops.
+    for (int i = 0; i < 6; ++i) window(1000, 0, 10);
+  }
+
+  void window(std::uint64_t load, std::uint64_t malicious,
+              std::uint64_t fresh_sources) {
+    requests += load;
+    drops += malicious;
+    inserts += fresh_sources;
+    ts.sample(at(t += 100));
+  }
+};
+
+TEST(AttackMonitor, FlashCrowdSurgeRaisesNoAttackOnset) {
+  DiscriminationBed bed;
+  // A 5x legitimate surge: lots of new sources, none of them dropped.
+  for (int i = 0; i < 3; ++i) bed.window(5000, 0, 800);
+
+  EXPECT_EQ(bed.mon.onsets(AttackMonitor::Kind::kAttack), 0u)
+      << bed.mon.events_json();
+  EXPECT_EQ(bed.mon.onsets(AttackMonitor::Kind::kFlashCrowd), 1u)
+      << bed.mon.events_json();
+  EXPECT_FALSE(bed.mon.under_attack());
+  EXPECT_TRUE(bed.mon.in_flash_crowd());
+
+  const AttackMonitor::Event& e = bed.mon.events().front();
+  EXPECT_TRUE(e.onset);
+  EXPECT_EQ(e.kind, AttackMonitor::Kind::kFlashCrowd);
+  EXPECT_NEAR(e.malicious_mix, 0.0, 1e-9);
+  EXPECT_NEAR(e.source_growth, 800.0, 1e-9);
+
+  // The dedicated gauge tracks the flash, not the attack alarm.
+  const obs::Gauge* flash = bed.reg.find_gauge("anomaly.flash_crowd");
+  ASSERT_NE(flash, nullptr);
+  EXPECT_EQ(flash->value(), 1);
+  const obs::Gauge* attack = bed.reg.find_gauge("anomaly.under_attack");
+  ASSERT_NE(attack, nullptr);
+  EXPECT_EQ(attack->max(), 0);
+
+  // Surge subsides: the offset event carries its onset's classification.
+  for (int i = 0; i < 3; ++i) bed.window(1000, 0, 10);
+  EXPECT_FALSE(bed.mon.in_flash_crowd());
+  ASSERT_EQ(bed.mon.events().size(), 2u);
+  EXPECT_FALSE(bed.mon.events()[1].onset);
+  EXPECT_EQ(bed.mon.events()[1].kind, AttackMonitor::Kind::kFlashCrowd);
+  EXPECT_NE(bed.mon.events_json().find("\"kind\": \"flash_crowd\""),
+            std::string::npos)
+      << bed.mon.events_json();
+}
+
+TEST(AttackMonitor, EqualRateSpoofedFloodClassifiesAsAttack) {
+  DiscriminationBed bed;
+  // Same 5x aggregate surge, but the guard rejects most of it: the
+  // drop-taxonomy mix (3600/5000 = 0.72) exceeds the 0.5 threshold.
+  for (int i = 0; i < 3; ++i) bed.window(5000, 3600, 800);
+
+  EXPECT_EQ(bed.mon.onsets(AttackMonitor::Kind::kAttack), 1u)
+      << bed.mon.events_json();
+  EXPECT_EQ(bed.mon.onsets(AttackMonitor::Kind::kFlashCrowd), 0u)
+      << bed.mon.events_json();
+  EXPECT_TRUE(bed.mon.under_attack());
+  EXPECT_FALSE(bed.mon.in_flash_crowd());
+
+  const AttackMonitor::Event& e = bed.mon.events().front();
+  EXPECT_EQ(e.kind, AttackMonitor::Kind::kAttack);
+  EXPECT_NEAR(e.malicious_mix, 0.72, 1e-9);
+
+  const obs::Gauge* attack = bed.reg.find_gauge("anomaly.under_attack");
+  ASSERT_NE(attack, nullptr);
+  EXPECT_EQ(attack->value(), 1);
+}
+
+TEST(AttackMonitor, WithoutDiscriminatorEveryOnsetIsAttack) {
+  // Legacy binary alarm: no discriminator configured, so even a clean
+  // surge (nothing dropped) classifies as an attack.
+  obs::MetricsRegistry reg;
+  obs::Counter& requests = reg.counter("guard.requests_seen");
+  obs::TimeSeriesSampler ts;
+  ts.start(reg, at(0), milliseconds(100), 64);
+  AttackMonitor mon;
+  mon.watch("guard.requests_seen");
+  mon.bind(ts, reg);
+
+  std::int64_t t = 0;
+  for (int i = 0; i < 6; ++i) {
+    requests += 1000;
+    ts.sample(at(t += 100));
+  }
+  for (int i = 0; i < 3; ++i) {
+    requests += 5000;
+    ts.sample(at(t += 100));
+  }
+  EXPECT_EQ(mon.onsets(AttackMonitor::Kind::kAttack), 1u)
+      << mon.events_json();
+  EXPECT_TRUE(mon.under_attack());
+  EXPECT_FALSE(mon.in_flash_crowd());
+  EXPECT_EQ(reg.find_gauge("anomaly.flash_crowd"), nullptr);
+}
+
 }  // namespace
 }  // namespace dnsguard

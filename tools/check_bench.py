@@ -30,6 +30,7 @@ import fnmatch
 import json
 import os
 import sys
+import tempfile
 
 LOWER_IS_BETTER_PATTERNS = [
     "*latency*",
@@ -306,6 +307,53 @@ def self_test():
         0.20,
     )
     assert f == [] and len(w) == 1
+
+    # --- counters-only documents (no "metrics" key at all) ---
+    # Some benches gate purely on counters (e.g. deterministic goodput /
+    # drop tallies); the whole-file pipeline must treat a missing
+    # "metrics" section as empty, not as an error, and still trip on a
+    # counter regression.
+    counters_only = {
+        "counters": {
+            "population.completed": 1000,
+            "guard.spoofs_dropped": 50,
+            "population.offered": 1400,
+        }
+    }
+    with tempfile.TemporaryDirectory() as base_dir, tempfile.TemporaryDirectory() as cur_dir:
+        name = "BENCH_counters_only.json"
+
+        def write(directory, doc):
+            with open(
+                os.path.join(directory, name), "w", encoding="utf-8"
+            ) as f:
+                json.dump(doc, f)
+
+        write(base_dir, counters_only)
+        write(cur_dir, counters_only)
+        assert run_check(base_dir, cur_dir, 0.10, 0.20) == 0
+        # Goodput counter halves: the gate must fail without any metrics.
+        write(
+            cur_dir,
+            {
+                "counters": dict(
+                    counters_only["counters"],
+                    **{"population.completed": 500},
+                )
+            },
+        )
+        assert run_check(base_dir, cur_dir, 0.10, 0.20) == 1
+        # Informational counter drifting in a counters-only doc: clean.
+        write(
+            cur_dir,
+            {
+                "counters": dict(
+                    counters_only["counters"],
+                    **{"population.offered": 9999},
+                )
+            },
+        )
+        assert run_check(base_dir, cur_dir, 0.10, 0.20) == 0
 
     print("self-test: OK")
     return 0
