@@ -39,6 +39,9 @@ std::uint64_t rng() {
 
 int main() {
   using namespace dnsguard;
+  // No "profile" section here by design: this is a single-stage
+  // microbenchmark with no simulator pipeline to attribute — its
+  // wall-ns/op metrics *are* the cost model for the one stage it times.
   bench::JsonResultWriter json("bounded_table");
 
   const std::uint64_t churn_ops =

@@ -10,6 +10,7 @@
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <ctime>
 #include <functional>
 #include <memory>
 #include <string>
@@ -19,6 +20,7 @@
 #include "attack/attackers.h"
 #include "guard/remote_guard.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "server/authoritative_node.h"
 #include "server/zone.h"
 #include "sim/simulator.h"
@@ -59,8 +61,28 @@ inline double wall_seconds_since(WallClock::time_point t0) {
   return std::chrono::duration<double>(WallClock::now() - t0).count();
 }
 
-/// Mean wall nanoseconds per operation since `t0`.
+/// Seconds of CPU time consumed by the calling thread. Unlike the wall
+/// helpers this excludes scheduler preemption and hypervisor steal, so
+/// A/B comparisons of pure CPU cost (e.g. the profiler overhead gate)
+/// stay measurable on noisy shared hosts where wall-clock deltas drown
+/// in multi-percent interference.
+inline double thread_cpu_seconds() {
+#if defined(CLOCK_THREAD_CPUTIME_ID)
+  timespec ts{};
+  if (clock_gettime(CLOCK_THREAD_CPUTIME_ID, &ts) == 0) {
+    return static_cast<double>(ts.tv_sec) +
+           static_cast<double>(ts.tv_nsec) * 1e-9;
+  }
+#endif
+  return wall_seconds_since(WallClock::time_point{});
+}
+
+/// Mean wall nanoseconds per operation since `t0`. An empty window (no
+/// operations completed, e.g. a quick-mode run whose warmup consumed the
+/// whole load) reports 0 rather than dividing by zero — inf/nan would
+/// poison the JSON output and every downstream baseline comparison.
 inline double wall_ns_per_op(WallClock::time_point t0, std::uint64_t ops) {
+  if (ops == 0) return 0.0;
   return wall_seconds_since(t0) * 1e9 / static_cast<double>(ops);
 }
 
@@ -143,6 +165,47 @@ class JsonResultWriter {
   std::vector<std::pair<std::string, std::string>> metrics_;
   std::vector<std::pair<std::string, std::string>> counters_;
   std::vector<std::pair<std::string, std::string>> sections_;
+};
+
+/// Collects per-label cost-attribution reports for the "profile" JSON
+/// section. A bench captures one report per measured configuration (e.g.
+/// table3 captures "ns_name_hit" and "ns_name_miss") and attaches the
+/// whole map via attach(); tools/flamegraph.py and tools/check_bench.py
+/// consume the section.
+class ProfileCollector {
+ public:
+  /// Snapshots the profiler under `label`. `measured_wall_ns` is the wall
+  /// time of the measurement window the snapshot covers (gives each stage
+  /// a "share" field and the report a "root_share" coverage figure).
+  void capture(const std::string& label, double measured_wall_ns) {
+    if (!obs::prof::profiler.enabled()) return;
+    entries_.emplace_back(
+        label, obs::prof::profiler.report_json(measured_wall_ns, 4));
+  }
+
+  [[nodiscard]] bool empty() const { return entries_.empty(); }
+
+  /// Renders the {"label": <report>, ...} object.
+  [[nodiscard]] std::string to_json() const {
+    std::string out = "{";
+    for (std::size_t i = 0; i < entries_.size(); ++i) {
+      out += i == 0 ? "\n    \"" : ",\n    \"";
+      out += entries_[i].first;
+      out += "\": ";
+      out += entries_[i].second;
+    }
+    out += "\n  }";
+    return out;
+  }
+
+  /// Adds the "profile" section to `writer` (no-op when nothing was
+  /// captured, so profiling stays strictly opt-in per bench).
+  void attach(JsonResultWriter& writer) const {
+    if (!empty()) writer.add_section("profile", to_json());
+  }
+
+ private:
+  std::vector<std::pair<std::string, std::string>> entries_;
 };
 
 inline constexpr net::Ipv4Address kAnsIp{10, 1, 1, 254};
@@ -278,6 +341,24 @@ struct Testbed {
   /// opens instead of during warmup — gives anomaly detection a clean
   /// baseline followed by a mid-window onset.
   SimDuration attacker_start_delay{};
+  /// Enable the wall-clock cost-attribution profiler for the measurement
+  /// window (reset after warmup, so warmup samples never pollute the
+  /// report). Unlike journeys/timeseries this reads *host* time: virtual
+  /// results stay identical, but host throughput pays the probes' ~1-2%.
+  bool enable_profiling = false;
+  /// Event-sampling duty cycle for profiled windows: probes arm for the
+  /// first `profile_sample_block` events of every `profile_sample_stride`
+  /// and the report scales back up. The defaults (16/6361, a prime stride
+  /// against event-pattern aliasing, ~0.25% duty) keep enabled-mode wall
+  /// overhead inside the 2% gate; the block is long enough that the
+  /// cold-entry cost of re-arming probes (cell matrix and probe code fall
+  /// out of cache between blocks) amortizes across the block instead of
+  /// inflating every sampled event. Set both to 1 for exhaustive capture.
+  std::uint32_t profile_sample_stride = 6361;
+  std::uint32_t profile_sample_block = 16;
+  /// Wall nanoseconds spent inside the last measure() window — the
+  /// denominator for ProfileCollector::capture() shares.
+  double last_wall_ns = 0.0;
 
   /// Warm up, reset stats, measure for `window`. Returns the window.
   SimDuration measure(SimDuration warmup, SimDuration window) {
@@ -316,7 +397,15 @@ struct Testbed {
       sim.start_timeseries(timeseries_window);
       if (on_sampling_started) on_sampling_started();
     }
+    if (enable_profiling) {
+      if (!obs::prof::profiler.enabled()) obs::prof::profiler.enable();
+      obs::prof::profiler.set_sampling(profile_sample_stride,
+                                       profile_sample_block);
+      obs::prof::profiler.reset();
+    }
+    const WallClock::time_point wall_t0 = wall_now();
     sim.run_for(window);
+    last_wall_ns = wall_seconds_since(wall_t0) * 1e9;
     if (timeseries_window.ns > 0) sim.stop_timeseries();
     for (auto& a : attackers) a->stop();
     for (auto& d : drivers) d->stop();

@@ -140,6 +140,9 @@ int main() {
   std::printf("speedup: %.2fx %s\n", speedup,
               speedup >= 2.0 ? "(meets >=2x target)" : "(BELOW 2x target)");
 
+  // No "profile" section here by design: this microbenchmark times the
+  // event queue outside any simulator pipeline, so there are no stages to
+  // attribute — events_per_sec is already the single-stage cost model.
   JsonResultWriter json("event_queue");
   json.add("old_events_per_sec", old_best);
   json.add("new_events_per_sec", new_best);

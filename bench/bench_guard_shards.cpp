@@ -30,7 +30,9 @@ struct Point {
 };
 
 Point run_point(std::size_t shards, JsonResultWriter* json = nullptr,
-                const std::string& counter_prefix = "") {
+                const std::string& counter_prefix = "",
+                ProfileCollector* prof = nullptr,
+                const std::string& prof_label = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Simulator);
   bed.make_guard(guard::Scheme::ModifiedDns, 0.0,
@@ -45,8 +47,10 @@ Point run_point(std::size_t shards, JsonResultWriter* json = nullptr,
                        .spoof_base = net::Ipv4Address(10, 200, 0, 0),
                        .spoof_range = 1u << 16,
                        .random_txt_cookie = true});
+  bed.enable_profiling = prof != nullptr;
   SimDuration window = bed.measure(quick(milliseconds(200), milliseconds(50)),
                                    quick(seconds(1), milliseconds(100)));
+  if (prof != nullptr) prof->capture(prof_label, bed.last_wall_ns);
   Point p;
   p.checks = bed.guard->guard_stats().cookie_checks;
   p.dropped = bed.guard->guard_stats().spoofs_dropped;
@@ -70,11 +74,18 @@ int main() {
   TablePrinter table({"shards", "verify(K/s)", "dropped", "scaling"}, 14);
   table.print_header();
 
+  // Cost attribution at both ends of the sweep: the 1-shard profile is
+  // the classic sequential path, the 8-shard one exercises the batched
+  // pre-pass (decode + prefetch + bulk verify) across per-shard lanes.
+  ProfileCollector prof;
   const std::vector<std::size_t> sweep{1, 2, 4, 8};
   std::vector<Point> points;
   for (std::size_t shards : sweep) {
     bool last = shards == sweep.back();
-    Point p = run_point(shards, last ? &json : nullptr, "shards8.");
+    bool first = shards == sweep.front();
+    Point p = run_point(shards, last ? &json : nullptr, "shards8.",
+                        first || last ? &prof : nullptr,
+                        "shards" + std::to_string(shards));
     points.push_back(p);
     double scaling = points[0].verify_rps > 0
                          ? p.verify_rps / points[0].verify_rps
@@ -90,10 +101,14 @@ int main() {
 
   // Determinism: the 8-shard point re-run must reproduce its counters
   // bit-for-bit (rings and batching preserve virtual-time determinism).
+  // The re-run is unprofiled — identical counters with the profiler off
+  // double as evidence that probes never touch simulation state.
+  obs::prof::profiler.disable();
   Point rerun = run_point(sweep.back());
   json.add("rerun_identical",
            static_cast<std::uint64_t>(rerun.checks == points.back().checks &&
                                       rerun.dropped == points.back().dropped));
+  prof.attach(json);
   json.write();
 
   if (scaling_x8 < 4.0) {

@@ -35,7 +35,9 @@ struct Point {
 
 Point run_point(double attack_rate, bool protection,
                 JsonResultWriter* json = nullptr,
-                const std::string& counter_prefix = "") {
+                const std::string& counter_prefix = "",
+                ProfileCollector* prof = nullptr,
+                const std::string& prof_label = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Bind, /*ttl_override=*/0);
 
@@ -69,8 +71,10 @@ Point run_point(double attack_rate, bool protection,
     bed.timeseries_window = quick(seconds(1), milliseconds(500));
   }
   // Long window: the 2 s timeout dynamics need time to show.
+  bed.enable_profiling = prof != nullptr;
   SimDuration window = bed.measure(quick(seconds(3), seconds(1)),
                                    quick(seconds(8), seconds(2)));
+  if (prof != nullptr) prof->capture(prof_label, bed.last_wall_ns);
   double completed = 0;
   for (auto& d : bed.drivers) {
     completed += static_cast<double>(d->driver_stats().completed);
@@ -104,11 +108,15 @@ int main() {
       quick_mode() ? std::vector<double>{0.0, 8e3, 16e3}
                    : std::vector<double>{0.0, 2e3, 4e3, 6e3, 8e3, 10e3,
                                          12e3, 14e3, 16e3};
+  // Cost attribution for the highest-attack guarded point (where the
+  // guard's classify/verify stages carry the flood).
+  ProfileCollector prof;
   for (double attack : sweep) {
     // Counters only for the last (highest-attack) guarded point: it is
     // the one that exercises the drop taxonomy.
     bool last = attack == sweep.back();
-    Point on = run_point(attack, /*protection=*/true, last ? &json : nullptr);
+    Point on = run_point(attack, /*protection=*/true, last ? &json : nullptr,
+                         "", last ? &prof : nullptr, "guarded_peak");
     Point off = run_point(attack, /*protection=*/false);
     table.print_row({TablePrinter::num(attack / 1000, 0),
                      TablePrinter::num(on.legit_throughput, 0),
@@ -121,6 +129,8 @@ int main() {
     json.add(key + ".ans_cpu_on", on.ans_cpu);
     json.add(key + ".ans_cpu_off", off.ans_cpu);
   }
+  obs::prof::profiler.disable();
+  prof.attach(json);
   json.write();
   return 0;
 }

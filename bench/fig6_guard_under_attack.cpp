@@ -27,7 +27,9 @@ struct Point {
 
 Point run_point(double attack_rate, bool protection,
                 JsonResultWriter* json = nullptr,
-                const std::string& counter_prefix = "") {
+                const std::string& counter_prefix = "",
+                ProfileCollector* prof = nullptr,
+                const std::string& prof_label = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Simulator);
   bed.make_guard(protection ? guard::Scheme::ModifiedDns
@@ -46,8 +48,10 @@ Point run_point(double attack_rate, bool protection,
     // Observed point: per-window counter deltas ride along in the JSON.
     bed.timeseries_window = quick(milliseconds(250), milliseconds(100));
   }
+  bed.enable_profiling = prof != nullptr;
   SimDuration window = bed.measure(quick(milliseconds(500), milliseconds(200)),
                                    quick(seconds(2), milliseconds(500)));
+  if (prof != nullptr) prof->capture(prof_label, bed.last_wall_ns);
   Point p;
   p.legit_throughput =
       static_cast<double>(bed.drivers[0]->driver_stats().completed) /
@@ -119,10 +123,15 @@ int main() {
           ? std::vector<double>{0.0, 100e3, 250e3}
           : std::vector<double>{0.0, 25e3, 50e3, 75e3, 100e3, 125e3,
                                 150e3, 175e3, 200e3, 225e3, 250e3};
+  // Cost attribution at the sweep's peak attack rate: where do the
+  // guard's nanoseconds go when the flood is at its worst?
+  ProfileCollector prof;
   for (double attack : sweep) {
     bool last = attack == sweep.back();
-    Point on = run_point(attack, /*protection=*/true, last ? &json : nullptr);
-    Point off = run_point(attack, /*protection=*/false);
+    Point on = run_point(attack, /*protection=*/true, last ? &json : nullptr,
+                         "", last ? &prof : nullptr, "protected_peak");
+    Point off = run_point(attack, /*protection=*/false, nullptr, "",
+                          last ? &prof : nullptr, "unprotected_peak");
     table.print_row({TablePrinter::num(attack / 1000, 0),
                      TablePrinter::kilo(on.legit_throughput),
                      TablePrinter::kilo(off.legit_throughput),
@@ -134,7 +143,9 @@ int main() {
     json.add(key + ".guard_cpu_on", on.guard_cpu);
     json.add(key + ".guard_cpu_off", off.guard_cpu);
   }
+  obs::prof::profiler.disable();
   run_detection_timeline(json);
+  prof.attach(json);
   json.write();
   return 0;
 }

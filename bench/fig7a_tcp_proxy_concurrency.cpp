@@ -16,7 +16,9 @@ using workload::TablePrinter;
 
 namespace {
 
-double run_point(int concurrency, JsonResultWriter* json = nullptr) {
+double run_point(int concurrency, JsonResultWriter* json = nullptr,
+                 ProfileCollector* prof = nullptr,
+                 const std::string& prof_label = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Simulator);
   bed.make_guard(guard::Scheme::TcpRedirect);
@@ -24,8 +26,10 @@ double run_point(int concurrency, JsonResultWriter* json = nullptr) {
   // the queueing delay exceeds the LAN default.
   bed.add_driver(DriveMode::TcpDirect, concurrency,
                  net::Ipv4Address(10, 0, 1, 1), seconds(5));
+  bed.enable_profiling = prof != nullptr;
   SimDuration window = bed.measure(quick(seconds(2), milliseconds(500)),
                                    quick(seconds(3), seconds(1)));
+  if (prof != nullptr) prof->capture(prof_label, bed.last_wall_ns);
   if (json != nullptr) json->add_counters(bed.sim.metrics());
   return static_cast<double>(bed.drivers[0]->driver_stats().completed) /
          window.seconds();
@@ -46,12 +50,19 @@ int main() {
       quick_mode() ? std::vector<int>{20, 1000, 6000}
                    : std::vector<int>{1, 2, 5, 10, 20, 50, 100, 200, 500,
                                       1000, 2000, 4000, 6000};
+  // Cost attribution at peak concurrency: the connection-table management
+  // overhead the paper blames for the 6000-connection droop shows up as
+  // guard.tcp_proxy / guard.nat_rewrite shares.
+  ProfileCollector prof;
   for (int conc : sweep) {
     bool last = conc == sweep.back();
-    double tput = run_point(conc, last ? &json : nullptr);
+    double tput = run_point(conc, last ? &json : nullptr,
+                            last ? &prof : nullptr, "peak_concurrency");
     table.print_row({TablePrinter::num(conc, 0), TablePrinter::kilo(tput)});
     json.add("conc_" + std::to_string(conc) + "_rps", tput);
   }
+  obs::prof::profiler.disable();
+  prof.attach(json);
   json.write();
   return 0;
 }

@@ -21,7 +21,9 @@ struct Point {
   double guard_cpu;
 };
 
-Point run_point(double attack_rate, JsonResultWriter* json = nullptr) {
+Point run_point(double attack_rate, JsonResultWriter* json = nullptr,
+                ProfileCollector* prof = nullptr,
+                const std::string& prof_label = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Simulator);
   bed.make_guard(guard::Scheme::TcpRedirect);
@@ -32,8 +34,10 @@ Point run_point(double attack_rate, JsonResultWriter* json = nullptr) {
   if (json != nullptr) {
     bed.timeseries_window = quick(milliseconds(250), milliseconds(100));
   }
+  bed.enable_profiling = prof != nullptr;
   SimDuration window = bed.measure(quick(seconds(1), milliseconds(300)),
                                    quick(seconds(2), milliseconds(700)));
+  if (prof != nullptr) prof->capture(prof_label, bed.last_wall_ns);
   Point p;
   p.tcp_throughput =
       static_cast<double>(bed.drivers[0]->driver_stats().completed) /
@@ -62,9 +66,13 @@ int main() {
       quick_mode() ? std::vector<double>{0.0, 250e3}
                    : std::vector<double>{0.0, 50e3, 100e3, 150e3, 200e3,
                                          250e3};
+  // Cost attribution at the peak attack rate: how the truncation-redirect
+  // flood splits guard time between the UDP and TCP-proxy paths.
+  ProfileCollector prof;
   for (double attack : sweep) {
     bool last = attack == sweep.back();
-    Point p = run_point(attack, last ? &json : nullptr);
+    Point p = run_point(attack, last ? &json : nullptr,
+                        last ? &prof : nullptr, "peak_attack");
     table.print_row({TablePrinter::num(attack / 1000, 0),
                      TablePrinter::kilo(p.tcp_throughput),
                      TablePrinter::percent(p.guard_cpu)});
@@ -72,6 +80,8 @@ int main() {
     json.add(key + ".tcp_rps", p.tcp_throughput);
     json.add(key + ".guard_cpu", p.guard_cpu);
   }
+  obs::prof::profiler.disable();
+  prof.attach(json);
   json.write();
   return 0;
 }

@@ -81,7 +81,9 @@ struct ScenarioResult {
 
 ScenarioResult run_scenario(const ScenarioSpec& spec, const Durations& d,
                             JsonResultWriter* json = nullptr,
-                            const std::string& prefix = "") {
+                            const std::string& prefix = "",
+                            ProfileCollector* prof = nullptr,
+                            const std::string& prof_label = "") {
   Testbed bed;
   bed.make_ans(AnsKind::Simulator);
   // Internet-scale guard sizing: the default 64K-host RL2 table (which
@@ -164,7 +166,22 @@ ScenarioResult run_scenario(const ScenarioSpec& spec, const Durations& d,
   if (spec.with_monitor) {
     monitor.bind(bed.sim.timeseries(), bed.sim.metrics());
   }
+  // This bench drives the window by hand (no bed.measure()), so the
+  // cost-attribution capture is wired by hand too. Profiling reads only
+  // the host clock, so the digest-determinism asserts are unaffected.
+  auto prof_t0 = wall_now();
+  if (prof != nullptr) {
+    obs::prof::profiler.enable();
+    obs::prof::profiler.set_sampling(bed.profile_sample_stride,
+                                     bed.profile_sample_block);
+    obs::prof::profiler.reset();
+    prof_t0 = wall_now();
+  }
   bed.sim.run_for(d.window);
+  if (prof != nullptr) {
+    prof->capture(prof_label, wall_seconds_since(prof_t0) * 1e9);
+    obs::prof::profiler.disable();
+  }
   bed.sim.stop_timeseries();
 
   ScenarioResult r;
@@ -238,10 +255,14 @@ int main() {
   ScenarioResult flood = run_scenario(flood_spec, d, &json, "flood");
   json.add_section("anomaly_events_flood", flood.events_json);
 
+  // Cost attribution for the heaviest scenario: flash crowd + flood at
+  // once, the population engine and guard both at full tilt.
+  ProfileCollector prof;
   ScenarioSpec blended_spec;
   blended_spec.with_flash = true;
   blended_spec.with_flood = true;
-  ScenarioResult blended = run_scenario(blended_spec, d, &json, "blended");
+  ScenarioResult blended =
+      run_scenario(blended_spec, d, &json, "blended", &prof, "blended");
   json.add_section("anomaly_events_blended", blended.events_json);
 
   TablePrinter table({"scenario", "goodput(K/s)", "attack_onsets",
@@ -316,6 +337,7 @@ int main() {
       static_cast<unsigned long long>(run1.cache_hits),
       static_cast<unsigned long long>(run1.completed), wall_s);
 
+  prof.attach(json);
   json.write();
   std::printf("\nfig_flashcrowd: all discrimination asserts passed\n");
   return 0;

@@ -10,7 +10,9 @@ FloodNodeBase::FloodNodeBase(sim::Simulator& sim, std::string name,
                              Config config)
     : sim::Node(sim, std::move(name)),
       config_(std::move(config)),
-      rng_(config_.seed) {}
+      rng_(config_.seed) {
+  set_profile_stage(obs::prof::Stage::kAttackService);
+}
 
 void FloodNodeBase::start() {
   if (running_) return;

@@ -20,6 +20,7 @@
 
 #include "common/bytes.h"
 #include "crypto/md5.h"
+#include "obs/profiler.h"
 
 namespace dnsguard::crypto {
 
@@ -51,6 +52,7 @@ class CookieHasher {
 
   /// c = MD5(key || ipv4_be), identical to compute_cookie(key, ip).
   [[nodiscard]] Cookie compute(std::uint32_t ip) const {
+    DNSGUARD_PROF_SCOPE(obs::prof::Stage::kCookieHash);
     Md5 ctx = base_;  // midstate copy: key already absorbed
     const std::uint8_t ip_be[4] = {static_cast<std::uint8_t>(ip >> 24),
                                    static_cast<std::uint8_t>(ip >> 16),

@@ -6,6 +6,7 @@ namespace dnsguard::guard {
 
 std::optional<std::string> CookieEngine::make_cookie_label(
     net::Ipv4Address requester, std::string_view restore_label) const {
+  DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardMint);
   crypto::Cookie c = mint(requester);
   std::uint32_t prefix = crypto::cookie_prefix32(c);
   std::uint8_t be[4] = {
@@ -65,6 +66,7 @@ static constexpr std::uint32_t sanitized_r_y(std::uint32_t r_y,
 net::Ipv4Address CookieEngine::make_cookie_address(
     net::Ipv4Address requester, net::Ipv4Address subnet_base,
     std::uint32_t r_y) const {
+  DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardMint);
   crypto::Cookie c = mint(requester);
   std::uint32_t y =
       crypto::cookie_prefix32(c) % sanitized_r_y(r_y, subnet_base.value());
@@ -74,6 +76,7 @@ net::Ipv4Address CookieEngine::make_cookie_address(
 crypto::VerifyResult CookieEngine::verify_cookie_address_ex(
     net::Ipv4Address requester, net::Ipv4Address dst,
     net::Ipv4Address subnet_base, std::uint32_t r_y) const {
+  DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardVerify);
   const std::uint32_t divisor = sanitized_r_y(r_y, subnet_base.value());
   if (dst.value() <= subnet_base.value()) return {false, false, false};
   std::uint32_t offset = dst.value() - subnet_base.value() - 1;
@@ -110,6 +113,7 @@ void CookieEngine::verify_jobs(const VerifyJob* jobs,
                                crypto::VerifyResult* out, std::size_t n,
                                net::Ipv4Address subnet_base,
                                std::uint32_t r_y) const {
+  DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardVerifyJobs);
   // One call verifies a whole shard batch. Grouping the checks keeps the
   // pre-keyed MD5 midstates and the key schedule hot across items; each
   // item still costs exactly the per-kind verification it would cost

@@ -37,6 +37,7 @@ class CookieEngine {
 
   /// Full 16-byte cookie for a requester address.
   [[nodiscard]] crypto::Cookie mint(net::Ipv4Address requester) const {
+    DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardMint);
     return keys_.mint(requester.value());
   }
 
@@ -50,6 +51,7 @@ class CookieEngine {
   /// stale — see crypto::VerifyResult).
   [[nodiscard]] crypto::VerifyResult verify_ex(
       net::Ipv4Address requester, const crypto::Cookie& presented) const {
+    DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardVerify);
     return keys_.verify_ex(requester.value(), presented);
   }
 
@@ -81,6 +83,7 @@ class CookieEngine {
   }
   [[nodiscard]] crypto::VerifyResult verify_prefix_ex(
       net::Ipv4Address requester, std::uint32_t presented_prefix) const {
+    DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardVerify);
     return keys_.verify_prefix32_ex(requester.value(), presented_prefix);
   }
 

@@ -18,6 +18,7 @@ LocalGuardNode::LocalGuardNode(sim::Simulator& sim, std::string name,
       cookies_({.capacity = config_.max_cookie_cache}),
       not_capable_until_({.capacity = config_.max_not_capable}),
       held_({.capacity = config_.max_held_anses}) {
+  set_profile_stage(obs::prof::Stage::kGuardService);
   stats_.bind(this->sim().metrics(), "local_guard");
   cookies_.bind_metrics(this->sim().metrics(), "local_guard.cookies");
   not_capable_until_.bind_metrics(this->sim().metrics(),

@@ -85,6 +85,7 @@ RemoteGuardNode::RemoteGuardNode(sim::Simulator& sim, std::string name,
       engine_(config_.key_seed),
       framers_({.capacity = config_.proxy_max_connections,
                 .evict_lru_when_full = true}) {
+  set_profile_stage(obs::prof::Stage::kGuardService);
   if (config_.num_shards == 0) config_.num_shards = 1;
   if (config_.shard_batch_max == 0) config_.shard_batch_max = 1;
   if (config_.shard_batch_max > kMaxShardBatch) {
@@ -367,6 +368,7 @@ std::optional<crypto::VerifyResult> RemoteGuardNode::take_batch_verdict() {
 void RemoteGuardNode::on_batch_begin(std::size_t lane,
                                      const net::Packet* batch,
                                      std::size_t n) {
+  DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardBatchPrepass);
   if (n > kMaxShardBatch) n = kMaxShardBatch;  // batch_max is clamped; belt
   // One trace entry covers the whole burst (the per-packet classify
   // trace is amortized away on the sharded hot path).
@@ -383,13 +385,20 @@ void RemoteGuardNode::on_batch_begin(std::size_t lane,
     slot.has_verdict = false;
     const net::Packet& p = batch[k];
     if (!p.is_udp() || p.src_ip == config_.ans_address) continue;
-    auto m = dns::Message::decode(BytesView(p.payload));
+    std::optional<dns::Message> m;
+    {
+      DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardDecode);
+      m = dns::Message::decode(BytesView(p.payload));
+    }
     if (!m || m->header.qr || m->question() == nullptr) continue;
     ++requests;
-    // Pull the limiter buckets this request will touch toward the cache
-    // while the rest of the burst decodes.
-    sh.rl1.prefetch(p.src_ip);
-    sh.rl2.prefetch(p.src_ip);
+    {
+      // Pull the limiter buckets this request will touch toward the cache
+      // while the rest of the burst decodes.
+      DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardPrefetch);
+      sh.rl1.prefetch(p.src_ip);
+      sh.rl2.prefetch(p.src_ip);
+    }
 
     // Collect cookie-verification work, mirroring handle_request's
     // dispatch exactly: a TXT cookie wins regardless of scheme, then the
@@ -467,6 +476,7 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
   if (packet.is_tcp()) {
     // TCP path: either the proxy itself, or (pass-through schemes) raw
     // forwarding to the ANS.
+    DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardTcpProxy);
     charge(config_.costs.proxy_segment);
     charge(SimDuration{static_cast<std::int64_t>(
         config_.costs.proxy_table_per_conn.ns *
@@ -516,7 +526,11 @@ SimDuration RemoteGuardNode::process(const net::Packet& packet) {
     return cost_;
   }
 
-  auto m = dns::Message::decode(BytesView(packet.payload));
+  std::optional<dns::Message> m;
+  {
+    DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardDecode);
+    m = dns::Message::decode(BytesView(packet.payload));
+  }
   if (!m || m->header.qr || m->question() == nullptr) {
     stats_.malformed++;
     drop_other(packet, obs::DropReason::kMalformed);
@@ -897,6 +911,7 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
       continue;
     }
     stats_.proxy_queries++;
+    DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardNat);
     // Convert to UDP toward the ANS, NATed to the guard's own address.
     // Source-port allocation probes past ports with a live NAT entry: a
     // collision used to overwrite the old entry, orphaning its in-flight
@@ -940,6 +955,7 @@ void RemoteGuardNode::proxy_on_data(tcp::ConnId conn, BytesView data) {
 }
 
 void RemoteGuardNode::handle_proxy_nat_response(const net::Packet& packet) {
+  DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardNat);
   const std::uint16_t port = packet.udp().dst_port;
   NatEntry* found = cur_shard_->nat.find(port, now());
   if (found == nullptr) {

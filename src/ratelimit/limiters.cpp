@@ -1,5 +1,7 @@
 #include "ratelimit/limiters.h"
 
+#include "obs/profiler.h"
+
 namespace dnsguard::ratelimit {
 
 void CookieResponseLimiter::reset() {
@@ -10,6 +12,7 @@ void CookieResponseLimiter::reset() {
 }
 
 bool CookieResponseLimiter::allow(net::Ipv4Address requester, SimTime now) {
+  DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardRl1);
   std::uint64_t count = tracker_->record(requester);
   if (count < config_.heavy_hitter_threshold) {
     // Light requesters are never throttled: a legitimate LRS fetching a
@@ -35,6 +38,7 @@ bool CookieResponseLimiter::allow(net::Ipv4Address requester, SimTime now) {
 }
 
 bool VerifiedRequestLimiter::allow(net::Ipv4Address host, SimTime now) {
+  DNSGUARD_PROF_SCOPE(obs::prof::Stage::kGuardRl2);
   buckets_.reap(now, 4);
   auto r = buckets_.try_emplace(host, now,
                                 TokenBucket(config_.per_host_rate,

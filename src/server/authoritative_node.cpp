@@ -13,6 +13,7 @@ AuthoritativeServerNode::AuthoritativeServerNode(sim::Simulator& sim,
       config_(config),
       framers_({.capacity = config.max_tcp_connections,
                 .evict_lru_when_full = true}) {
+  set_profile_stage(obs::prof::Stage::kAnsService);
   tcp_ = std::make_unique<tcp::TcpStack>(
       [this](net::Packet p) { send(std::move(p)); },
       [this] { return now(); },

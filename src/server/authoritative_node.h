@@ -115,6 +115,7 @@ class AnsSimulatorNode : public sim::Node {
 
   AnsSimulatorNode(sim::Simulator& sim, std::string name, Config config)
       : sim::Node(sim, std::move(name)), config_(config) {
+    set_profile_stage(obs::prof::Stage::kAnsService);
     ans_stats_.bind(sim.metrics(), "server.ans_sim");
     drops_.bind(sim.metrics(), "server.ans_sim");
   }

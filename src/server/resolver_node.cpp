@@ -19,6 +19,7 @@ RecursiveResolverNode::RecursiveResolverNode(sim::Simulator& sim,
       // oldest leg's framing buffer — the query itself still times out.
       tcp_queries_({.capacity = config_.max_pending_queries,
                     .evict_lru_when_full = true}) {
+  set_profile_stage(obs::prof::Stage::kResolverService);
   tcp_ = std::make_unique<tcp::TcpStack>(
       [this](net::Packet p) { send(std::move(p)); },
       [this] { return now(); },

@@ -35,6 +35,7 @@ class StubResolverNode : public sim::Node {
 
   StubResolverNode(sim::Simulator& sim, std::string name, Config config)
       : sim::Node(sim, std::move(name)), config_(config) {
+    set_profile_stage(obs::prof::Stage::kDriverService);
     drops_.bind(this->sim().metrics(), "stub");
   }
 

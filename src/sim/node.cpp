@@ -61,6 +61,9 @@ void Node::serve_lane(std::size_t lane_idx) {
   while (n < batch_max_ && lane.ring.try_pop(batch_[n])) ++n;
   if (n == 0) return;
 
+  // Attribute this burst's spans (batch pre-pass, per-packet process) to
+  // this lane's profiler cells; merged again only at report time.
+  obs::prof::LaneScope prof_lane(lane_idx);
   in_batch_ = true;
   on_batch_begin(lane_idx, batch_.data(), n);
 
@@ -71,7 +74,11 @@ void Node::serve_lane(std::size_t lane_idx) {
   for (std::size_t k = 0; k < n; ++k) {
     batch_index_ = k;
     in_process_ = true;
-    SimDuration cost = process(batch_[k]);
+    SimDuration cost;
+    {
+      DNSGUARD_PROF_SCOPE(prof_stage_);
+      cost = process(batch_[k]);
+    }
     in_process_ = false;
     batch_[k].release_payload();
     if (cost.ns < 0) cost.ns = 0;
@@ -91,6 +98,7 @@ void Node::flush_outbox_at(SimTime at) {
   auto sends = std::move(outbox_);
   outbox_.clear();
   sim_.schedule_at(at, [this, sends = std::move(sends)]() mutable {
+    DNSGUARD_PROF_SCOPE(obs::prof::Stage::kOutboxFlush);
     for (auto& s : sends) {
       stats_.tx++;
       trace(obs::TraceEvent::kTx, s.packet);
@@ -138,7 +146,11 @@ void Node::service_one() {
   rx_queue_.pop_front();
 
   in_process_ = true;
-  SimDuration cost = process(packet);
+  SimDuration cost;
+  {
+    DNSGUARD_PROF_SCOPE(prof_stage_);
+    cost = process(packet);
+  }
   in_process_ = false;
   // The packet is consumed: recycle its payload buffer for the encode
   // paths (handlers that keep the packet copy it, payload included).

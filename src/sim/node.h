@@ -31,6 +31,7 @@
 #include "common/spsc_ring.h"
 #include "common/time.h"
 #include "net/packet.h"
+#include "obs/profiler.h"
 #include "obs/trace.h"
 #include "sim/simulator.h"
 
@@ -158,6 +159,11 @@ class Node {
   void trace(obs::TraceEvent event, const net::Packet& packet,
              obs::DropReason reason = obs::DropReason::kNone);
 
+  /// Tags this node's process() spans in the wall-clock profiler (e.g.
+  /// kGuardService). Call from the subclass constructor; the default
+  /// lumps the node under the generic node.service stage.
+  void set_profile_stage(obs::prof::Stage stage) { prof_stage_ = stage; }
+
  private:
   struct PendingSend {
     Node* direct_to;  // nullptr => routed send
@@ -191,6 +197,7 @@ class Node {
   std::size_t batch_max_ = 0;
   std::size_t batch_index_ = 0;
   bool in_batch_ = false;
+  obs::prof::Stage prof_stage_ = obs::prof::Stage::kNodeService;
   NodeStats stats_;
   obs::TraceRing trace_{128};
 };

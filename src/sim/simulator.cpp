@@ -35,18 +35,25 @@ Simulator::Simulator() {
 }
 
 void Simulator::run_until(SimTime until) {
+  // One inter-tick slice per event charges dispatch cost (heap pop, the
+  // event body, queue bookkeeping) to sim.dispatch; node-level spans
+  // opened inside the event nest under it via the pinned context.
+  obs::prof::DispatchWindow prof_window;
   while (!queue_.empty() && queue_.next_time() <= until) {
     queue_.run_next(now_);
     ++events_dispatched_;
     queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    prof_window.tick();
   }
   if (now_ < until) now_ = until;
 }
 
 void Simulator::run_all() {
+  obs::prof::DispatchWindow prof_window;
   while (queue_.run_next(now_)) {
     ++events_dispatched_;
     queue_depth_.set(static_cast<std::int64_t>(queue_.size()));
+    prof_window.tick();
   }
 }
 
@@ -195,6 +202,12 @@ obs::FlightRecorder& Simulator::flight_recorder() {
     });
     flightrec_.add_section("journeys", [this] {
       return journeys_.to_chrome_json(/*include_open=*/true);
+    });
+    // Wall-clock cost attribution (process-global: probes fire in layers
+    // with no Simulator handle). A post-mortem of a wedged or slow run
+    // then shows where host time went, next to what the sim state was.
+    flightrec_.add_section("profile", [] {
+      return obs::prof::profiler.report_json(/*measured_wall_ns=*/0.0, 2);
     });
   }
   return flightrec_;

@@ -26,6 +26,7 @@
 #include "obs/anomaly.h"
 #include "obs/journey.h"
 #include "obs/metrics.h"
+#include "obs/profiler.h"
 #include "obs/timeseries.h"
 #include "obs/trace.h"
 #include "sim/event_queue.h"

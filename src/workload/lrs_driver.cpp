@@ -24,6 +24,7 @@ LrsSimulatorNode::LrsSimulatorNode(sim::Simulator& sim, std::string name,
     : sim::Node(sim, std::move(name), /*rx_queue_capacity=*/16384),
       config_(std::move(config)),
       rng_(config_.seed) {
+  set_profile_stage(obs::prof::Stage::kDriverService);
   qname_ = dns::DomainName::parse(config_.qname).value_or(dns::DomainName{});
   zone_ = dns::DomainName::parse(config_.zone).value_or(dns::DomainName{});
   tcp_ = std::make_unique<tcp::TcpStack>(

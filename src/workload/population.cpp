@@ -330,6 +330,7 @@ ClientPopulationNode::ClientPopulationNode(sim::Simulator& sim,
       config_(std::move(config)),
       engine_(config_.population),
       minter_(config_.population.cookie_key_seed) {
+  set_profile_stage(obs::prof::Stage::kDriverService);
   sim.add_route(config_.population.prefix_base, config_.population.prefix_len,
                 this);
   stats_.bind(sim.metrics(), config_.shard_count > 1

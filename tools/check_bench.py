@@ -20,6 +20,14 @@ fail when they *increase* beyond tolerance, and goodput counters
 fail when they *decrease* beyond tolerance — together they catch a guard
 that silently starts shedding legitimate traffic.
 
+The "profile" section (per-label cost-attribution reports from
+src/obs/profiler.h) is compared warn-only: a stage whose share of wall
+time drifts beyond --profile-share-tolerance (absolute share points,
+default 0.05), a stage present in the run but absent from the baseline
+(or vice versa), or a whole label appearing/disappearing all warn but
+never fail. Wall-clock shares are hardware-dependent, so the profile
+gate stays advisory until per-machine baselines exist.
+
 Usage:
   check_bench.py --baseline bench/baselines --current <dir> [--tolerance 0.1]
   check_bench.py --self-test
@@ -150,13 +158,73 @@ def compare_metrics(name, baseline, current, tolerance):
     return failures
 
 
+def profile_shares(profile):
+    """Flattens a per-label profile section to {"label:parent>stage": share}.
+
+    Accepts either {label: report} or a bare report (treated as one
+    unnamed label). Edges without a "share" field (profile captured with
+    no wall measurement) are skipped.
+    """
+    if not isinstance(profile, dict):
+        return {}
+    if isinstance(profile.get("stages"), list):
+        profile = {"": profile}
+    out = {}
+    for label, report in profile.items():
+        if not isinstance(report, dict):
+            continue
+        for edge in report.get("stages", []):
+            share = edge.get("share")
+            if not isinstance(share, (int, float)):
+                continue
+            key = f"{label}:{edge.get('parent')}>{edge.get('stage')}"
+            out[key] = float(share)
+    return out
+
+
+def compare_profiles(name, baseline, current, share_tolerance):
+    """Returns warnings only — the profile section never gates (yet)."""
+    warnings = []
+    base = profile_shares(baseline)
+    cur = profile_shares(current)
+    if not base and not cur:
+        return warnings
+    for key in sorted(set(cur) - set(base)):
+        warnings.append(
+            f"{name}: profile stage '{key}' present in run but absent "
+            f"from baseline (share {cur[key]:.1%})"
+        )
+    for key in sorted(set(base) - set(cur)):
+        warnings.append(
+            f"{name}: profile stage '{key}' in baseline but absent from "
+            f"this run"
+        )
+    for key in sorted(set(base) & set(cur)):
+        drift = cur[key] - base[key]
+        if abs(drift) > share_tolerance:
+            warnings.append(
+                f"{name}: profile stage '{key}' share drifted "
+                f"{drift:+.1%} (baseline {base[key]:.1%} -> current "
+                f"{cur[key]:.1%}, tolerance ±{share_tolerance:.0%})"
+            )
+    return warnings
+
+
 def load_bench(path):
     with open(path, "r", encoding="utf-8") as f:
         doc = json.load(f)
-    return doc.get("metrics", {}), doc.get("counters", {})
+    return doc.get("metrics", {}), doc.get("counters", {}), doc.get(
+        "profile", {}
+    )
 
 
-def run_check(baseline_dir, current_dir, tolerance, counter_tolerance):
+def run_check(
+    baseline_dir,
+    current_dir,
+    tolerance,
+    counter_tolerance,
+    profile_share_tolerance=0.05,
+):
     baselines = sorted(
         f
         for f in os.listdir(baseline_dir)
@@ -178,8 +246,8 @@ def run_check(baseline_dir, current_dir, tolerance, counter_tolerance):
             print(f"skip: {fname} (not produced by this run)")
             continue
         baseline_path = os.path.join(baseline_dir, fname)
-        base_metrics, base_counters = load_bench(baseline_path)
-        cur_metrics, cur_counters = load_bench(current_path)
+        base_metrics, base_counters, base_profile = load_bench(baseline_path)
+        cur_metrics, cur_counters, cur_profile = load_bench(current_path)
         failures.extend(
             compare_metrics(fname, base_metrics, cur_metrics, tolerance)
         )
@@ -188,6 +256,11 @@ def run_check(baseline_dir, current_dir, tolerance, counter_tolerance):
         )
         failures.extend(cfail)
         warnings.extend(cwarn)
+        warnings.extend(
+            compare_profiles(
+                fname, base_profile, cur_profile, profile_share_tolerance
+            )
+        )
         compared += 1
         print(
             f"compared: {fname} ({len(base_metrics)} metrics, "
@@ -355,6 +428,68 @@ def self_test():
         )
         assert run_check(base_dir, cur_dir, 0.10, 0.20) == 0
 
+    # --- profile section (warn-only, never gates) ---
+    def prof(shares):
+        return {
+            "run": {
+                "enabled": True,
+                "stages": [
+                    {
+                        "parent": "root",
+                        "stage": stage,
+                        "total_ns": 1.0,
+                        "share": share,
+                    }
+                    for stage, share in shares.items()
+                ],
+            }
+        }
+
+    pbase = prof({"sim.dispatch": 0.40, "guard.verify": 0.30})
+    # Unchanged: clean.
+    assert compare_profiles("t", pbase, prof(
+        {"sim.dispatch": 0.40, "guard.verify": 0.30}
+    ), 0.05) == []
+    # Drift within tolerance: clean.
+    assert compare_profiles("t", pbase, prof(
+        {"sim.dispatch": 0.43, "guard.verify": 0.28}
+    ), 0.05) == []
+    # Drift beyond tolerance: exactly one warning, zero failures by
+    # construction (compare_profiles only ever returns warnings).
+    w = compare_profiles("t", pbase, prof(
+        {"sim.dispatch": 0.55, "guard.verify": 0.30}
+    ), 0.05)
+    assert len(w) == 1 and "drifted" in w[0], w
+    # Stage present in run but absent from baseline: warn-only.
+    w = compare_profiles("t", pbase, prof(
+        {"sim.dispatch": 0.40, "guard.verify": 0.30, "guard.mint": 0.10}
+    ), 0.05)
+    assert len(w) == 1 and "absent from baseline" in w[0], w
+    # Stage in baseline missing from run: warn-only.
+    w = compare_profiles("t", pbase, prof({"sim.dispatch": 0.40}), 0.05)
+    assert len(w) == 1 and "absent from this run" in w[0], w
+    # Baseline with no profile section at all vs run with one: warns per
+    # stage, still no failure path.
+    w = compare_profiles("t", {}, pbase, 0.05)
+    assert len(w) == 2, w
+    # Bare-report form (flight-recorder style) is accepted.
+    bare = {"stages": [{"parent": "root", "stage": "x", "share": 0.5}]}
+    assert profile_shares(bare) == {":root>x": 0.5}
+
+    # Whole-file pipeline: a profile drift must stay exit-0.
+    with tempfile.TemporaryDirectory() as base_dir, tempfile.TemporaryDirectory() as cur_dir:
+        name = "BENCH_profile_drift.json"
+
+        def writep(directory, profile):
+            with open(
+                os.path.join(directory, name), "w", encoding="utf-8"
+            ) as f:
+                json.dump({"metrics": {"rps": 100}, "profile": profile}, f)
+
+        writep(base_dir, pbase)
+        writep(cur_dir, prof({"sim.dispatch": 0.90, "guard.rl1": 0.05}))
+        assert run_check(base_dir, cur_dir, 0.10, 0.20) == 0
+
     print("self-test: OK")
     return 0
 
@@ -370,6 +505,12 @@ def main():
         default=0.20,
         help="relative tolerance for gated drop/goodput counters",
     )
+    parser.add_argument(
+        "--profile-share-tolerance",
+        type=float,
+        default=0.05,
+        help="absolute share-point tolerance for warn-only profile diffs",
+    )
     parser.add_argument("--self-test", action="store_true")
     args = parser.parse_args()
 
@@ -378,7 +519,11 @@ def main():
     if not args.baseline or not args.current:
         parser.error("--baseline and --current are required (or --self-test)")
     return run_check(
-        args.baseline, args.current, args.tolerance, args.counter_tolerance
+        args.baseline,
+        args.current,
+        args.tolerance,
+        args.counter_tolerance,
+        args.profile_share_tolerance,
     )
 
 

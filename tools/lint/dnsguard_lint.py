@@ -88,6 +88,15 @@ HOT_PATH_ROOTS = (
     "BoundedTable::prefetch",
     "Node::maybe_schedule_lane",
     "Node::flush_outbox_at",
+    # Wall-clock profiler probes (obs/profiler.h): a probe fires inside
+    # every hot-path root above, so the probes themselves must stay
+    # allocation-free. Profiler::enable()/report() are cold and excluded.
+    "Profiler::span_begin",
+    "Profiler::span_end",
+    "Profiler::record",
+    "Scope::Scope",
+    "Scope::~Scope",
+    "DispatchWindow::tick",
 )
 
 # Callee names never followed and never flagged (std/builtin vocabulary the
@@ -128,7 +137,21 @@ TIME_PATTERNS = (
     r"(?<![\w:.])::time\s*\(",
     r"(?<![\w:.>])time\s*\(\s*(?:nullptr|NULL|0)\s*\)",
 )
-TIME_EXEMPT_FILES = ("src/common/time.cpp", "bench/bench_common.h")
+# Sim-time-purity allowlist. Everything under src/ must run on the sim
+# clock except:
+#   * src/common/time.cpp — the sim clock's own formatting helpers.
+#   * bench/bench_common.h — benches measure host throughput by design.
+#   * src/obs/profiler.{h,cpp} — the wall-clock cost-attribution profiler
+#     *is* a host-time instrument: profiler.h reads the TSC (steady_clock
+#     on non-x86), profiler.cpp calibrates ticks against steady_clock.
+#     Attributing wall time is its whole purpose, so the exemption lives
+#     here as a documented allowlist entry, not as inline suppressions.
+TIME_EXEMPT_FILES = (
+    "src/common/time.cpp",
+    "bench/bench_common.h",
+    "src/obs/profiler.h",
+    "src/obs/profiler.cpp",
+)
 
 # Counter names whose increment marks a drop decision and therefore needs a
 # DropReason charged in the surrounding statement window.
