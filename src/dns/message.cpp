@@ -10,14 +10,14 @@ void Question::encode(ByteWriter& w, NameCompressor& compressor) const {
   w.u16(static_cast<std::uint16_t>(qclass));
 }
 
-std::optional<Question> Question::decode(ByteReader& r) {
+std::optional<Question> Question::decode(Cursor& c) {
   Question q;
-  auto name = read_name(r);
+  auto name = read_name(c);
   if (!name) return std::nullopt;
   q.qname = std::move(*name);
-  q.qtype = static_cast<RrType>(r.u16());
-  q.qclass = static_cast<RrClass>(r.u16());
-  if (!r.ok()) return std::nullopt;
+  q.qtype = static_cast<RrType>(c.u16());
+  q.qclass = static_cast<RrClass>(c.u16());
+  if (!c.ok()) return std::nullopt;
   return q;
 }
 
@@ -66,15 +66,15 @@ void Message::encode_to(Bytes& out) const {
 }
 
 std::optional<Message> Message::decode(BytesView wire) {
-  ByteReader r(wire);
+  Cursor c(wire);
   Message m;
-  m.header.id = r.u16();
-  std::uint16_t flags = r.u16();
-  std::uint16_t qdcount = r.u16();
-  std::uint16_t ancount = r.u16();
-  std::uint16_t nscount = r.u16();
-  std::uint16_t arcount = r.u16();
-  if (!r.ok()) return std::nullopt;
+  m.header.id = c.u16();
+  std::uint16_t flags = c.u16();
+  std::uint16_t qdcount = c.u16();
+  std::uint16_t ancount = c.u16();
+  std::uint16_t nscount = c.u16();
+  std::uint16_t arcount = c.u16();
+  if (!c.ok()) return std::nullopt;
 
   m.header.qr = (flags & 0x8000) != 0;
   m.header.opcode = static_cast<Opcode>((flags >> 11) & 0xf);
@@ -85,14 +85,14 @@ std::optional<Message> Message::decode(BytesView wire) {
   m.header.rcode = static_cast<Rcode>(flags & 0xf);
 
   for (std::uint16_t i = 0; i < qdcount; ++i) {
-    auto q = Question::decode(r);
+    auto q = Question::decode(c);
     if (!q) return std::nullopt;
     m.questions.push_back(std::move(*q));
   }
-  auto read_section = [&r](std::uint16_t count,
+  auto read_section = [&c](std::uint16_t count,
                            std::vector<ResourceRecord>& out) {
     for (std::uint16_t i = 0; i < count; ++i) {
-      auto rr = ResourceRecord::decode(r);
+      auto rr = ResourceRecord::decode(c);
       if (!rr) return false;
       out.push_back(std::move(*rr));
     }
@@ -101,7 +101,7 @@ std::optional<Message> Message::decode(BytesView wire) {
   if (!read_section(ancount, m.answers)) return std::nullopt;
   if (!read_section(nscount, m.authority)) return std::nullopt;
   if (!read_section(arcount, m.additional)) return std::nullopt;
-  if (r.pos() != wire.size()) return std::nullopt;  // trailing garbage
+  if (!c.at_end()) return std::nullopt;  // trailing garbage
   return m;
 }
 

@@ -50,7 +50,7 @@ struct Question {
   RrClass qclass = RrClass::IN;
 
   void encode(ByteWriter& w, NameCompressor& compressor) const;
-  [[nodiscard]] static std::optional<Question> decode(ByteReader& r);
+  [[nodiscard]] static std::optional<Question> decode(Cursor& c);
   [[nodiscard]] std::string to_string() const;
   bool operator==(const Question&) const = default;
 };

@@ -168,42 +168,41 @@ void write_name_uncompressed(ByteWriter& w, const DomainName& name) {
   w.u8(0);
 }
 
-std::optional<DomainName> read_name(ByteReader& r) {
+std::optional<DomainName> read_name(Cursor& c) {
   std::vector<std::string> labels;
   std::size_t total_len = 1;
   bool jumped = false;
-  std::size_t resume_pos = 0;
+  Cursor::Mark resume_at;
   int jumps = 0;
 
   for (;;) {
-    std::uint8_t len = r.u8();
-    if (!r.ok()) return std::nullopt;
+    std::uint8_t len = c.u8();
+    if (!c.ok()) return std::nullopt;
     if ((len & 0xc0) == 0xc0) {
       // Compression pointer: 14-bit offset into the message.
-      std::uint8_t low = r.u8();
-      if (!r.ok()) return std::nullopt;
+      std::uint8_t low = c.u8();
+      if (!c.ok()) return std::nullopt;
       std::size_t target = static_cast<std::size_t>(len & 0x3f) << 8 | low;
       if (!jumped) {
-        resume_pos = r.pos();
+        resume_at = c.mark();
         jumped = true;
       }
-      // A pointer must point strictly backwards; combined with the jump
-      // cap this prevents loops.
-      if (++jumps > 32 || target >= r.pos()) return std::nullopt;
-      r.seek(target);
+      // jump_back() enforces the strictly-backwards rule; combined with
+      // the jump cap this prevents loops.
+      if (++jumps > 32 || !c.jump_back(target)) return std::nullopt;
       continue;
     }
     if ((len & 0xc0) != 0) return std::nullopt;  // reserved label types
     if (len == 0) break;
     if (len > kMaxLabelLength) return std::nullopt;
-    BytesView raw = r.raw(len);
-    if (!r.ok()) return std::nullopt;
+    std::string_view raw = c.chars(len);
+    if (!c.ok()) return std::nullopt;
     total_len += 1 + len;
     if (total_len > kMaxNameLength) return std::nullopt;
-    labels.emplace_back(reinterpret_cast<const char*>(raw.data()), raw.size());
+    labels.emplace_back(raw);
   }
 
-  if (jumped) r.seek(resume_pos);
+  if (jumped) c.resume(resume_at);
   return DomainName(std::move(labels));
 }
 

@@ -16,6 +16,7 @@
 #include <vector>
 
 #include "common/bytes.h"
+#include "dns/cursor.h"
 
 namespace dnsguard::dns {
 
@@ -97,10 +98,10 @@ class NameCompressor {
 /// implementations choke on pointers, and by the guard's fabricated names).
 void write_name_uncompressed(ByteWriter& w, const DomainName& name);
 
-/// Decodes a (possibly compressed) name starting at the reader's position.
-/// Follows pointers with cycle protection; the reader ends up positioned
+/// Decodes a (possibly compressed) name starting at the cursor's position.
+/// Follows pointers with cycle protection; the cursor ends up positioned
 /// just past the name's in-place bytes. Returns nullopt on malformation.
-[[nodiscard]] std::optional<DomainName> read_name(ByteReader& r);
+[[nodiscard]] std::optional<DomainName> read_name(Cursor& c);
 
 /// Case-insensitive label comparison helper.
 [[nodiscard]] bool label_equal_ci(std::string_view a, std::string_view b);

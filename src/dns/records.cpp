@@ -94,17 +94,16 @@ void ResourceRecord::encode(ByteWriter& w, NameCompressor& compressor) const {
   w.patch_u16(rdlength_at, static_cast<std::uint16_t>(w.size() - rdata_start));
 }
 
-std::optional<ResourceRecord> ResourceRecord::decode(ByteReader& r) {
+std::optional<ResourceRecord> ResourceRecord::decode(Cursor& c) {
   ResourceRecord rr;
-  auto name = read_name(r);
+  auto name = read_name(c);
   if (!name) return std::nullopt;
   rr.name = std::move(*name);
-  std::uint16_t type = r.u16();
-  std::uint16_t rclass = r.u16();
-  rr.ttl = r.u32();
-  std::uint16_t rdlength = r.u16();
-  if (!r.ok() || r.remaining() < rdlength) return std::nullopt;
-  std::size_t rdata_end = r.pos() + rdlength;
+  std::uint16_t type = c.u16();
+  std::uint16_t rclass = c.u16();
+  rr.ttl = c.u32();
+  std::uint16_t rdlength = c.u16();
+  if (!c.ok() || !c.push_window(rdlength)) return std::nullopt;
 
   rr.type = static_cast<RrType>(type);
   rr.rclass = static_cast<RrClass>(rclass);
@@ -112,43 +111,43 @@ std::optional<ResourceRecord> ResourceRecord::decode(ByteReader& r) {
   switch (rr.type) {
     case RrType::A: {
       if (rdlength != 4) return std::nullopt;
-      rr.rdata = ARdata{net::Ipv4Address(r.u32())};
+      rr.rdata = ARdata{net::Ipv4Address(c.u32())};
       break;
     }
     case RrType::NS: {
-      auto n = read_name(r);
-      if (!n || r.pos() != rdata_end) return std::nullopt;
+      auto n = read_name(c);
+      if (!n || !c.at_limit()) return std::nullopt;
       rr.rdata = NsRdata{std::move(*n)};
       break;
     }
     case RrType::CNAME: {
-      auto n = read_name(r);
-      if (!n || r.pos() != rdata_end) return std::nullopt;
+      auto n = read_name(c);
+      if (!n || !c.at_limit()) return std::nullopt;
       rr.rdata = CnameRdata{std::move(*n)};
       break;
     }
     case RrType::SOA: {
       SoaRdata soa;
-      auto mname = read_name(r);
-      auto rname = read_name(r);
+      auto mname = read_name(c);
+      auto rname = read_name(c);
       if (!mname || !rname) return std::nullopt;
       soa.mname = std::move(*mname);
       soa.rname = std::move(*rname);
-      soa.serial = r.u32();
-      soa.refresh = r.u32();
-      soa.retry = r.u32();
-      soa.expire = r.u32();
-      soa.minimum = r.u32();
-      if (!r.ok() || r.pos() != rdata_end) return std::nullopt;
+      soa.serial = c.u32();
+      soa.refresh = c.u32();
+      soa.retry = c.u32();
+      soa.expire = c.u32();
+      soa.minimum = c.u32();
+      if (!c.ok() || !c.at_limit()) return std::nullopt;
       rr.rdata = std::move(soa);
       break;
     }
     case RrType::TXT: {
       TxtRdata txt;
-      while (r.pos() < rdata_end) {
-        std::uint8_t len = r.u8();
-        BytesView s = r.raw(len);
-        if (!r.ok() || r.pos() > rdata_end) return std::nullopt;
+      while (!c.at_limit()) {
+        std::uint8_t len = c.u8();
+        BytesView s = c.raw(len);
+        if (!c.ok()) return std::nullopt;
         txt.strings.emplace_back(s.begin(), s.end());
       }
       rr.rdata = std::move(txt);
@@ -158,19 +157,20 @@ std::optional<ResourceRecord> ResourceRecord::decode(ByteReader& r) {
       // CLASS field holds the UDP payload size.
       rr.rclass = RrClass::IN;
       rr.rdata = OptRdata{rclass};
-      r.skip(rdlength);
-      if (!r.ok()) return std::nullopt;
+      c.skip(rdlength);
+      if (!c.ok()) return std::nullopt;
       break;
     }
     default: {
-      BytesView raw = r.raw(rdlength);
-      if (!r.ok()) return std::nullopt;
+      BytesView raw = c.raw(rdlength);
+      if (!c.ok()) return std::nullopt;
       rr.rdata = RawRdata{type, Bytes(raw.begin(), raw.end())};
       break;
     }
   }
 
-  if (r.pos() != rdata_end) return std::nullopt;
+  if (!c.at_limit()) return std::nullopt;
+  c.pop_window();
   return rr;
 }
 

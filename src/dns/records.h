@@ -117,7 +117,7 @@ struct ResourceRecord {
   /// the compressor; names inside RDATA are written uncompressed so RDATA
   /// lengths are context-independent.
   void encode(ByteWriter& w, NameCompressor& compressor) const;
-  [[nodiscard]] static std::optional<ResourceRecord> decode(ByteReader& r);
+  [[nodiscard]] static std::optional<ResourceRecord> decode(Cursor& c);
 
   [[nodiscard]] std::string to_string() const;
   bool operator==(const ResourceRecord&) const = default;

@@ -382,8 +382,10 @@ class RemoteGuardNode : public sim::Node {
   std::unique_ptr<tcp::TcpStack> tcp_;
   /// Per-connection DNS framing buffers. Connections are attacker-opened,
   /// so this table is capped at proxy_max_connections like the TCP stack's
-  /// own connection table it shadows. Shared across shards (the TCP stack
-  /// itself is shared; connection state is not per-source-hash).
+  /// own connection table it shadows.
+  // DNSGUARD_LINT_ALLOW(shardsafe): deliberately shared across shards —
+  // the TCP stack itself is one shared instance and connections are keyed
+  // by ConnId, not by the per-source address hash that defines shards.
   common::BoundedTable<tcp::ConnId, tcp::StreamFramer> framers_;
 
   GuardStats stats_;

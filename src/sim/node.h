@@ -58,6 +58,11 @@ class Node {
   Node& operator=(const Node&) = delete;
 
   [[nodiscard]] const std::string& name() const { return name_; }
+  /// Stable registration id assigned by Simulator::add_node (monotonic,
+  /// never reused). All simulator-side per-node config (gateways, latency
+  /// pairs) keys on this instead of the node's address, so reruns are
+  /// independent of heap layout.
+  [[nodiscard]] std::uint64_t sim_id() const { return sim_id_; }
   [[nodiscard]] Simulator& sim() { return sim_; }
   [[nodiscard]] const Simulator& sim() const { return sim_; }
   [[nodiscard]] const NodeStats& stats() const { return stats_; }
@@ -165,6 +170,8 @@ class Node {
   void set_profile_stage(obs::prof::Stage stage) { prof_stage_ = stage; }
 
  private:
+  friend class Simulator;  // assigns sim_id_ at registration
+
   struct PendingSend {
     Node* direct_to;  // nullptr => routed send
     net::Packet packet;
@@ -185,6 +192,7 @@ class Node {
   void flush_outbox_at(SimTime at);
 
   Simulator& sim_;
+  std::uint64_t sim_id_ = 0;
   std::string name_;
   std::size_t rx_capacity_;
   std::deque<net::Packet> rx_queue_;

@@ -8,13 +8,16 @@ namespace dnsguard::sim {
 namespace {
 
 std::uint64_t pair_key(const Node* a, const Node* b) {
-  auto pa = reinterpret_cast<std::uintptr_t>(a);
-  auto pb = reinterpret_cast<std::uintptr_t>(b);
-  if (pa > pb) std::swap(pa, pb);
-  // Mix the two pointers into one key; collisions would only blur latency
-  // configuration, and in practice node counts are tiny.
-  return (static_cast<std::uint64_t>(pa) * 0x9e3779b97f4a7c15ULL) ^
-         static_cast<std::uint64_t>(pb);
+  // Unordered pair of registration ids. Ids are assigned monotonically at
+  // add_node() and stay well below 2^32, so packing (lo, hi) is
+  // collision-free — and, unlike the pointer-derived key this replaces,
+  // identical across reruns whatever the allocator does. A null node
+  // (tests inject packets from outside the node graph) maps to the
+  // reserved id 0, below every real registration.
+  std::uint64_t ia = a ? a->sim_id() : 0;
+  std::uint64_t ib = b ? b->sim_id() : 0;
+  if (ia > ib) std::swap(ia, ib);
+  return (ia << 32) | ib;
 }
 
 }  // namespace
@@ -57,11 +60,20 @@ void Simulator::run_all() {
   }
 }
 
-void Simulator::add_node(Node* node) { nodes_.push_back(node); }
+void Simulator::add_node(Node* node) {
+  node->sim_id_ = next_node_id_++;
+  nodes_.push_back(node);
+}
 
 void Simulator::remove_node(Node* node) {
   nodes_.erase(std::remove(nodes_.begin(), nodes_.end(), node),
                nodes_.end());
+  // Drop config referencing the departing node so a later node can never
+  // observe it (as from-node, by id) or route through a dangling pointer
+  // (as gateway, by value).
+  gateways_.erase(node->sim_id_);
+  std::erase_if(gateways_,
+                [node](const auto& kv) { return kv.second == node; });
 }
 
 void Simulator::add_route(net::Ipv4Address prefix, int prefix_len,
@@ -96,18 +108,22 @@ SimDuration Simulator::latency_between(const Node* a, const Node* b) const {
 }
 
 void Simulator::set_gateway(Node* from, Node* gateway) {
-  gateways_[from] = gateway;
+  gateways_[from->sim_id()] = gateway;
 }
 
-void Simulator::clear_gateway(Node* from) { gateways_.erase(from); }
+void Simulator::clear_gateway(Node* from) {
+  gateways_.erase(from->sim_id());
+}
 
 void Simulator::send_packet(Node* from, net::Packet packet) {
   stats_.packets_sent++;
   stats_.bytes_sent += packet.wire_size();
-  auto gw = gateways_.find(from);
-  if (gw != gateways_.end()) {
-    deliver_later(from, gw->second, std::move(packet));
-    return;
+  if (from != nullptr) {
+    auto gw = gateways_.find(from->sim_id());
+    if (gw != gateways_.end()) {
+      deliver_later(from, gw->second, std::move(packet));
+      return;
+    }
   }
   Node* to = route_lookup(packet.dst_ip);
   if (to == nullptr) {

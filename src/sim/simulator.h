@@ -197,7 +197,12 @@ class Simulator {
   obs::Gauge queue_depth_;
   std::vector<Node*> nodes_;
   std::vector<Route> routes_;  // kept sorted by descending prefix_len
-  std::unordered_map<Node*, Node*> gateways_;
+  // Gateway/latency config is keyed by registration id (Node::sim_id),
+  // never by pointer value: ids are monotonic and never reused, so a
+  // rerun assigns identical keys regardless of heap layout, and a new
+  // node can never alias config left behind by a destroyed one.
+  std::uint64_t next_node_id_ = 1;
+  std::unordered_map<std::uint64_t, Node*> gateways_;
   std::unordered_map<std::uint64_t, SimDuration> latency_;
   SimDuration default_latency_ = microseconds(200);  // 0.4 ms RTT default
   NetworkStats stats_;

@@ -26,8 +26,8 @@ TEST(CompressionEdge, PointerToPointerChainDecodes) {
   w.raw(std::string_view("www"));
   w.u16(0xc000 | static_cast<std::uint16_t>(b_at));
 
-  ByteReader r(w.view());
-  r.seek(c_at);
+  Cursor r(w.view());
+  r.skip(c_at);
   auto name = read_name(r);
   ASSERT_TRUE(name.has_value());
   EXPECT_EQ(name->to_string(), "www.foo.com.");
@@ -45,8 +45,8 @@ TEST(CompressionEdge, MaxJumpBudgetEnforced) {
     offsets.push_back(w.size());
     w.u16(static_cast<std::uint16_t>(0xc000 | offsets[static_cast<std::size_t>(i)]));
   }
-  ByteReader r(w.view());
-  r.seek(offsets.back());
+  Cursor r(w.view());
+  r.skip(offsets.back());
   EXPECT_FALSE(read_name(r).has_value());
 }
 
@@ -61,8 +61,8 @@ TEST(CompressionEdge, CompressorSkipsUnreachableOffsets) {
   c.write(w, name);   // at offset 0x4000: recorded but unreachable
   std::size_t second_at = w.size();
   c.write(w, name);   // must NOT emit a pointer to 0x4000
-  ByteReader r(w.view());
-  r.seek(second_at);
+  Cursor r(w.view());
+  r.skip(second_at);
   auto decoded = read_name(r);
   ASSERT_TRUE(decoded.has_value());
   EXPECT_EQ(*decoded, name);

@@ -82,11 +82,11 @@ TEST(NameWire, UncompressedRoundTrip) {
   ByteWriter w;
   write_name_uncompressed(w, n);
   EXPECT_EQ(w.size(), n.wire_length());
-  ByteReader r(w.view());
+  Cursor r(w.view());
   auto d = read_name(r);
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(*d, n);
-  EXPECT_EQ(r.remaining(), 0u);
+  EXPECT_TRUE(r.at_end());
 }
 
 TEST(NameWire, CompressionReusesSuffix) {
@@ -100,7 +100,7 @@ TEST(NameWire, CompressionReusesSuffix) {
   // Second name should be "mail" label (5 bytes) + 2-byte pointer.
   EXPECT_EQ(w.size() - first, 5u + 2u);
 
-  ByteReader r(w.view());
+  Cursor r(w.view());
   auto da = read_name(r);
   auto db = read_name(r);
   ASSERT_TRUE(da.has_value());
@@ -122,26 +122,26 @@ TEST(NameWire, IdenticalNameBecomesPurePointer) {
 TEST(NameWire, PointerLoopRejected) {
   // A name whose pointer points at itself.
   Bytes evil{0xc0, 0x00};
-  ByteReader r{BytesView(evil)};
+  Cursor r{BytesView(evil)};
   EXPECT_FALSE(read_name(r).has_value());
 }
 
 TEST(NameWire, ForwardPointerRejected) {
   // Pointer to offset beyond itself (forward reference).
   Bytes evil{0xc0, 0x05, 0, 0, 0, 3, 'a', 'b', 'c', 0};
-  ByteReader r{BytesView(evil)};
+  Cursor r{BytesView(evil)};
   EXPECT_FALSE(read_name(r).has_value());
 }
 
 TEST(NameWire, ReservedLabelTypesRejected) {
   Bytes evil{0x80, 'x', 0};  // 10-prefixed label type is reserved
-  ByteReader r{BytesView(evil)};
+  Cursor r{BytesView(evil)};
   EXPECT_FALSE(read_name(r).has_value());
 }
 
 TEST(NameWire, TruncatedNameRejected) {
   Bytes evil{5, 'a', 'b'};  // label promises 5 bytes, only 2 present
-  ByteReader r{BytesView(evil)};
+  Cursor r{BytesView(evil)};
   EXPECT_FALSE(read_name(r).has_value());
 }
 
@@ -153,7 +153,7 @@ TEST(NameWire, OversizeAssembledNameRejected) {
     for (int j = 0; j < 50; ++j) w.u8('a');
   }
   w.u8(0);
-  ByteReader r(w.view());
+  Cursor r(w.view());
   EXPECT_FALSE(read_name(r).has_value());
 }
 
@@ -166,7 +166,7 @@ TEST_P(NameRoundTrip, Identity) {
   ByteWriter w;
   NameCompressor c;
   c.write(w, *n);
-  ByteReader r(w.view());
+  Cursor r(w.view());
   auto d = read_name(r);
   ASSERT_TRUE(d.has_value());
   EXPECT_EQ(*d, *n);

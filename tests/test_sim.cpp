@@ -4,6 +4,7 @@
 
 #include <algorithm>
 #include <array>
+#include <memory>
 #include <utility>
 
 #include "common/rng.h"
@@ -306,6 +307,49 @@ TEST(Gateway, SendDirectBypassesRouting) {
   sim.send_direct(&a, &b, make_pkt(Ipv4Address(1, 1, 1, 1),
                                    Ipv4Address(2, 2, 2, 2)));
   sim.run_all();
+  EXPECT_EQ(b.arrivals.size(), 1u);
+}
+
+TEST(NodeIds, AssignedMonotonicallyAndNeverReused) {
+  Simulator sim;
+  ProbeNode a(sim, "a", SimDuration{});
+  ProbeNode b(sim, "b", SimDuration{});
+  EXPECT_NE(a.sim_id(), 0u);
+  EXPECT_LT(a.sim_id(), b.sim_id());
+  std::uint64_t old_id;
+  {
+    ProbeNode c(sim, "c", SimDuration{});
+    old_id = c.sim_id();
+  }
+  ProbeNode d(sim, "d", SimDuration{});
+  EXPECT_GT(d.sim_id(), old_id);  // ids from destroyed nodes are retired
+}
+
+TEST(NodeIds, DestroyedNodeConfigCannotAliasNewNode) {
+  // Regression: gateway/latency config used to be keyed by Node pointer
+  // value, so a new node allocated at a dead node's address inherited its
+  // config (and made reruns depend on heap layout). Ids are never reused,
+  // so a successor node — whatever its address — sees clean config.
+  Simulator sim;
+  sim.set_default_latency(microseconds(200));
+  ProbeNode b(sim, "b", SimDuration{});
+  ProbeNode guard(sim, "guard", SimDuration{});
+  sim.add_host_route(Ipv4Address(10, 0, 0, 2), &b);
+
+  auto doomed = std::make_unique<ProbeNode>(sim, "doomed", SimDuration{});
+  sim.set_latency(doomed.get(), &b, milliseconds(50));
+  sim.set_gateway(doomed.get(), &guard);
+  doomed.reset();
+
+  // Same size/type so the allocator is likely to hand back the same slot;
+  // the assertion must hold either way.
+  auto successor = std::make_unique<ProbeNode>(sim, "successor", SimDuration{});
+  EXPECT_EQ(sim.latency_between(successor.get(), &b).ns,
+            microseconds(200).ns);
+  sim.send_packet(successor.get(), make_pkt(Ipv4Address(10, 0, 0, 9),
+                                            Ipv4Address(10, 0, 0, 2)));
+  sim.run_all();
+  EXPECT_EQ(guard.arrivals.size(), 0u);  // not diverted to the old gateway
   EXPECT_EQ(b.arrivals.size(), 1u);
 }
 

@@ -1,7 +1,7 @@
 #!/usr/bin/env python3
 """dnsguard-lint: project-invariant static analysis for the dnsguard tree.
 
-Four rules, each guarding an invariant that a previous PR established at
+Seven rules, each guarding an invariant that a previous PR established at
 runtime and that ordinary code review keeps failing to protect:
 
   hot-path-alloc   Functions reachable from the registered hot-path roots
@@ -19,24 +19,50 @@ runtime and that ordinary code review keeps failing to protect:
   sim-time-purity  No wall-clock reads (std::chrono clocks, ::time,
                    gettimeofday, clock_gettime) anywhere except
                    src/common/time.cpp and bench/bench_common.h.
+  shard-isolation  In classes that carry a per-shard `struct Shard`,
+                   per-source mutable state (BoundedTable / *Limiter
+                   members) must live inside Shard, and functions on the
+                   sharded batch path (process / serve_lane / on_batch_*)
+                   must not index `shards_` with a hard-coded constant.
+                   Deliberately global state carries `shardsafe`.
+  determinism      Across src/ and bench/: no rand()/std::random_device,
+                   no pointer-value hashing or ordering (uintptr_t casts,
+                   pointer-keyed std maps, std::hash<T*>), and no
+                   iteration over std::unordered_* containers — the
+                   rerun-digest guarantees bench_guard_shards and
+                   fig_flashcrowd assert at runtime depend on it.
+  decode-bounds    In src/dns/, parse paths over attacker-controlled wire
+                   bytes must go through the bounds-checked dns::Cursor:
+                   no raw ByteReader, no pos()/seek()/remaining() offset
+                   arithmetic, no reinterpret_cast on wire buffers
+                   outside cursor.h.
 
 Escape hatch: a finding is suppressed by an annotation comment on the
 offending line or one of the two lines above it:
 
     // DNSGUARD_LINT_ALLOW(<rule>): <reason>
 
-where <rule> is one of alloc, drop, bounded, simtime. The reason is
-mandatory; an annotation without one is itself a finding. The total
-annotation count across src/ is budgeted by tools/lint/baseline.json so
-the escape hatch cannot silently become the default (--check-baseline).
+where <rule> is one of alloc, drop, bounded, simtime, shardsafe,
+determinism, decode. The reason is mandatory; an annotation without one
+is itself a finding. Annotation counts across src/ are budgeted — in
+total and per token — by tools/lint/baseline.json so the escape hatch
+cannot silently become the default (--check-baseline).
 
 Front-ends: when the python libclang bindings (clang.cindex) and a
 libclang shared library are available, the hot-path-alloc call graph is
 built from the AST using CMake's compile_commands.json (--compile-commands
-or autodetected at build*/compile_commands.json). Otherwise — including in
-minimal CI containers — a built-in lexer front-end computes the same four
-rules from tokenized sources; the fixture suite pins both front-ends to
-identical verdicts. Force one with --engine={auto,clang,text}.
+or autodetected at build*/compile_commands.json), and the shard-isolation
+/ determinism / decode-bounds rules run their shared dataflow core over
+libclang's lexer and AST function extents instead of the built-in
+tokenizer. Otherwise — including in minimal CI containers — the built-in
+lexer front-end computes all rules from tokenized sources; the fixture
+suite pins both front-ends to identical verdicts. Force one with
+--engine={auto,clang,text}.
+
+Reporting: human-readable findings on stdout, a JSON report via --json,
+and SARIF 2.1.0 via --sarif (consumed by the CI static-analysis job for
+code annotations). --list-rules enumerates rules; --only=<rule>[,rule]
+restricts a run for fast local iteration.
 
 Exit codes: 0 clean, 1 findings (with --strict), 2 usage/internal error.
 """
@@ -54,13 +80,38 @@ from dataclasses import dataclass, field, asdict
 # Shared configuration
 # --------------------------------------------------------------------------
 
-RULES = ("hot-path-alloc", "drop-reason", "bounded-state", "sim-time-purity")
+RULES = ("hot-path-alloc", "drop-reason", "bounded-state", "sim-time-purity",
+         "shard-isolation", "determinism", "decode-bounds")
 
 ALLOW_TOKEN = {
     "hot-path-alloc": "alloc",
     "drop-reason": "drop",
     "bounded-state": "bounded",
     "sim-time-purity": "simtime",
+    "shard-isolation": "shardsafe",
+    "determinism": "determinism",
+    "decode-bounds": "decode",
+}
+
+# One-line summaries for --list-rules and the SARIF rule catalog.
+RULE_HELP = {
+    "hot-path-alloc": ("no allocation in functions reachable from the "
+                       "registered hot-path roots"),
+    "drop-reason": ("every drop site in attack-surface code charges a "
+                    "DropReason other than kNone"),
+    "bounded-state": ("attacker-keyed state uses common::BoundedTable, not "
+                      "std::{unordered_,}map/set"),
+    "sim-time-purity": ("no wall-clock reads outside the sanctioned "
+                        "time/profiler/bench files"),
+    "shard-isolation": ("per-source state in sharded classes lives inside "
+                        "struct Shard; batch-path code never hard-codes a "
+                        "shard index"),
+    "determinism": ("no rand()/random_device, pointer-value hashing or "
+                    "ordering, or std::unordered_* iteration in src/ and "
+                    "bench/"),
+    "decode-bounds": ("src/dns parse paths use dns::Cursor — no raw "
+                      "ByteReader or unchecked offset arithmetic on wire "
+                      "bytes"),
 }
 
 # Directories whose per-source state and drop bookkeeping are in scope for
@@ -172,8 +223,75 @@ DROP_WINDOW = 4  # lines of context around a drop site that may carry the reason
 STD_CONTAINER_DECL = re.compile(
     r"\bstd::(unordered_map|unordered_set|map|set)\s*<")
 
+# --- shard-isolation -------------------------------------------------------
+# A class is "sharded" when it nests a `struct Shard`. Per-source state
+# types that must live inside it: BoundedTable instantiations and the
+# rate-limiter classes (but not their nested ::Config types, which are
+# plain parameter blocks).
+SHARD_STRUCT_RE = re.compile(r"\bstruct\s+Shard\s*\{")
+SHARD_PER_SOURCE_DECL = re.compile(
+    r"(?:\w+::)*(?:BoundedTable\s*<[^;]*?>|\w+Limiter(?!\s*::))"
+    r"\s+(\w+)\s*(?:\{[^;]*\})?;")
+# Hard-coded shard subscripts (`shards_[0]`) are fine in cold setup code
+# but a cross-shard leak on the batch path.
+SHARD_LITERAL_INDEX = re.compile(r"\bshards_\s*\[\s*\d+\s*\]")
+# Functions whose bodies (and transitive callees) form the sharded batch
+# path: the per-packet service entry and the batch hooks.
+SHARD_BATCH_ROOTS = ("process", "serve_lane", "on_batch_begin",
+                     "on_batch_end")
+
+# --- determinism -----------------------------------------------------------
+DETERMINISM_PATTERNS = (
+    (r"(?<![\w:.])(?:rand|srand)\s*\(",
+     "libc rand()/srand() — use the seeded common::Rng"),
+    (r"\b(?:drand48|lrand48|mrand48|rand_r)\s*\(",
+     "libc PRNG — use the seeded common::Rng"),
+    (r"\bstd::random_device\b",
+     "std::random_device draws entropy from the host — use a fixed seed"),
+    (r"\breinterpret_cast\s*<\s*std::uintptr_t\s*>",
+     "pointer value converted to an integer — pointer-derived keys/order "
+     "vary per run; key on a stable id instead"),
+    (r"\bstd::hash\s*<\s*[\w:]+\s*\*\s*>",
+     "std::hash over a pointer type — hashes vary with heap layout"),
+    (r"\bstd::(?:unordered_)?(?:multi)?(?:map|set)\s*<\s*(?:const\s+)?"
+     r"[\w:]+\s*\*\s*[,>]",
+     "pointer-keyed container — iteration/lookup order varies with heap "
+     "layout; key on a stable id instead"),
+)
+# Declared-unordered container names -> later iteration over them.
+UNORDERED_DECL = re.compile(
+    r"\bstd::unordered_(?:map|set|multimap|multiset)\s*<[^;]*?>\s+"
+    r"(\w+)\s*[;{=(]")
+RANGE_FOR_OVER = re.compile(r"\bfor\s*\([^;()]*?:\s*(?:\w+\s*\.\s*)?(\w+)\s*\)")
+BEGIN_CALL_ON = re.compile(r"\b(\w+)\s*\.\s*c?begin\s*\(")
+
+# --- decode-bounds ---------------------------------------------------------
+# Inside src/dns/, everything positional must go through dns::Cursor
+# (cursor.h itself is the sanctioned implementation and is exempt).
+DECODE_SANCTIONED_FILES = ("src/dns/cursor.h",)
+DECODE_PATTERNS = (
+    (r"\bByteReader\b",
+     "raw ByteReader over wire bytes — decode paths must use dns::Cursor"),
+    (r"\breinterpret_cast\b",
+     "reinterpret_cast on wire data — only dns::Cursor::chars() may "
+     "convert wire octets"),
+    (r"\.\s*pos\s*\(\s*\)",
+     "cursor-position arithmetic — use Cursor windows "
+     "(push_window/at_limit) instead of comparing offsets"),
+    (r"\.\s*seek\s*\(",
+     "absolute seek — use Cursor::jump_back()/resume() for compression "
+     "pointers"),
+    (r"\.\s*remaining\s*\(",
+     "remaining-byte arithmetic — use Cursor::push_window() for length-"
+     "prefixed fields"),
+    (r"\.\s*data\s*\(\s*\)\s*[+\-]",
+     "raw pointer arithmetic on a wire buffer"),
+)
+
 ALLOW_RE = re.compile(
-    r"//\s*DNSGUARD_LINT_ALLOW\((alloc|drop|bounded|simtime)\)\s*(?::\s*(.*))?")
+    r"//\s*DNSGUARD_LINT_ALLOW\("
+    r"(alloc|drop|bounded|simtime|shardsafe|determinism|decode)"
+    r"\)\s*(?::\s*(.*))?")
 NOLINT_RE = re.compile(r"//\s*NOLINT")
 
 CPP_EXTS = (".cpp", ".h", ".cc", ".hpp")
@@ -591,6 +709,229 @@ def check_sim_time(sources, exempt=TIME_EXEMPT_FILES):
 
 
 # --------------------------------------------------------------------------
+# Front-end seam for the dataflow rules
+# --------------------------------------------------------------------------
+# The shard-isolation / determinism / decode-bounds rules run one shared
+# dataflow core (unit grouping, Shard spans, batch-path BFS, two-pass
+# container tracking) over a front-end that supplies comment/string-free
+# code lines and function extents. TextFrontend is the built-in lexer;
+# try_clang_frontend() (further down) swaps in libclang's lexer and AST
+# extents when available. Sharing the core is what keeps the two engines
+# verdict-pinned.
+
+class TextFrontend:
+    name = "text"
+
+    def view(self, sf: SourceFile) -> SourceFile:
+        return sf
+
+    def functions(self, sf: SourceFile) -> list:
+        return extract_functions(sf)
+
+
+TEXT_FRONTEND = TextFrontend()
+
+
+def _unit_key(path: str):
+    """Files of one class (foo.h + foo.cpp in the same directory) form one
+    analysis unit; name resolution never crosses units, so `process` in
+    remote_guard.cpp cannot alias `process` in some other node class."""
+    base = os.path.basename(path)
+    stem = base.rsplit(".", 1)[0]
+    return (os.path.dirname(path), stem)
+
+
+def _group_units(sources) -> dict:
+    units: dict = {}
+    for sf in sources:
+        units.setdefault(_unit_key(sf.path), []).append(sf)
+    return units
+
+
+# --------------------------------------------------------------------------
+# Rule: shard-isolation
+# --------------------------------------------------------------------------
+
+def check_shard_isolation(sources, frontend=None):
+    """Two complementary checks over every unit that nests a
+    `struct Shard`:
+
+      1. declaration-level: per-source state types (BoundedTable, the
+         *Limiter classes) declared outside the Shard struct are findings
+         — shared mutable state the sharded batch path could touch. The
+         shardsafe annotation marks deliberately global members (the TCP
+         framer table, a cookie key schedule).
+      2. batch-path dataflow: BFS over the unit's call graph from the
+         batch roots (process / serve_lane / on_batch_*); any function
+         reached may not index `shards_` with a hard-coded constant —
+         cold setup code (constructors, bind_metrics) legitimately pins
+         shard 0, but on the batch path that is a cross-shard leak."""
+    fe = frontend or TEXT_FRONTEND
+    findings = []
+    for _, unit in sorted(_group_units(sources).items()):
+        if not all(sf.path.startswith("src/") or _is_fixture(sf.path)
+                   for sf in unit):
+            continue
+        views = {sf.path: fe.view(sf) for sf in unit}
+
+        # Pass 0: locate Shard struct spans; a unit without one is not a
+        # sharded class and is out of scope.
+        spans: dict = {}
+        for sf in unit:
+            text = "\n".join(views[sf.path].code_lines)
+            line_of = _line_index(text)
+            for m in SHARD_STRUCT_RE.finditer(text):
+                end = _match_brace(text, m.end() - 1)
+                end_line = line_of(end) if end != -1 else len(sf.raw_lines)
+                spans.setdefault(sf.path, []).append(
+                    (line_of(m.start()), end_line))
+        if not spans:
+            continue
+
+        # Pass 1: per-source state declared outside the Shard spans.
+        for sf in unit:
+            text = "\n".join(views[sf.path].code_lines)
+            line_of = _line_index(text)
+            for m in SHARD_PER_SOURCE_DECL.finditer(text):
+                lineno = line_of(m.start(1))
+                if any(a <= lineno <= b for a, b in spans.get(sf.path, [])):
+                    continue
+                findings.append(Finding(
+                    rule="shard-isolation", file=sf.path, line=lineno,
+                    message=(f"per-source state '{m.group(1)}' declared "
+                             "outside the per-shard Shard struct — move it "
+                             "into Shard so each lane owns its slice, or "
+                             "annotate shardsafe for deliberately shared "
+                             "state"),
+                    context=sf.raw_lines[lineno - 1].strip()
+                    if lineno <= len(sf.raw_lines) else "",
+                    allowed=allow_covers(sf, lineno, "shardsafe")))
+
+        # Pass 2: batch-path BFS; hard-coded shard indexing in any
+        # reached function.
+        by_name: dict = {}
+        src_of: dict = {}
+        roots = []
+        for sf in unit:
+            for fn in fe.functions(views[sf.path]):
+                by_name.setdefault(fn.name, []).append(fn)
+                src_of[id(fn)] = sf
+                if fn.name in SHARD_BATCH_ROOTS:
+                    roots.append(fn)
+        work = list(roots)
+        seen = {id(fn) for fn in work}
+        while work:
+            fn = work.pop()
+            sf = src_of[id(fn)]
+            for off, line in enumerate(fn.body.splitlines()):
+                lineno = fn.start_line + off  # body starts on the brace line
+                if SHARD_LITERAL_INDEX.search(line):
+                    findings.append(Finding(
+                        rule="shard-isolation", file=sf.path, line=lineno,
+                        message=(f"hard-coded shard index in '{fn.qualified}'"
+                                 " on the sharded batch path — use the lane "
+                                 "index or cur_shard_; a constant subscript "
+                                 "reads another lane's state"),
+                        context=sf.raw_lines[lineno - 1].strip()
+                        if lineno <= len(sf.raw_lines) else "",
+                        allowed=allow_covers(sf, lineno, "shardsafe")))
+            for callee in calls_of(fn):
+                for d in by_name.get(callee, []):
+                    if id(d) not in seen:
+                        seen.add(id(d))
+                        work.append(d)
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: determinism
+# --------------------------------------------------------------------------
+
+def check_determinism(sources, frontend=None):
+    """Nondeterminism sources across src/ and bench/: host entropy,
+    pointer-value keys/order, and iteration over std::unordered_*
+    containers. Iteration tracking is two-pass within an analysis unit:
+    collect names declared as unordered containers, then flag range-for /
+    .begin() traversal of those names. Lookup-only use (find/count/[]) is
+    deterministic and stays legal."""
+    fe = frontend or TEXT_FRONTEND
+    scoped = [sf for sf in sources
+              if sf.path.startswith(("src/", "bench/")) or
+              _is_fixture(sf.path)]
+    findings = []
+    views = {sf.path: fe.view(sf) for sf in scoped}
+
+    for sf in scoped:
+        for idx, line in enumerate(views[sf.path].code_lines, start=1):
+            for pat, why in DETERMINISM_PATTERNS:
+                if re.search(pat, line):
+                    findings.append(Finding(
+                        rule="determinism", file=sf.path, line=idx,
+                        message=why,
+                        context=sf.raw_lines[idx - 1].strip()
+                        if idx <= len(sf.raw_lines) else "",
+                        allowed=allow_covers(sf, idx, "determinism")))
+                    break
+
+    for _, unit in sorted(_group_units(scoped).items()):
+        unordered = set()
+        for sf in unit:
+            text = "\n".join(views[sf.path].code_lines)
+            for m in UNORDERED_DECL.finditer(text):
+                unordered.add(m.group(1))
+        if not unordered:
+            continue
+        for sf in unit:
+            for idx, line in enumerate(views[sf.path].code_lines, start=1):
+                for rex in (RANGE_FOR_OVER, BEGIN_CALL_ON):
+                    m = rex.search(line)
+                    if m and m.group(1) in unordered:
+                        findings.append(Finding(
+                            rule="determinism", file=sf.path, line=idx,
+                            message=(f"iteration over std::unordered_* "
+                                     f"'{m.group(1)}' — bucket order varies "
+                                     "across libraries and runs; iterate a "
+                                     "registration-ordered vector or sort "
+                                     "first"),
+                            context=sf.raw_lines[idx - 1].strip()
+                            if idx <= len(sf.raw_lines) else "",
+                            allowed=allow_covers(sf, idx, "determinism")))
+                        break
+    return findings
+
+
+# --------------------------------------------------------------------------
+# Rule: decode-bounds
+# --------------------------------------------------------------------------
+
+def check_decode_bounds(sources, frontend=None):
+    """src/dns parses attacker bytes; all positional reasoning must live
+    in dns::Cursor (cursor.h — the sanctioned, exempt implementation).
+    Everything else in the directory is banned from raw ByteReader use,
+    offset arithmetic (pos/seek/remaining), reinterpret_cast, and pointer
+    arithmetic on buffer data."""
+    fe = frontend or TEXT_FRONTEND
+    findings = []
+    for sf in sources:
+        if not (sf.path.startswith("src/dns/") or _is_fixture(sf.path)):
+            continue
+        if sf.path in DECODE_SANCTIONED_FILES:
+            continue
+        v = fe.view(sf)
+        for idx, line in enumerate(v.code_lines, start=1):
+            for pat, why in DECODE_PATTERNS:
+                if re.search(pat, line):
+                    findings.append(Finding(
+                        rule="decode-bounds", file=sf.path, line=idx,
+                        message=why,
+                        context=sf.raw_lines[idx - 1].strip()
+                        if idx <= len(sf.raw_lines) else "",
+                        allowed=allow_covers(sf, idx, "decode")))
+                    break
+    return findings
+
+
+# --------------------------------------------------------------------------
 # Annotation audit (reasons mandatory; budget vs baseline.json)
 # --------------------------------------------------------------------------
 
@@ -611,17 +952,20 @@ def count_annotations(sources):
     allow_total = 0
     nolint_total = 0
     per_file = {}
+    by_token = {token: 0 for token in ALLOW_TOKEN.values()}
     for sf in sources:
         if not sf.path.startswith("src/"):
             continue
         a = len(sf.allows)
         n = sum(1 for line in sf.raw_lines if NOLINT_RE.search(line))
+        for token, _reason in sf.allows.values():
+            by_token[token] = by_token.get(token, 0) + 1
         if a or n:
             per_file[sf.path] = {"allow": a, "nolint": n}
         allow_total += a
         nolint_total += n
     return {"allow_total": allow_total, "nolint_total": nolint_total,
-            "per_file": per_file}
+            "allow_by_token": by_token, "per_file": per_file}
 
 
 def check_baseline(counts, baseline_path):
@@ -641,7 +985,79 @@ def check_baseline(counts, baseline_path):
                 message=(f"{key} grew to {have} (budget {budget}) — update "
                          "tools/lint/baseline.json in the same commit to "
                          "acknowledge the new annotation")))
+    # Per-token budgets: each escape hatch is budgeted separately, so a
+    # surge of (say) decode annotations can't hide inside headroom the
+    # alloc budget happens to have.
+    token_budgets = baseline.get("allow_by_token", {})
+    for token, have in sorted(counts["allow_by_token"].items()):
+        budget = token_budgets.get(token, 0)
+        if have > budget:
+            findings.append(Finding(
+                rule="annotation-budget", file=baseline_path, line=1,
+                message=(f"ALLOW({token}) grew to {have} (budget {budget}) "
+                         "— update allow_by_token in tools/lint/"
+                         "baseline.json in the same commit")))
     return findings
+
+
+# --------------------------------------------------------------------------
+# SARIF 2.1.0 emitter (CI code annotations)
+# --------------------------------------------------------------------------
+
+def to_sarif(findings, rules_run, engine_name):
+    """One SARIF run: the rule catalog (every rule that ran plus any
+    synthetic rules that fired, e.g. annotation-budget), and one result
+    per finding. Annotated findings are emitted at `note` level with an
+    inSource suppression so viewers show them as suppressed rather than
+    hiding them."""
+    rule_ids = sorted(set(rules_run) | {f.rule for f in findings})
+    results = []
+    for f in sorted(findings, key=lambda f: (f.file, f.line, f.rule)):
+        result = {
+            "ruleId": f.rule,
+            "ruleIndex": rule_ids.index(f.rule),
+            "level": "note" if f.allowed else "error",
+            "message": {"text": f.message},
+            "locations": [{
+                "physicalLocation": {
+                    "artifactLocation": {"uri": f.file,
+                                         "uriBaseId": "SRCROOT"},
+                    "region": {"startLine": max(1, f.line)},
+                },
+            }],
+        }
+        if f.context:
+            result["locations"][0]["physicalLocation"]["region"]["snippet"] \
+                = {"text": f.context}
+        if f.allowed:
+            result["suppressions"] = [{
+                "kind": "inSource",
+                "justification": "DNSGUARD_LINT_ALLOW annotation",
+            }]
+        results.append(result)
+    return {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "dnsguard-lint",
+                "informationUri":
+                    "https://github.com/dnsguard/dnsguard/blob/main/docs/"
+                    "STATIC_ANALYSIS.md",
+                "semanticVersion": "2.0.0",
+                "properties": {"engine": engine_name},
+                "rules": [{
+                    "id": rid,
+                    "shortDescription": {
+                        "text": RULE_HELP.get(
+                            rid, "dnsguard-lint internal check")},
+                } for rid in rule_ids],
+            }},
+            "originalUriBaseIds": {"SRCROOT": {"uri": "file:///"}},
+            "columnKind": "utf16CodeUnits",
+            "results": results,
+        }],
+    }
 
 
 # --------------------------------------------------------------------------
@@ -771,6 +1187,174 @@ def try_clang_engine(root, compile_commands):
 
 
 # --------------------------------------------------------------------------
+# Optional clang front-end for the dataflow rules
+# --------------------------------------------------------------------------
+
+def try_clang_frontend(root, compile_commands):
+    """Builds a front-end (the TextFrontend interface) over libclang, or
+    returns None when the bindings are unavailable.
+
+    view() re-derives comment/string-free code lines from libclang's
+    token stream — each token is placed back at its source line/column,
+    so the shared rule regexes see the same layout the text lexer
+    produces. functions() takes definitions and brace extents from the
+    AST instead of the FUNC_DEF heuristic. Any per-file parse failure
+    falls back to the text front-end for that file, so a broken include
+    path degrades precision, never verdicts."""
+    try:
+        from clang import cindex
+        index = cindex.Index.create()
+    except Exception:
+        return None
+
+    cc_dir = (os.path.dirname(compile_commands)
+              if compile_commands else None)
+
+    class ClangFrontend:
+        name = "clang"
+
+        def __init__(self):
+            self._tus: dict = {}
+            self._views: dict = {}
+            self._funcs: dict = {}
+
+        def _tu(self, sf):
+            if sf.path in self._tus:
+                return self._tus[sf.path]
+            tu = None
+            try:
+                path = os.path.join(root, sf.path)
+                args = ["-std=c++20", f"-I{os.path.join(root, 'src')}",
+                        f"-I{root}"]
+                if cc_dir:
+                    args.append(f"-I{os.path.join(cc_dir, '..')}")
+                tu = index.parse(path, args=args)
+            except Exception:
+                tu = None
+            self._tus[sf.path] = tu
+            return tu
+
+        def view(self, sf):
+            if sf.path in self._views:
+                return self._views[sf.path]
+            out = sf  # fall back to the text lexer's view
+            tu = self._tu(sf)
+            if tu is not None:
+                try:
+                    out = self._view_from_tokens(sf, tu)
+                except Exception:
+                    out = sf
+            self._views[sf.path] = out
+            return out
+
+        def _view_from_tokens(self, sf, tu):
+            from clang.cindex import TokenKind
+            grid = [[" "] * len(line) for line in sf.raw_lines]
+
+            def place(line, col, text):
+                if not (1 <= line <= len(grid)):
+                    return
+                row = grid[line - 1]
+                for i, ch in enumerate(text):
+                    at = col - 1 + i
+                    if at >= len(row):
+                        row.extend(" " * (at - len(row) + 1))
+                    row[at] = ch
+
+            for tok in tu.cursor.get_tokens():
+                loc = tok.location
+                spelling = tok.spelling
+                if tok.kind == TokenKind.COMMENT:
+                    # Keep only the markers the linter itself consumes.
+                    if ("DNSGUARD_LINT_ALLOW" in spelling
+                            or "NOLINT" in spelling):
+                        place(loc.line, loc.column,
+                              spelling.splitlines()[0])
+                    continue
+                if tok.kind == TokenKind.LITERAL and spelling[:1] in "\"'":
+                    place(loc.line, loc.column,
+                          spelling[0] + " " * (len(spelling) - 2)
+                          + spelling[-1] if len(spelling) > 1 else spelling)
+                    continue
+                if "\n" in spelling:  # raw string or other multi-liner
+                    continue
+                place(loc.line, loc.column, spelling)
+
+            view = SourceFile(path=sf.path)
+            view.raw_lines = sf.raw_lines
+            view.code_lines = ["".join(row) for row in grid]
+            view.allows = sf.allows
+            return view
+
+        def functions(self, sf):
+            if sf.path in self._funcs:
+                return self._funcs[sf.path]
+            tu = self._tu(sf)
+            out = None
+            if tu is not None:
+                try:
+                    out = self._functions_from_ast(sf, tu)
+                except Exception:
+                    out = None
+            if out is None:
+                out = extract_functions(self.view(sf))
+            self._funcs[sf.path] = out
+            return out
+
+        def _functions_from_ast(self, sf, tu):
+            from clang.cindex import CursorKind
+            view = self.view(sf)
+            text = "\n".join(view.code_lines)
+            line_starts = [0]
+            for i, c in enumerate(text):
+                if c == "\n":
+                    line_starts.append(i + 1)
+            main_file = os.path.join(root, sf.path)
+            kinds = (CursorKind.FUNCTION_DECL, CursorKind.CXX_METHOD,
+                     CursorKind.CONSTRUCTOR, CursorKind.DESTRUCTOR)
+            funcs = []
+
+            def visit(cur):
+                if (cur.kind in kinds and cur.is_definition()
+                        and cur.location.file
+                        and os.path.samefile(cur.location.file.name,
+                                             main_file)):
+                    start = cur.extent.start.line
+                    end = min(cur.extent.end.line, len(view.code_lines))
+                    if 1 <= start <= end:
+                        seg_start = line_starts[start - 1]
+                        seg_end = (line_starts[end] - 1
+                                   if end < len(line_starts)
+                                   else len(text))
+                        seg = text[seg_start:seg_end]
+                        brace = seg.find("{")
+                        if brace != -1:
+                            brace_line = start + seg.count("\n", 0, brace)
+                            parent = cur.semantic_parent
+                            qual = (f"{parent.spelling}::{cur.spelling}"
+                                    if parent is not None and parent.kind in
+                                    (CursorKind.CLASS_DECL,
+                                     CursorKind.STRUCT_DECL,
+                                     CursorKind.CLASS_TEMPLATE)
+                                    else cur.spelling)
+                            funcs.append(FunctionDef(
+                                qualified=qual,
+                                name=cur.spelling.lstrip("~"),
+                                file=sf.path,
+                                start_line=brace_line,
+                                end_line=end,
+                                body=seg[brace + 1:],
+                            ))
+                for child in cur.get_children():
+                    visit(child)
+
+            visit(tu.cursor)
+            return funcs
+
+    return ClangFrontend()
+
+
+# --------------------------------------------------------------------------
 # Driver
 # --------------------------------------------------------------------------
 
@@ -809,10 +1393,18 @@ def run(argv=None):
                     help="repo root (default: two levels above this script)")
     ap.add_argument("--rule", action="append", choices=RULES, default=None,
                     help="run only the named rule(s)")
+    ap.add_argument("--only", action="append", default=None,
+                    metavar="RULE[,RULE]",
+                    help="comma-separated rule selection (same as repeated "
+                         "--rule; faster local iteration)")
+    ap.add_argument("--list-rules", action="store_true",
+                    help="list rules with their one-line invariants and "
+                         "allow-tokens, then exit")
     ap.add_argument("--engine", choices=("auto", "clang", "text"),
                     default="auto",
-                    help="hot-path-alloc front-end (default auto: clang "
-                         "when libclang is importable, else text)")
+                    help="front-end for the call-graph/dataflow rules "
+                         "(default auto: clang when libclang is "
+                         "importable, else text)")
     ap.add_argument("--compile-commands", default=None,
                     help="path to compile_commands.json for the clang engine")
     ap.add_argument("--strict", action="store_true",
@@ -820,11 +1412,21 @@ def run(argv=None):
     ap.add_argument("--json", dest="json_out", default=None,
                     help="write the full report (findings + annotation "
                          "census) to this file")
+    ap.add_argument("--sarif", dest="sarif_out", default=None,
+                    help="write a SARIF 2.1.0 report to this file (CI "
+                         "code annotations)")
     ap.add_argument("--check-baseline", default=None, metavar="BASELINE",
-                    help="fail if the src/ annotation count exceeds the "
-                         "budget recorded in this baseline.json")
+                    help="fail if the src/ annotation counts (total and "
+                         "per-token) exceed the budgets recorded in this "
+                         "baseline.json")
     ap.add_argument("--quiet", action="store_true")
     args = ap.parse_args(argv)
+
+    if args.list_rules:
+        for rule in RULES:
+            print(f"{rule:16} ALLOW({ALLOW_TOKEN[rule]})")
+            print(f"{'':16} {RULE_HELP[rule]}")
+        return 0
 
     root = args.root or os.path.abspath(
         os.path.join(os.path.dirname(os.path.abspath(__file__)), "..", ".."))
@@ -833,28 +1435,52 @@ def run(argv=None):
     if not sources:
         print("dnsguard-lint: no sources found", file=sys.stderr)
         return 2
-    rules = args.rule or list(RULES)
+    rules = list(args.rule) if args.rule else []
+    for only in (args.only or []):
+        for name in only.split(","):
+            name = name.strip()
+            if name and name not in RULES:
+                print(f"dnsguard-lint: unknown rule '{name}' "
+                      f"(see --list-rules)", file=sys.stderr)
+                return 2
+            if name:
+                rules.append(name)
+    rules = rules or list(RULES)
+
+    compile_commands = find_compile_commands(root, args.compile_commands)
+    frontend = None
+    dataflow_rules = {"shard-isolation", "determinism", "decode-bounds"}
+    if args.engine in ("auto", "clang") and dataflow_rules & set(rules):
+        frontend = try_clang_frontend(root, compile_commands)
 
     findings = []
+    clang_used = False
     if "hot-path-alloc" in rules:
         engine = None
         if args.engine in ("auto", "clang"):
-            engine = try_clang_engine(
-                root, find_compile_commands(root, args.compile_commands))
-            if engine is None and args.engine == "clang":
-                print("dnsguard-lint: --engine=clang requested but libclang "
-                      "is unavailable", file=sys.stderr)
-                return 2
-        engine_name = "clang" if engine else "text"
+            engine = try_clang_engine(root, compile_commands)
+        clang_used = clang_used or engine is not None
         findings += (engine or check_hot_path_alloc)(sources)
-    else:
-        engine_name = "n/a"
+    clang_capable = ({"hot-path-alloc"} | dataflow_rules) & set(rules)
+    if (args.engine == "clang" and clang_capable
+            and not (clang_used or frontend)):
+        print("dnsguard-lint: --engine=clang requested but libclang "
+              "is unavailable", file=sys.stderr)
+        return 2
     if "drop-reason" in rules:
         findings += check_drop_reason(sources)
     if "bounded-state" in rules:
         findings += check_bounded_state(sources)
     if "sim-time-purity" in rules:
         findings += check_sim_time(sources)
+    if "shard-isolation" in rules:
+        findings += check_shard_isolation(sources, frontend)
+    if "determinism" in rules:
+        findings += check_determinism(sources, frontend)
+    if "decode-bounds" in rules:
+        findings += check_decode_bounds(sources, frontend)
+    clang_used = clang_used or frontend is not None
+    engine_name = "clang" if clang_used else "text"
     findings += check_annotations(sources)
 
     counts = count_annotations(sources)
@@ -885,6 +1511,11 @@ def run(argv=None):
         }
         with open(args.json_out, "w", encoding="utf-8") as f:
             json.dump(report, f, indent=2)
+            f.write("\n")
+
+    if args.sarif_out:
+        with open(args.sarif_out, "w", encoding="utf-8") as f:
+            json.dump(to_sarif(findings, rules, engine_name), f, indent=2)
             f.write("\n")
 
     if errors and args.strict:

@@ -1,0 +1,35 @@
+// Fixture: MUST FAIL the decode-bounds rule.
+//
+// The pre-Cursor decode idiom: a raw ByteReader, manual end-offset
+// arithmetic via pos()/remaining(), an absolute seek for the compression
+// pointer, and a reinterpret_cast straight off the wire buffer. Every one
+// of these is a place a malformed packet can walk out of bounds.
+#include <cstdint>
+#include <string_view>
+
+namespace dns {
+
+struct ByteReader {
+  const std::uint8_t* data() const { return nullptr; }
+  std::size_t pos() const { return 0; }
+  std::size_t remaining() const { return 0; }
+  void seek(std::size_t) {}
+  std::uint16_t u16() { return 0; }
+};
+
+inline std::string_view read_label(ByteReader& r, std::uint8_t len) {
+  // Violation: unchecked cast + pointer arithmetic on wire bytes.
+  const char* p = reinterpret_cast<const char*>(r.data() + r.pos());
+  return std::string_view(p, len);
+}
+
+inline bool skip_rdata(ByteReader& r) {
+  std::uint16_t rdlength = r.u16();
+  // Violation: manual end-offset arithmetic instead of a window.
+  std::size_t end = r.pos() + rdlength;
+  if (r.remaining() < rdlength) return false;
+  r.seek(end);
+  return true;
+}
+
+}  // namespace dns

@@ -1,0 +1,39 @@
+// Fixture: MUST PASS the decode-bounds rule.
+//
+// A decode path written entirely against the dns::Cursor surface:
+// bounds-checked big-endian reads, a window fencing the length-prefixed
+// RDATA, and jump_back/resume for the compression pointer — no raw
+// offset arithmetic anywhere.
+#include <cstdint>
+#include <optional>
+
+namespace dns {
+
+struct Cursor {
+  struct Mark {};
+  bool ok() const { return true; }
+  std::uint8_t u8() { return 0; }
+  std::uint16_t u16() { return 0; }
+  bool push_window(std::size_t) { return true; }
+  bool at_limit() const { return true; }
+  void pop_window() {}
+  bool jump_back(std::size_t) { return true; }
+  Mark mark() const { return {}; }
+  void resume(Mark) {}
+};
+
+struct Record {
+  std::uint16_t type = 0;
+};
+
+inline std::optional<Record> decode_record(Cursor& c) {
+  Record r;
+  r.type = c.u16();
+  std::uint16_t rdlength = c.u16();
+  if (!c.ok() || !c.push_window(rdlength)) return std::nullopt;
+  while (!c.at_limit()) (void)c.u8();
+  c.pop_window();
+  return c.ok() ? std::optional<Record>(r) : std::nullopt;
+}
+
+}  // namespace dns

@@ -1,0 +1,34 @@
+// Fixture: MUST FAIL the determinism rule.
+//
+// Three nondeterminism sources: host entropy via std::random_device,
+// iteration over an unordered container (bucket order varies across
+// standard libraries and runs), and a pointer-keyed map whose ordering
+// depends on heap layout.
+#include <map>
+#include <random>
+#include <unordered_map>
+
+namespace dnsguard {
+
+struct Node {};
+
+struct Telemetry {
+  std::unordered_map<int, long long> counters_;
+  // Violation: pointer-keyed container.
+  std::map<Node*, int> owners_;
+
+  long long dump() const {
+    long long sum = 0;
+    // Violation: iteration order is bucket order.
+    for (const auto& kv : counters_) sum += kv.second;
+    return sum;
+  }
+};
+
+inline unsigned roll() {
+  // Violation: host entropy.
+  std::random_device rd;
+  return rd();
+}
+
+}  // namespace dnsguard

@@ -1,0 +1,42 @@
+// Fixture: MUST PASS the determinism rule.
+//
+// Randomness comes from a seeded PRNG, nodes are keyed by a stable
+// registration id (never by pointer value), and the unordered map is used
+// for O(1) lookup only — iteration for reporting walks a
+// registration-ordered vector, so output order is identical across runs.
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+namespace dnsguard {
+
+struct Rng {
+  explicit Rng(std::uint64_t seed) : state_(seed) {}
+  std::uint64_t next() { return state_ = state_ * 6364136223846793005ULL + 1; }
+  std::uint64_t state_;
+};
+
+struct Registry {
+  std::unordered_map<std::uint64_t, int> by_id_;
+  std::vector<std::uint64_t> order_;
+
+  void add(std::uint64_t id, int v) {
+    by_id_[id] = v;
+    order_.push_back(id);
+  }
+
+  int lookup(std::uint64_t id) const {
+    auto it = by_id_.find(id);
+    return it == by_id_.end() ? -1 : it->second;
+  }
+
+  long long report_sum() const {
+    long long sum = 0;
+    for (std::uint64_t id : order_) sum += lookup(id);
+    return sum;
+  }
+};
+
+inline std::uint64_t jitter(Rng& rng) { return rng.next() % 100; }
+
+}  // namespace dnsguard
